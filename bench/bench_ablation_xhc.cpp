@@ -1,0 +1,135 @@
+// Ablations over XHC's design choices (DESIGN.md §4, "extra"):
+//   * hierarchy sensitivity: flat / numa / socket / numa+socket /
+//     l3+numa+socket (paper §III-A: which levels pay off where);
+//   * pipeline chunk size (paper §III-B and §V-D2's note that 128K–1M
+//     allreduce is sensitive to chunk configuration);
+//   * CICO threshold (paper §III-D: where the copy-in-copy-out path stops
+//     paying off);
+//   * registration cache on/off for the full XHC data path (§III-C).
+#include "bench/bench_common.h"
+#include "core/xhc_component.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  // --- sensitivity ablation (bcast, Epyc-2P + ARM-N1) ----------------------
+  {
+    const std::vector<std::size_t> sizes =
+        args.quick ? std::vector<std::size_t>{4096}
+                   : std::vector<std::size_t>{4, 4096, 262144, 1048576};
+    for (const char* system : {"epyc2p", "armn1"}) {
+      util::Table table({"Size", "flat", "numa", "socket", "numa+socket",
+                         "l3+numa+socket"});
+      std::vector<std::vector<std::string>> rows(sizes.size());
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+      }
+      for (const char* sens :
+           {"flat", "numa", "socket", "numa+socket", "l3+numa+socket"}) {
+        auto machine = bench::make_system(system);
+        coll::Tuning tuning;
+        tuning.sensitivity = sens;
+        core::XhcComponent comp(*machine, tuning, "xhc-ablate");
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        const auto res = osu::bcast_sweep(*machine, comp, sizes, cfg);
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          rows[i].push_back(bench::us(res[i].avg_us));
+        }
+      }
+      for (auto& row : rows) table.add_row(std::move(row));
+      bench::emit(args, table,
+                  std::string("Ablation: hierarchy sensitivity, bcast (us), ") +
+                      system);
+    }
+  }
+
+  // --- chunk size ablation (allreduce 1 MB, Epyc-2P) -----------------------
+  {
+    util::Table table({"Chunk", "bcast 1M (us)", "allreduce 1M (us)"});
+    const std::vector<std::size_t> chunks =
+        args.quick ? std::vector<std::size_t>{16384}
+                   : std::vector<std::size_t>{4096, 16384, 65536, 262144};
+    for (const std::size_t chunk : chunks) {
+      double lat[2];
+      for (int which = 0; which < 2; ++which) {
+        auto machine = bench::make_system("epyc2p");
+        coll::Tuning tuning;
+        tuning.chunk_bytes = {chunk};
+        core::XhcComponent comp(*machine, tuning, "xhc-chunk");
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        lat[which] =
+            which == 0
+                ? osu::bcast_sweep(*machine, comp, {1u << 20}, cfg)
+                      .front()
+                      .avg_us
+                : osu::allreduce_sweep(*machine, comp, {1u << 20}, cfg)
+                      .front()
+                      .avg_us;
+      }
+      table.add_row({util::Table::fmt_bytes(chunk), bench::us(lat[0]),
+                     bench::us(lat[1])});
+    }
+    bench::emit(args, table,
+                "Ablation: pipeline chunk size (Epyc-2P, 1 MB)");
+  }
+
+  // --- CICO threshold ablation (Epyc-1P) -----------------------------------
+  {
+    util::Table table({"Size", "cico=0 (always 1-copy)", "cico=1K (default)",
+                       "cico=16K"});
+    const std::vector<std::size_t> sizes{64, 512, 2048, 8192};
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const std::size_t threshold : {std::size_t{0}, std::size_t{1024},
+                                        std::size_t{16384}}) {
+      auto machine = bench::make_system("epyc1p");
+      coll::Tuning tuning;
+      tuning.cico_threshold = threshold;
+      core::XhcComponent comp(*machine, tuning, "xhc-cico");
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 2 : 4;
+      const auto res = osu::bcast_sweep(*machine, comp, sizes, cfg);
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        rows[i].push_back(bench::us(res[i].avg_us));
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    bench::emit(args, table,
+                "Ablation: CICO threshold, bcast (us), Epyc-1P");
+  }
+
+  // --- registration cache on/off for XHC (Epyc-2P) -------------------------
+  {
+    util::Table table({"Size", "regcache on", "regcache off", "penalty"});
+    for (const std::size_t bytes :
+         {std::size_t{16384}, std::size_t{262144}, std::size_t{1} << 20}) {
+      double lat[2];
+      int i = 0;
+      for (const bool cache : {true, false}) {
+        auto machine = bench::make_system("epyc2p");
+        coll::Tuning tuning;
+        tuning.reg_cache = cache;
+        core::XhcComponent comp(*machine, tuning, "xhc-rc");
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        lat[i++] =
+            osu::bcast_sweep(*machine, comp, {bytes}, cfg).front().avg_us;
+      }
+      table.add_row({util::Table::fmt_bytes(bytes), bench::us(lat[0]),
+                     bench::us(lat[1]),
+                     util::Table::fmt_double(lat[1] / lat[0], 2) + "x"});
+    }
+    bench::emit(args, table,
+                "Ablation: XHC registration cache on/off, bcast (Epyc-2P)");
+  }
+  return 0;
+}

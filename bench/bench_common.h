@@ -1,0 +1,67 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper on the three
+// simulated evaluation systems and prints paper-style rows. `--quick`
+// shrinks sweeps for smoke runs; `--csv` emits machine-readable output.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "coll/registry.h"
+#include "osu/harness.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace xhc::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    util::Args args(argc, argv);
+    BenchArgs b;
+    b.quick = args.has("quick");
+    b.csv = args.has("csv");
+    return b;
+  }
+};
+
+inline void emit(const BenchArgs& args, const util::Table& table,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout.flush();
+}
+
+/// Fresh simulated machine for one paper system, fully populated.
+inline std::unique_ptr<sim::SimMachine> make_system(
+    std::string_view name,
+    topo::MapPolicy policy = topo::MapPolicy::kCore) {
+  topo::Topology topo = topo::by_name(name);
+  const int ranks = topo.n_cores();
+  return std::make_unique<sim::SimMachine>(std::move(topo), ranks, policy);
+}
+
+/// Size sweep used by the latency figures: 4 B .. 4 MB. The paper uses x2
+/// steps; x4 keeps the full suite CI-sized while preserving every regime
+/// (CICO path, pipelined medium, cache-exceeding large).
+inline std::vector<std::size_t> figure_sizes(bool quick) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 4; s <= (quick ? (64u << 10) : (4u << 20)); s *= 4) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+inline std::string us(double v) { return util::Table::fmt_double(v, 2); }
+
+}  // namespace xhc::bench

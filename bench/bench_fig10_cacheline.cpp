@@ -1,0 +1,50 @@
+// Fig. 10 — flag cache-line sharing schemes (Epyc-1P, small broadcasts).
+//
+// The leader→members progress flags are laid out either packed into shared
+// cache lines ("shared", closest to XHC's actual single-flag design) or one
+// line per member ("separated"). With shared lines, one core per L3 group
+// pulls the line and its group peers hit locally — the flat tree stays
+// ahead of the hierarchical one for tiny messages. With separated lines
+// every member's fetch is serviced by the leader core's port, the flat
+// tree's fan-out serializes there, and the trend reverses (paper §V-D1).
+#include "bench/bench_common.h"
+#include "core/xhc_component.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<std::size_t> sizes =
+      args.quick ? std::vector<std::size_t>{4}
+                 : std::vector<std::size_t>{4, 16, 64, 256};
+
+  util::Table table({"Size", "flat shared", "flat separated", "tree shared",
+                     "tree separated"});
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+  }
+
+  for (const char* sensitivity : {"flat", "numa+socket"}) {
+    for (const coll::FlagLayout layout :
+         {coll::FlagLayout::kMultiSharedLine,
+          coll::FlagLayout::kMultiSeparateLines}) {
+      auto machine = bench::make_system("epyc1p");
+      coll::Tuning tuning;
+      tuning.sensitivity = sensitivity;
+      tuning.flag_layout = layout;
+      core::XhcComponent comp(*machine, tuning, "xhc-layout");
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 2 : 4;
+      const auto res = osu::bcast_sweep(*machine, comp, sizes, cfg);
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        rows[i].push_back(bench::us(res[i].avg_us));
+      }
+    }
+  }
+  for (auto& row : rows) table.add_row(std::move(row));
+  bench::emit(args, table,
+              "Fig. 10: bcast latency (us) by flag cache-line scheme "
+              "(Epyc-1P)");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 11 — MPI_Allreduce latency vs message size, all components, all
+// three systems (osu_allreduce_mb, float sum; paper §V-D2).
+//
+// Expected shapes: XHC-tree leads broadly; tuned's recursive doubling is
+// competitive for tiny messages; XHC-flat and XBRC behave similarly (both
+// flat single-copy reducers) and fall behind on the larger systems; ucc is
+// the closest competitor in the 128 KB–1 MB band; sm collapses on ARM-N1.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto sizes = bench::figure_sizes(args.quick);
+  const auto comps = coll::allreduce_component_names();
+
+  for (const auto system : topo::paper_systems()) {
+    util::Table table([&] {
+      std::vector<std::string> header{"Size"};
+      for (const auto c : comps) header.emplace_back(c);
+      return header;
+    }());
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const auto comp_name : comps) {
+      auto machine = bench::make_system(system);
+      auto comp = coll::make_component(comp_name, *machine);
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 1 : 2;
+      const auto res = osu::allreduce_sweep(*machine, *comp, sizes, cfg);
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        rows[i].push_back(bench::us(res[i].avg_us));
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    std::string title = "Fig. 11: MPI_Allreduce latency (us), ";
+    title += system;
+    bench::emit(args, table, title);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 1a — one-way pt2pt latency across topological domains (1 MB), and
+// the latency-wise counterpart the paper mentions (4 B).
+//
+// Pairs of ranks are chosen so the two cores are cache-local (shared LLC),
+// intra-NUMA, cross-NUMA, or cross-socket. Expected relationships:
+// cache-local < intra-NUMA < cross-NUMA << cross-socket on the Epycs, and
+// intra-NUMA ≈ cross-NUMA on ARM-N1 (paper §III-A).
+#include "bench/bench_common.h"
+#include "p2p/fabric.h"
+
+namespace {
+
+using namespace xhc;
+
+/// First rank whose core is at `want` distance from rank 0's core, or -1.
+int pair_at(const topo::Topology& topo, const topo::RankMap& map,
+            topo::Distance want) {
+  for (int r = 1; r < map.n_ranks(); ++r) {
+    if (map.distance(topo, 0, r) == want) return r;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  for (const std::size_t bytes : {std::size_t{1} << 20, std::size_t{4}}) {
+    util::Table table({"System", "cache-local", "intra-numa", "cross-numa",
+                       "cross-socket"});
+    for (const auto name : topo::paper_systems()) {
+      auto machine = bench::make_system(name);
+      p2p::Fabric fabric(*machine, {});
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 1 : 3;
+
+      std::vector<std::string> row{std::string(name)};
+      for (const topo::Distance d :
+           {topo::Distance::kLlcLocal, topo::Distance::kIntraNuma,
+            topo::Distance::kCrossNuma, topo::Distance::kCrossSocket}) {
+        const int peer = pair_at(machine->topology(), machine->map(), d);
+        if (peer < 0) {
+          row.push_back("n/a");
+          continue;
+        }
+        const double us =
+            osu::pt2pt_latency_us(*machine, fabric, 0, peer, bytes, cfg);
+        row.push_back(bench::us(us));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(args, table,
+                "Fig. 1a: one-way latency (us), " +
+                    util::Table::fmt_bytes(bytes) + " messages");
+  }
+  return 0;
+}

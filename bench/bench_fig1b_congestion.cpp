@@ -1,0 +1,79 @@
+// Fig. 1b — memory-copy time of a singled-out rank vs participant count
+// (Epyc-1P, 1 MB copies).
+//
+// Flat: every participant concurrently copies from the root rank's buffer —
+// the fan-out congests the root's memory/cache ports and the observed
+// rank's copy time grows with the participant count. Hierarchical: ranks
+// copy from their NUMA leader instead, so participants in other NUMA nodes
+// do not affect the observed rank (paper §III-A). The observed rank's NUMA
+// node is fully occupied in every scenario.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  constexpr std::size_t kBytes = 1u << 20;
+
+  util::Table table({"Participants", "flat (us)", "hierarchical (us)"});
+  const std::vector<int> participant_counts =
+      args.quick ? std::vector<int>{8, 32} : std::vector<int>{8, 16, 24, 32};
+
+  for (const int k : participant_counts) {
+    double flat_us = 0.0;
+    double hier_us = 0.0;
+    for (const bool hierarchical : {false, true}) {
+      auto machine = bench::make_system("epyc1p");
+      const topo::Topology& topo = machine->topology();
+      const int n = machine->n_ranks();
+      std::vector<mach::Buffer> bufs;
+      for (int r = 0; r < n; ++r) bufs.emplace_back(*machine, r, kBytes);
+      // NUMA leader of each rank: the lowest core in its NUMA node
+      // (rank 0 for the observed rank's node).
+      std::vector<int> leader(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        leader[static_cast<std::size_t>(r)] =
+            topo.cores_in_numa(topo.core(machine->map().core_of(r)).numa)
+                .front();
+      }
+      constexpr int kObserved = 1;  // shares rank 0's (full) NUMA node
+      double observed_us = 0.0;
+
+      machine->run([&](mach::Ctx& ctx) {
+        const int r = ctx.rank();
+        if (r == 0) {
+          ctx.write_payload(bufs[0].get(), kBytes, 7);
+        }
+        ctx.barrier();
+        const bool participates = r != 0 && r < k;
+        if (hierarchical) {
+          // Stage 1: NUMA leaders pull from the root.
+          if (participates && leader[static_cast<std::size_t>(r)] == r) {
+            ctx.copy(bufs[static_cast<std::size_t>(r)].get(), bufs[0].get(),
+                     kBytes);
+          }
+          ctx.barrier();
+          // Stage 2: members pull from their local leader.
+          if (participates && leader[static_cast<std::size_t>(r)] != r) {
+            const int l = leader[static_cast<std::size_t>(r)];
+            const double t0 = ctx.now();
+            ctx.copy(bufs[static_cast<std::size_t>(r)].get(),
+                     bufs[static_cast<std::size_t>(l)].get(), kBytes);
+            if (r == kObserved) observed_us = (ctx.now() - t0) * 1e6;
+          }
+        } else if (participates) {
+          const double t0 = ctx.now();
+          ctx.copy(bufs[static_cast<std::size_t>(r)].get(), bufs[0].get(),
+                   kBytes);
+          if (r == kObserved) observed_us = (ctx.now() - t0) * 1e6;
+        }
+      });
+      (hierarchical ? hier_us : flat_us) = observed_us;
+    }
+    table.add_row({std::to_string(k), bench::us(flat_us),
+                   bench::us(hier_us)});
+  }
+  bench::emit(args, table,
+              "Fig. 1b: singled-out rank 1 MB copy time vs participants "
+              "(Epyc-1P)");
+  return 0;
+}

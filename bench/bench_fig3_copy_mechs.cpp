@@ -1,0 +1,94 @@
+// Fig. 3 — data copy schemes: XPMEM / KNEM / CMA / CICO, plus XPMEM with
+// the registration cache disabled (Epyc-2P).
+//
+//   (a) osu_latency, 2 ranks in different NUMA nodes of one socket;
+//   (b) osu_bcast over the tuned component, 64 ranks.
+//
+// Expected relationships (paper §III-C): XPMEM(+regcache) fastest, then
+// KNEM, then CMA, all ahead of CICO; XPMEM *without* the registration cache
+// pays attach+detach per operation and drops behind the alternatives.
+#include "base/tuned.h"
+#include "bench/bench_common.h"
+#include "p2p/fabric.h"
+
+namespace {
+
+using namespace xhc;
+
+struct Mech {
+  const char* label;
+  smsc::Mechanism mech;
+  bool reg_cache;
+};
+
+const Mech kMechs[] = {
+    {"xpmem", smsc::Mechanism::kXpmem, true},
+    {"knem", smsc::Mechanism::kKnem, true},
+    {"cma", smsc::Mechanism::kCma, true},
+    {"cico", smsc::Mechanism::kCico, true},
+    {"xpmem-nocache", smsc::Mechanism::kXpmem, false},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<std::size_t> sizes =
+      args.quick ? std::vector<std::size_t>{16384, 1048576}
+                 : std::vector<std::size_t>{16384, 65536, 262144, 1048576,
+                                            4194304};
+
+  // (a) point-to-point, two ranks in different NUMA nodes, same socket.
+  {
+    util::Table table({"Size", "xpmem", "knem", "cma", "cico",
+                       "xpmem-nocache"});
+    for (const std::size_t bytes : sizes) {
+      std::vector<std::string> row{util::Table::fmt_bytes(bytes)};
+      for (const Mech& m : kMechs) {
+        auto machine = bench::make_system("epyc2p");
+        p2p::Fabric::Config cfg;
+        cfg.mechanism = m.mech;
+        cfg.reg_cache = m.reg_cache;
+        p2p::Fabric fabric(*machine, cfg);
+        // Rank 8 sits in the next NUMA node of socket 0 (8 cores per NUMA).
+        osu::Config ocfg;
+        ocfg.warmup = 1;
+        ocfg.iters = args.quick ? 1 : 3;
+        row.push_back(bench::us(
+            osu::pt2pt_latency_us(*machine, fabric, 0, 8, bytes, ocfg)));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(args, table,
+                "Fig. 3a: pt2pt one-way latency (us), 2 ranks, Epyc-2P");
+  }
+
+  // (b) broadcast over tuned, full node.
+  {
+    util::Table table({"Size", "xpmem", "knem", "cma", "cico",
+                       "xpmem-nocache"});
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const Mech& m : kMechs) {
+      auto machine = bench::make_system("epyc2p");
+      coll::Tuning tuning;
+      tuning.mechanism = m.mech;
+      tuning.reg_cache = m.reg_cache;
+      auto comp = coll::make_component("tuned", *machine, tuning);
+      osu::Config ocfg;
+      ocfg.warmup = 1;
+      ocfg.iters = args.quick ? 1 : 2;
+      const auto res = osu::bcast_sweep(*machine, *comp, sizes, ocfg);
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        rows[i].push_back(bench::us(res[i].avg_us));
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    bench::emit(args, table,
+                "Fig. 3b: broadcast latency (us), tuned, 64 ranks, Epyc-2P");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 4 — 4-byte broadcast with atomics- vs single-writer-based
+// synchronization as the node fills up (ARM-N1).
+//
+// The same flat shared-memory broadcast runs with its completion flags
+// either stored by each member (single-writer) or bumped with an atomic
+// fetch-add. On the SLC-based ARM system every RMW serializes an exclusive
+// ownership transfer of the counter's cache line, so the atomics variant
+// degrades dramatically with rank count (the paper measures 23x at 160
+// ranks).
+#include "bench/bench_common.h"
+#include "core/xhc_component.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  util::Table table({"Ranks", "single-writer (us)", "atomics (us)", "ratio"});
+  const std::vector<int> rank_counts =
+      args.quick ? std::vector<int>{20, 160}
+                 : std::vector<int>{10, 20, 40, 80, 120, 160};
+
+  for (const int ranks : rank_counts) {
+    double lat[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const coll::SyncMethod sync :
+         {coll::SyncMethod::kSingleWriter, coll::SyncMethod::kAtomicFetchAdd}) {
+      sim::SimMachine machine(topo::armn1(), ranks);
+      coll::Tuning tuning;
+      tuning.sensitivity = "flat";
+      tuning.sync = sync;
+      auto comp = std::make_unique<core::XhcComponent>(
+          machine, tuning,
+          sync == coll::SyncMethod::kSingleWriter ? "flat-sw" : "flat-atomic");
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 2 : 4;
+      const auto res = osu::bcast_sweep(machine, *comp, {4}, cfg);
+      lat[idx++] = res.front().avg_us;
+    }
+    table.add_row({std::to_string(ranks), bench::us(lat[0]),
+                   bench::us(lat[1]),
+                   util::Table::fmt_double(lat[1] / lat[0], 1) + "x"});
+  }
+  bench::emit(args, table,
+              "Fig. 4: 4 B broadcast, atomics vs single-writer sync "
+              "(ARM-N1, flat tree)");
+  return 0;
+}

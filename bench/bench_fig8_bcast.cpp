@@ -1,0 +1,44 @@
+// Fig. 8 — MPI_Bcast latency vs message size, all components, all three
+// systems (osu_bcast_mb, paper §V-D1).
+//
+// Expected shapes: XHC-tree leads for medium/large messages everywhere;
+// XHC-flat beats XHC-tree for *small* messages on the shared-LLC Epycs
+// (implicit cache assist) but collapses on SLC-based ARM-N1; sm's
+// atomics-based sync is catastrophic on ARM-N1; SMHC's double copies hurt
+// at large sizes; the XHC-tree advantage grows with node density.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto sizes = bench::figure_sizes(args.quick);
+  const auto comps = coll::bcast_component_names();
+
+  for (const auto system : topo::paper_systems()) {
+    util::Table table([&] {
+      std::vector<std::string> header{"Size"};
+      for (const auto c : comps) header.emplace_back(c);
+      return header;
+    }());
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const auto comp_name : comps) {
+      auto machine = bench::make_system(system);
+      auto comp = coll::make_component(comp_name, *machine);
+      osu::Config cfg;
+      cfg.warmup = 1;
+      cfg.iters = args.quick ? 1 : 2;
+      const auto res = osu::bcast_sweep(*machine, *comp, sizes, cfg);
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        rows[i].push_back(bench::us(res[i].avg_us));
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    std::string title = "Fig. 8: MPI_Bcast latency (us), ";
+    title += system;
+    bench::emit(args, table, title);
+  }
+  return 0;
+}

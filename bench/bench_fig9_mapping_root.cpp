@@ -1,0 +1,71 @@
+// Fig. 9 — sensitivity of tuned's static schedules to (a) the rank-to-core
+// mapping policy and (b) the broadcast root, with XHC-tree as the
+// topology-aware reference (Epyc-2P).
+//
+// tuned's rank-numbered trees change their physical communication pattern
+// when ranks are laid out round-robin across NUMA nodes (map-numa) or when
+// the root moves; XHC rebuilds its hierarchy around the actual placement
+// and root, so its latency stays put (paper §V-D1, Table II).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto sizes = bench::figure_sizes(args.quick);
+
+  // (a) map-core vs map-numa.
+  {
+    util::Table table({"Size", "tuned map-core", "tuned map-numa",
+                       "xhc map-core", "xhc map-numa"});
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const char* comp_name : {"tuned", "xhc"}) {
+      for (const topo::MapPolicy policy :
+           {topo::MapPolicy::kCore, topo::MapPolicy::kNuma}) {
+        auto machine = bench::make_system("epyc2p", policy);
+        auto comp = coll::make_component(comp_name, *machine);
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        const auto res = osu::bcast_sweep(*machine, *comp, sizes, cfg);
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          rows[i].push_back(bench::us(res[i].avg_us));
+        }
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    bench::emit(args, table,
+                "Fig. 9a: bcast latency (us) under rank-to-core layouts, "
+                "Epyc-2P");
+  }
+
+  // (b) root 0 vs root 10.
+  {
+    util::Table table({"Size", "tuned root=0", "tuned root=10", "xhc root=0",
+                       "xhc root=10"});
+    std::vector<std::vector<std::string>> rows(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+    }
+    for (const char* comp_name : {"tuned", "xhc"}) {
+      for (const int root : {0, 10}) {
+        auto machine = bench::make_system("epyc2p");
+        auto comp = coll::make_component(comp_name, *machine);
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        cfg.root = root;
+        const auto res = osu::bcast_sweep(*machine, *comp, sizes, cfg);
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          rows[i].push_back(bench::us(res[i].avg_us));
+        }
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    bench::emit(args, table,
+                "Fig. 9b: bcast latency (us) under different roots, Epyc-2P");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Host-native kernel microbenchmarks (google-benchmark).
+//
+// Measures, on the actual build host, the primitive operations whose
+// modeled costs drive the simulator: memcpy streams, typed reductions,
+// single-writer flag round trips, and contended atomic fetch-add — the
+// real-hardware counterpart of the paper's §III-E experiment.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mach/reduce_kernels.h"
+#include "util/cacheline.h"
+#include "util/prng.h"
+
+namespace {
+
+void BM_Memcpy(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(bytes);
+  std::vector<std::byte> dst(bytes);
+  xhc::util::fill_pattern(src.data(), bytes, 1);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Memcpy)->Range(4096, 4 << 20);
+
+void BM_ReduceF32Sum(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<float> dst(count, 1.0f);
+  std::vector<float> src(count, 2.0f);
+  for (auto _ : state) {
+    xhc::mach::reduce_apply(dst.data(), src.data(), count,
+                            xhc::mach::DType::kF32, xhc::mach::ROp::kSum);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_ReduceF32Sum)->Range(1024, 1 << 20);
+
+/// Single-writer flag round trip between two threads (ping-pong).
+void BM_FlagRoundTrip(benchmark::State& state) {
+  xhc::util::CachePadded<std::atomic<std::uint64_t>> ping;
+  xhc::util::CachePadded<std::atomic<std::uint64_t>> pong;
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    std::uint64_t expected = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (ping->load(std::memory_order_acquire) >= expected) {
+        pong->store(expected, std::memory_order_release);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    ping->store(seq, std::memory_order_release);
+    while (pong->load(std::memory_order_acquire) < seq) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  ping->store(seq + 1, std::memory_order_release);
+  peer.join();
+}
+BENCHMARK(BM_FlagRoundTrip);
+
+/// Contended fetch-add: every thread hammers one counter (the sync style
+/// whose scaling collapse the paper demonstrates in Fig. 4).
+void BM_AtomicFetchAddContended(benchmark::State& state) {
+  static xhc::util::CachePadded<std::atomic<std::uint64_t>> counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter->fetch_add(1, std::memory_order_acq_rel));
+  }
+}
+BENCHMARK(BM_AtomicFetchAddContended)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Table I — evaluation systems.
+//
+// Prints the three simulated platforms with their internal features, plus
+// the XHC hierarchy each one yields under numa+socket sensitivity
+// (Epyc-1P: 2 levels; Epyc-2P and ARM-N1: 3 levels — paper §V-C).
+#include "bench/bench_common.h"
+#include "topo/hierarchy.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  util::Table table({"Codename", "Cores", "NUMA", "Sockets", "Shared LLC",
+                     "XHC-tree levels"});
+  for (const auto name : topo::paper_systems()) {
+    const topo::Topology topo = topo::by_name(name);
+    const topo::RankMap map(topo, topo.n_cores(), topo::MapPolicy::kCore);
+    const topo::Hierarchy hier(topo, map,
+                               topo::parse_sensitivity("numa+socket"), 0);
+    table.add_row({std::string(name), std::to_string(topo.n_cores()),
+                   std::to_string(topo.n_numa()),
+                   std::to_string(topo.n_sockets()),
+                   topo.has_shared_llc() ? "yes (4-core L3)" : "no (SLC)",
+                   std::to_string(hier.n_levels())});
+  }
+  bench::emit(args, table, "Table I: evaluation systems");
+  return 0;
+}

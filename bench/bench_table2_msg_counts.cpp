@@ -1,0 +1,65 @@
+// Table II — number and distance of exchanged messages per broadcast
+// (Epyc-2P, 64 ranks, 64 KB — tuned's binomial-tree regime, whose pattern
+// sensitivity is what the paper's Table II demonstrates).
+//
+// One message = one logical payload transfer between two ranks (a pt2pt
+// message for tuned, a leader↔member pull for XHC). tuned's counts swing
+// with the mapping policy and the root; XHC-tree's stay fixed at
+// {1 inter-socket, 6 inter-NUMA, 56 intra-NUMA} — exactly the paper's XHC
+// row: one top-level exchange, three NUMA leaders per socket, seven members
+// per NUMA group.
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace xhc;
+
+struct Scenario {
+  const char* comp;
+  const char* label;
+  topo::MapPolicy policy;
+  int root;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  constexpr std::size_t kBytes = 64u << 10;  // binomial-tree regime
+
+  const Scenario scenarios[] = {
+      {"tuned", "map-core", topo::MapPolicy::kCore, 0},
+      {"tuned", "map-numa", topo::MapPolicy::kNuma, 0},
+      {"tuned", "root=0", topo::MapPolicy::kCore, 0},
+      {"tuned", "root=10", topo::MapPolicy::kCore, 10},
+      {"xhc", "map-core root=0", topo::MapPolicy::kCore, 0},
+      {"xhc", "map-numa", topo::MapPolicy::kNuma, 0},
+      {"xhc", "root=10", topo::MapPolicy::kCore, 10},
+  };
+
+  util::Table table({"Component", "Scenario", "Inter-Socket", "Inter-NUMA",
+                     "Intra-NUMA"});
+  for (const Scenario& sc : scenarios) {
+    auto machine = bench::make_system("epyc2p", sc.policy);
+    auto comp = coll::make_component(sc.comp, *machine);
+    p2p::TrafficCounter counter(&machine->topology(), &machine->map());
+    comp->set_traffic_counter(&counter);
+
+    std::vector<mach::Buffer> bufs;
+    for (int r = 0; r < machine->n_ranks(); ++r) {
+      bufs.emplace_back(*machine, r, kBytes);
+    }
+    machine->run([&](mach::Ctx& ctx) {
+      comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                  kBytes, sc.root);
+    });
+
+    table.add_row({sc.comp, sc.label, std::to_string(counter.inter_socket()),
+                   std::to_string(counter.inter_numa()),
+                   std::to_string(counter.intra_numa())});
+  }
+  bench::emit(args, table,
+              "Table II: messages by distance per 64 KB bcast (Epyc-2P)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Simulate a multicore node: compare collective components on a machine you
+// don't have.
+//
+// Runs an osu_bcast_mb-style sweep on the simulated Epyc-2P (64 ranks,
+// 8 NUMA nodes, 2 sockets) for a chosen set of components and prints the
+// latency table, plus the XHC hierarchy the topology produces.
+//
+//   $ ./examples/simulate_node [--system=epyc2p] [--sizes=4,4096,1M]
+#include <iostream>
+
+#include "coll/registry.h"
+#include "osu/harness.h"
+#include "sim/sim_machine.h"
+#include "topo/hierarchy.h"
+#include "topo/presets.h"
+#include "util/str.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace xhc;
+  const util::Args args(argc, argv);
+  const std::string system = args.get("system", "epyc2p");
+
+  std::vector<std::size_t> sizes;
+  for (const auto& tok : util::split(args.get("sizes", "4,4096,1M"), ',')) {
+    if (const auto s = util::parse_size(tok)) sizes.push_back(*s);
+  }
+
+  topo::Topology topo = topo::by_name(system);
+  const int ranks = topo.n_cores();
+  std::cout << "Simulating " << system << ": " << ranks << " cores, "
+            << topo.n_numa() << " NUMA nodes, " << topo.n_sockets()
+            << " sockets\n\n";
+
+  {
+    sim::SimMachine machine(topo::by_name(system), ranks);
+    const topo::Hierarchy hier(machine.topology(), machine.map(),
+                               topo::parse_sensitivity("numa+socket"), 0);
+    std::cout << "XHC numa+socket hierarchy (* marks group leaders):\n"
+              << hier.describe() << "\n";
+  }
+
+  util::Table table([&] {
+    std::vector<std::string> header{"Size"};
+    for (const auto c : coll::bcast_component_names()) header.emplace_back(c);
+    return header;
+  }());
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
+  }
+  for (const auto comp_name : coll::bcast_component_names()) {
+    sim::SimMachine machine(topo::by_name(system), ranks);
+    auto comp = coll::make_component(comp_name, machine);
+    osu::Config cfg;
+    cfg.warmup = 1;
+    cfg.iters = 2;
+    const auto res = osu::bcast_sweep(machine, *comp, sizes, cfg);
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      rows[i].push_back(util::Table::fmt_double(res[i].avg_us, 2));
+    }
+  }
+  for (auto& row : rows) table.add_row(std::move(row));
+  std::cout << "Broadcast latency (us, simulated):\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "apps/app_common.h"
+
+namespace xhc::apps {
+
+AppResult finish_result(const mach::RunResult& run,
+                        const std::vector<PaddedTime>& acc) {
+  AppResult result;
+  result.total_time = run.max_time;
+  double sum = 0.0;
+  std::uint64_t calls = 0;
+  for (const auto& a : acc) {
+    sum += a.value;
+    calls = std::max(calls, a.calls);
+  }
+  result.collective_time = acc.empty() ? 0.0 : sum / acc.size();
+  result.collective_calls = calls;
+  return result;
+}
+
+}  // namespace xhc::apps

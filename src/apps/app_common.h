@@ -1,0 +1,33 @@
+// Common machinery for the application proxies (paper §V-A, §V-D3).
+//
+// Each proxy replays an application's communication pattern — the collective
+// mix, message sizes and call frequency — interleaved with charged compute.
+// That is exactly the structure that determines an application's sensitivity
+// to collective performance: total win = (time share of the supported
+// collectives) x (collective speedup), as the paper discusses for PiSvM.
+#pragma once
+
+#include <cstdint>
+
+#include "coll/component.h"
+#include "mach/machine.h"
+
+namespace xhc::apps {
+
+struct AppResult {
+  double total_time = 0.0;       ///< slowest rank's wall time (seconds)
+  double collective_time = 0.0;  ///< mean per-rank time inside collectives
+  std::uint64_t collective_calls = 0;
+};
+
+/// Per-rank time accounting without false sharing.
+struct PaddedTime {
+  alignas(64) double value = 0.0;
+  std::uint64_t calls = 0;
+};
+
+/// Fills an AppResult from a finished run.
+AppResult finish_result(const mach::RunResult& run,
+                        const std::vector<PaddedTime>& acc);
+
+}  // namespace xhc::apps

@@ -1,0 +1,32 @@
+// CNTK proxy (paper §V-A, Fig. 14).
+//
+// CNTK's data-parallel SGD allreduces the gradient tensors after every
+// minibatch (the paper replaces Iallreduce with the blocking variant after
+// verifying the swap is performance-neutral). AlexNet's full gradient
+// footprint is ~240 MB; the proxy scales it to a 16 MB layered set so a
+// full three-system sweep stays CI-sized — every component moves the same
+// bytes, so the scaling is ranking-neutral (see DESIGN.md §5).
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.h"
+
+namespace xhc::apps {
+
+struct CntkConfig {
+  int minibatches = 12;  ///< one scaled-down epoch
+  /// Per-layer gradient tensor sizes (bytes, float32 elements).
+  std::vector<std::size_t> layer_bytes = {
+      2 * 1024 * 1024,  // conv stack
+      8 * 1024 * 1024,  // fc6 (the AlexNet giant)
+      4 * 1024 * 1024,  // fc7
+      2 * 1024 * 1024,  // fc8 + biases
+  };
+  double compute_seconds = 2.0e-3;  ///< forward+backward per minibatch
+};
+
+AppResult run_cntk(mach::Machine& machine, coll::Component& comp,
+                   const CntkConfig& config);
+
+}  // namespace xhc::apps

@@ -1,0 +1,34 @@
+// miniAMR proxy (paper §V-A, Fig. 13).
+//
+// miniAMR mimics adaptive-mesh-refinement workloads; its recurring refine
+// step calls MPI_Allreduce to agree on global block counts and refinement
+// decisions. The paper runs the "expanding sphere" example in two
+// configurations:
+//   * default (4 refinement levels, 400 timesteps): allreduces average a
+//     couple tens of bytes per call;
+//   * stress (1K refinement levels, refine every timestep, 1000 steps):
+//     allreduce payloads average ~1 KB — the configuration where XBRC
+//     struggles and XHC's small/medium-message path shines.
+#pragma once
+
+#include "apps/app_common.h"
+
+namespace xhc::apps {
+
+struct MiniAmrConfig {
+  int timesteps = 400;
+  int refine_every = 4;          ///< timesteps between refine phases
+  int reductions_per_refine = 6; ///< allreduce calls per refine phase
+  std::size_t reduce_bytes = 24; ///< payload per allreduce (i64 counts)
+  double compute_seconds = 150e-6;  ///< stencil work per timestep per rank
+};
+
+/// The paper's default configuration (Fig. 13a).
+MiniAmrConfig miniamr_default();
+/// The 1K-refinement-level configuration (Fig. 13b).
+MiniAmrConfig miniamr_1k_levels();
+
+AppResult run_miniamr(mach::Machine& machine, coll::Component& comp,
+                      const MiniAmrConfig& config);
+
+}  // namespace xhc::apps

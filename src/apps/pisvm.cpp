@@ -1,0 +1,48 @@
+#include "apps/pisvm.h"
+
+#include <vector>
+
+namespace xhc::apps {
+
+AppResult run_pisvm(mach::Machine& machine, coll::Component& comp,
+                    const PisvmConfig& config) {
+  const int n = machine.n_ranks();
+  std::vector<mach::Buffer> rows;
+  std::vector<mach::Buffer> ctl;
+  for (int r = 0; r < n; ++r) {
+    rows.emplace_back(machine, r, config.row_bytes);
+    ctl.emplace_back(machine, r, config.ctl_bytes);
+  }
+  std::vector<PaddedTime> acc(static_cast<std::size_t>(n));
+
+  const mach::RunResult run = machine.run([&](mach::Ctx& ctx) {
+    const int r = ctx.rank();
+    PaddedTime& a = acc[static_cast<std::size_t>(r)];
+    void* row = rows[static_cast<std::size_t>(r)].get();
+    void* c = ctl[static_cast<std::size_t>(r)].get();
+
+    for (int it = 0; it < config.iterations; ++it) {
+      // Local gradient update over this rank's data shard.
+      ctx.charge(config.compute_seconds);
+      // PiSvM's master rank selects the working set and broadcasts the
+      // corresponding kernel rows (master-based SMO).
+      const int owner = 0;
+      if (r == owner) {
+        ctx.write_payload(row, config.row_bytes,
+                          0x5100u + static_cast<std::uint64_t>(it));
+        ctx.write_payload(c, config.ctl_bytes,
+                          0x5200u + static_cast<std::uint64_t>(it));
+      }
+      double t0 = ctx.now();
+      for (int k = 0; k < config.rows_per_iter; ++k) {
+        comp.bcast(ctx, row, config.row_bytes, owner);
+      }
+      comp.bcast(ctx, c, config.ctl_bytes, owner);
+      a.value += ctx.now() - t0;
+      a.calls += static_cast<std::uint64_t>(config.rows_per_iter) + 1;
+    }
+  });
+  return finish_result(run, acc);
+}
+
+}  // namespace xhc::apps

@@ -1,0 +1,25 @@
+// PiSvM proxy (paper §V-A, Fig. 12).
+//
+// PiSvM is a parallel SVM trainer whose MPI communication time is dominated
+// by MPI_Bcast: every SMO-style outer iteration broadcasts the selected
+// working-set rows of the kernel matrix plus small control words. The proxy
+// replays that pattern for the paper's mnist_train_576_rbf_8vr dataset
+// shape (576 features → kernel rows of a few KB).
+#pragma once
+
+#include "apps/app_common.h"
+
+namespace xhc::apps {
+
+struct PisvmConfig {
+  int iterations = 250;          ///< SMO outer iterations
+  std::size_t row_bytes = 4608;  ///< one kernel row: 576 features x 8 B
+  int rows_per_iter = 2;         ///< working-set size (two rows per step)
+  std::size_t ctl_bytes = 16;    ///< convergence / index control bcasts
+  double compute_seconds = 60e-6;  ///< per-rank gradient update per iteration
+};
+
+AppResult run_pisvm(mach::Machine& machine, coll::Component& comp,
+                    const PisvmConfig& config);
+
+}  // namespace xhc::apps

@@ -1,0 +1,348 @@
+#include "base/tuned.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::base {
+
+namespace {
+
+/// Largest power of two <= n.
+int pow2_floor(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Element range [lo, hi) of ring part `i` out of `n` over `count` elements.
+std::pair<std::size_t, std::size_t> ring_part(std::size_t count, int n,
+                                              int i) {
+  const std::size_t q = count / static_cast<std::size_t>(n);
+  const std::size_t rem = count % static_cast<std::size_t>(n);
+  const auto ui = static_cast<std::size_t>(i);
+  const std::size_t lo = q * ui + std::min<std::size_t>(ui, rem);
+  const std::size_t hi = lo + q + (ui < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace
+
+TunedComponent::TunedComponent(mach::Machine& machine, coll::Tuning tuning)
+    : machine_(&machine),
+      tuning_(std::move(tuning)),
+      fabric_(machine,
+              p2p::Fabric::Config{
+                  .eager_threshold = tuning_.eager_threshold,
+                  .eager_slot = std::max<std::size_t>(tuning_.eager_threshold,
+                                                      8192),
+                  .mechanism = tuning_.mechanism,
+                  .reg_cache = tuning_.reg_cache,
+                  .match_overhead = 400e-9,
+              }),
+      scratch_(static_cast<std::size_t>(machine.n_ranks())),
+      op_seq_(static_cast<std::size_t>(machine.n_ranks()), 0) {}
+
+TunedComponent::~TunedComponent() {
+  for (auto& s : scratch_) {
+    if (s.p != nullptr) machine_->free(s.p);
+  }
+}
+
+std::byte* TunedComponent::scratch(mach::Ctx& ctx, std::size_t bytes) {
+  Scratch& s = scratch_[static_cast<std::size_t>(ctx.rank())];
+  if (s.bytes < bytes) {
+    if (s.p != nullptr) machine_->free(s.p);
+    s.p = machine_->alloc(ctx.rank(), bytes);
+    s.bytes = bytes;
+  }
+  return static_cast<std::byte*>(s.p);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+
+void TunedComponent::bcast_binomial(mach::Ctx& ctx, void* buf,
+                                    std::size_t bytes, int root,
+                                    std::size_t seg, int tag0) {
+  const int n = ctx.size();
+  const int vr = (ctx.rank() - root + n) % n;
+  if (seg == 0 || seg >= bytes) seg = bytes;
+  const int n_segs = static_cast<int>((bytes + seg - 1) / seg);
+  auto* p = static_cast<std::byte*>(buf);
+
+  // Parent: the lowest set bit of vr points at it; the root has none.
+  int recv_mask = 0;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      recv_mask = mask;
+      break;
+    }
+    mask <<= 1;
+  }
+  const int parent = recv_mask ? (vr - recv_mask + root) % n : -1;
+  // Children: vr + cm for every mask cm below the receive bit (the root
+  // forwards from the top bit down).
+  const int child_mask0 = recv_mask ? (recv_mask >> 1) : pow2_floor(n);
+
+  // Child sends are posted non-blocking and completed one segment later, so
+  // transfers to all children and the next receive overlap (tuned's isend
+  // pipelining).
+  std::vector<p2p::Fabric::SendHandle> prev;
+  for (int k = 0; k < n_segs; ++k) {
+    const std::size_t lo = static_cast<std::size_t>(k) * seg;
+    const std::size_t len = std::min(seg, bytes - lo);
+    if (parent >= 0) {
+      fabric_.recv(ctx, parent, tag0 + k, p + lo, len);
+    }
+    std::vector<p2p::Fabric::SendHandle> cur;
+    for (int cm = child_mask0; cm > 0; cm >>= 1) {
+      if (vr + cm < n) {
+        const int dst = (vr + cm + root) % n;
+        if (k == 0) record_traffic(ctx.rank(), dst);  // one logical transfer
+        cur.push_back(fabric_.isend(ctx, dst, tag0 + k, p + lo, len));
+      }
+    }
+    for (auto& h : prev) fabric_.wait_send(ctx, h);
+    prev = std::move(cur);
+  }
+  for (auto& h : prev) fabric_.wait_send(ctx, h);
+}
+
+void TunedComponent::bcast_chain(mach::Ctx& ctx, void* buf, std::size_t bytes,
+                                 int root, std::size_t seg, int tag0) {
+  const int n = ctx.size();
+  const int vr = (ctx.rank() - root + n) % n;
+  if (seg == 0 || seg >= bytes) seg = bytes;
+  const int n_segs = static_cast<int>((bytes + seg - 1) / seg);
+  auto* p = static_cast<std::byte*>(buf);
+  const int prev = vr > 0 ? (vr - 1 + root) % n : -1;
+  const int next = vr + 1 < n ? (vr + 1 + root) % n : -1;
+
+  p2p::Fabric::SendHandle pending{};
+  bool have_pending = false;
+  for (int k = 0; k < n_segs; ++k) {
+    const std::size_t lo = static_cast<std::size_t>(k) * seg;
+    const std::size_t len = std::min(seg, bytes - lo);
+    if (prev >= 0) fabric_.recv(ctx, prev, tag0 + k, p + lo, len);
+    if (next >= 0) {
+      if (k == 0) record_traffic(ctx.rank(), next);
+      p2p::Fabric::SendHandle h =
+          fabric_.isend(ctx, next, tag0 + k, p + lo, len);
+      if (have_pending) fabric_.wait_send(ctx, pending);
+      pending = h;
+      have_pending = true;
+    }
+  }
+  if (have_pending) fabric_.wait_send(ctx, pending);
+}
+
+void TunedComponent::bcast_binary(mach::Ctx& ctx, void* buf,
+                                  std::size_t bytes, int root,
+                                  std::size_t seg, int tag0) {
+  const int n = ctx.size();
+  const int vr = (ctx.rank() - root + n) % n;
+  if (seg == 0 || seg >= bytes) seg = bytes;
+  const int n_segs = static_cast<int>((bytes + seg - 1) / seg);
+  auto* p = static_cast<std::byte*>(buf);
+  const int parent = vr > 0 ? ((vr - 1) / 2 + root) % n : -1;
+  const int c1 = 2 * vr + 1 < n ? (2 * vr + 1 + root) % n : -1;
+  const int c2 = 2 * vr + 2 < n ? (2 * vr + 2 + root) % n : -1;
+
+  std::vector<p2p::Fabric::SendHandle> prev_handles;
+  for (int k = 0; k < n_segs; ++k) {
+    const std::size_t lo = static_cast<std::size_t>(k) * seg;
+    const std::size_t len = std::min(seg, bytes - lo);
+    if (parent >= 0) fabric_.recv(ctx, parent, tag0 + k, p + lo, len);
+    std::vector<p2p::Fabric::SendHandle> cur;
+    if (c1 >= 0) {
+      if (k == 0) record_traffic(ctx.rank(), c1);
+      cur.push_back(fabric_.isend(ctx, c1, tag0 + k, p + lo, len));
+    }
+    if (c2 >= 0) {
+      if (k == 0) record_traffic(ctx.rank(), c2);
+      cur.push_back(fabric_.isend(ctx, c2, tag0 + k, p + lo, len));
+    }
+    for (auto& h : prev_handles) fabric_.wait_send(ctx, h);
+    prev_handles = std::move(cur);
+  }
+  for (auto& h : prev_handles) fabric_.wait_send(ctx, h);
+}
+
+void TunedComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
+                           int root) {
+  if (bytes == 0 || ctx.size() == 1) return;
+  const int tag0 = static_cast<int>(
+      ++op_seq_[static_cast<std::size_t>(ctx.rank())] * 65536);
+  // Size-based decision rules in the style of coll/tuned: binomial for
+  // small, segmented binomial for medium, segmented binary for large,
+  // pipeline chain for the very largest.
+  if (bytes <= 64 * 1024) {
+    bcast_binomial(ctx, buf, bytes, root, /*seg=*/0, tag0);
+  } else if (bytes <= 2 * 1024 * 1024) {
+    bcast_binomial(ctx, buf, bytes, root, /*seg=*/32 * 1024, tag0);
+  } else if (bytes <= 8 * 1024 * 1024) {
+    bcast_binary(ctx, buf, bytes, root, /*seg=*/64 * 1024, tag0);
+  } else {
+    bcast_chain(ctx, buf, bytes, root, /*seg=*/128 * 1024, tag0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce
+
+void TunedComponent::allreduce_recursive_doubling(mach::Ctx& ctx, void* rbuf,
+                                                  std::size_t count,
+                                                  mach::DType dtype,
+                                                  mach::ROp op, int tag0) {
+  const int n = ctx.size();
+  const int r = ctx.rank();
+  const std::size_t bytes = count * mach::dtype_size(dtype);
+  std::byte* tmp = scratch(ctx, bytes);
+  const int p = pow2_floor(n);
+  const int rem = n - p;
+
+  // Fold the surplus ranks into the power-of-two set.
+  int newrank;
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      fabric_.send(ctx, r + 1, tag0, rbuf, bytes);
+      newrank = -1;
+    } else {
+      fabric_.recv(ctx, r - 1, tag0, tmp, bytes);
+      ctx.reduce(rbuf, tmp, count, dtype, op);
+      newrank = r / 2;
+    }
+  } else {
+    newrank = r - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int newpartner = newrank ^ mask;
+      const int partner =
+          newpartner < rem ? newpartner * 2 + 1 : newpartner + rem;
+      fabric_.sendrecv(ctx, partner, rbuf, bytes, partner, tmp, bytes,
+                       tag0 + 1 + mask);
+      ctx.reduce(rbuf, tmp, count, dtype, op);
+    }
+  }
+
+  // Unfold: surplus even ranks receive the final result.
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      fabric_.recv(ctx, r + 1, tag0 + 2 * p, rbuf, bytes);
+    } else {
+      fabric_.send(ctx, r - 1, tag0 + 2 * p, rbuf, bytes);
+    }
+  }
+}
+
+void TunedComponent::allreduce_ring(mach::Ctx& ctx, void* rbuf,
+                                    std::size_t count, mach::DType dtype,
+                                    mach::ROp op, int tag0) {
+  const int n = ctx.size();
+  const int r = ctx.rank();
+  const std::size_t elem = mach::dtype_size(dtype);
+  auto* p = static_cast<std::byte*>(rbuf);
+  const int next = (r + 1) % n;
+  const int prev = (r - 1 + n) % n;
+  std::size_t max_part = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto [lo, hi] = ring_part(count, n, i);
+    max_part = std::max(max_part, (hi - lo) * elem);
+  }
+  std::byte* tmp = scratch(ctx, max_part);
+
+  // Reduce-scatter: after step s, rank r owns the fully reduced part
+  // (r - n + 1 ... ). Standard ring schedule.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_part = (r - step + n) % n;
+    const int recv_part = (r - step - 1 + n) % n;
+    const auto [slo, shi] = ring_part(count, n, send_part);
+    const auto [rlo, rhi] = ring_part(count, n, recv_part);
+    fabric_.sendrecv(ctx, next, p + slo * elem, (shi - slo) * elem, prev, tmp,
+                     (rhi - rlo) * elem, tag0 + step);
+    ctx.reduce(p + rlo * elem, tmp, rhi - rlo, dtype, op);
+  }
+  // Allgather: circulate the finished parts.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_part = (r + 1 - step + n) % n;
+    const int recv_part = (r - step + n) % n;
+    const auto [slo, shi] = ring_part(count, n, send_part);
+    const auto [rlo, rhi] = ring_part(count, n, recv_part);
+    fabric_.sendrecv(ctx, next, p + slo * elem, (shi - slo) * elem, prev,
+                     p + rlo * elem, (rhi - rlo) * elem,
+                     tag0 + 1000 + step);
+  }
+}
+
+void TunedComponent::reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                            std::size_t count, mach::DType dtype,
+                            mach::ROp op, int root) {
+  if (count == 0) return;
+  const std::size_t bytes = count * mach::dtype_size(dtype);
+  if (sbuf != rbuf && sbuf != nullptr) ctx.copy(rbuf, sbuf, bytes);
+  if (ctx.size() == 1) return;
+  const int n = ctx.size();
+  const int vr = (ctx.rank() - root + n) % n;
+  const int tag0 = static_cast<int>(
+      ++op_seq_[static_cast<std::size_t>(ctx.rank())] * 65536);
+  std::byte* tmp = scratch(ctx, bytes);
+  // Binomial reduce: absorb partials from the children below each of our
+  // zero bits, then forward the folded partial to the parent.
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int parent = (vr - mask + root) % n;
+      fabric_.send(ctx, parent, tag0 + mask, rbuf, bytes);
+      break;
+    }
+    const int child = vr + mask;
+    if (child < n) {
+      fabric_.recv(ctx, (child + root) % n, tag0 + mask, tmp, bytes);
+      ctx.reduce(rbuf, tmp, count, dtype, op);
+    }
+    mask <<= 1;
+  }
+}
+
+void TunedComponent::barrier(mach::Ctx& ctx) {
+  const int n = ctx.size();
+  if (n == 1) return;
+  const int r = ctx.rank();
+  const int tag0 = static_cast<int>(
+      ++op_seq_[static_cast<std::size_t>(r)] * 65536);
+  // Dissemination barrier: after round k every rank has (transitively)
+  // heard from 2^(k+1) predecessors.
+  std::byte token[1] = {std::byte{1}};
+  std::byte in[1];
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (r + dist) % n;
+    const int from = (r - dist + n) % n;
+    fabric_.sendrecv(ctx, to, token, 1, from, in, 1, tag0 + round);
+  }
+}
+
+void TunedComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                               std::size_t count, mach::DType dtype,
+                               mach::ROp op) {
+  if (count == 0) return;
+  const std::size_t bytes = count * mach::dtype_size(dtype);
+  if (sbuf != rbuf && sbuf != nullptr) {
+    ctx.copy(rbuf, sbuf, bytes);
+  }
+  if (ctx.size() == 1) return;
+  const int tag0 = static_cast<int>(
+      ++op_seq_[static_cast<std::size_t>(ctx.rank())] * 65536);
+  if (bytes <= 16 * 1024 ||
+      count < static_cast<std::size_t>(2 * ctx.size())) {
+    allreduce_recursive_doubling(ctx, rbuf, count, dtype, op, tag0);
+  } else {
+    allreduce_ring(ctx, rbuf, count, dtype, op, tag0);
+  }
+}
+
+}  // namespace xhc::base

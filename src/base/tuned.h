@@ -1,0 +1,67 @@
+// `tuned` baseline — OpenMPI's default collectives component (paper §II-A,
+// §V-C): classic tree/ring algorithms over point-to-point messages, with
+// static rank-numbered schedules that ignore the node topology (the source
+// of the mapping/root sensitivity explored in Fig. 9 and Table II).
+//
+// Algorithm selection follows tuned's style of size-based decision rules:
+//   bcast:      binomial tree (small), segmented binary tree (medium),
+//               segmented pipeline chain (large)
+//   allreduce:  recursive doubling (small), ring reduce-scatter + allgather
+//               (large)
+#pragma once
+
+#include <vector>
+
+#include "coll/component.h"
+#include "p2p/fabric.h"
+
+namespace xhc::base {
+
+class TunedComponent final : public coll::Component {
+ public:
+  TunedComponent(mach::Machine& machine, coll::Tuning tuning);
+  ~TunedComponent() override;
+
+  std::string_view name() const noexcept override { return "tuned"; }
+
+  void bcast(mach::Ctx& ctx, void* buf, std::size_t bytes, int root) override;
+  void allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                 std::size_t count, mach::DType dtype, mach::ROp op) override;
+  /// Binomial-tree MPI_Reduce over pt2pt (children fold partials upward).
+  void reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+              std::size_t count, mach::DType dtype, mach::ROp op,
+              int root) override;
+  /// Dissemination barrier (log2(n) rounds of one-byte exchanges).
+  void barrier(mach::Ctx& ctx) override;
+
+  p2p::Fabric& fabric() noexcept { return fabric_; }
+
+ private:
+  void bcast_binomial(mach::Ctx& ctx, void* buf, std::size_t bytes, int root,
+                      std::size_t seg, int tag0);
+  void bcast_chain(mach::Ctx& ctx, void* buf, std::size_t bytes, int root,
+                   std::size_t seg, int tag0);
+  void bcast_binary(mach::Ctx& ctx, void* buf, std::size_t bytes, int root,
+                    std::size_t seg, int tag0);
+  void allreduce_recursive_doubling(mach::Ctx& ctx, void* rbuf,
+                                    std::size_t count, mach::DType dtype,
+                                    mach::ROp op, int tag0);
+  void allreduce_ring(mach::Ctx& ctx, void* rbuf, std::size_t count,
+                      mach::DType dtype, mach::ROp op, int tag0);
+
+  /// Per-rank scratch area, grown on demand.
+  std::byte* scratch(mach::Ctx& ctx, std::size_t bytes);
+
+  mach::Machine* machine_;
+  coll::Tuning tuning_;
+  p2p::Fabric fabric_;
+  struct Scratch {
+    void* p = nullptr;
+    std::size_t bytes = 0;
+  };
+  std::vector<Scratch> scratch_;       // per rank
+  std::vector<std::uint64_t> op_seq_;  // per rank (padded stride not needed:
+                                       // each rank touches only its slot)
+};
+
+}  // namespace xhc::base

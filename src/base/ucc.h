@@ -1,0 +1,46 @@
+// `ucc` baseline — a model of the Unified Collective Communication library
+// (paper §V-C): a competent conventional design with XPMEM single-copy
+// transfers and static socket-level trees, but
+//   * no NUMA/L3 awareness below the socket level (its static schedules are
+//     "not the best fit to the underlying physical topology", §V-D1),
+//   * coarser pipelining, and
+//   * a per-operation library dispatch overhead.
+//
+// Implemented as a socket-sensitivity configuration of the shared hierarchy
+// machinery plus the dispatch constant, which gives UCC exactly the paper's
+// relative standing: strong at medium/large sizes (it is the closest
+// competitor to XHC between 128 KB and 1 MB, Fig. 11), weaker for small
+// messages and on the SLC-based ARM system.
+#pragma once
+
+#include <memory>
+
+#include "coll/component.h"
+#include "core/xhc_component.h"
+
+namespace xhc::base {
+
+class UccComponent final : public coll::Component {
+ public:
+  UccComponent(mach::Machine& machine, coll::Tuning tuning);
+
+  std::string_view name() const noexcept override { return "ucc"; }
+
+  void bcast(mach::Ctx& ctx, void* buf, std::size_t bytes, int root) override;
+  void allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                 std::size_t count, mach::DType dtype, mach::ROp op) override;
+
+  std::optional<smsc::RegCache::Stats> reg_cache_stats() const override;
+
+  void set_traffic_counter(p2p::TrafficCounter* counter) noexcept override {
+    inner_->set_traffic_counter(counter);
+  }
+
+ private:
+  /// Per-operation library dispatch cost (team lookup, task scheduling).
+  static constexpr double kDispatchOverhead = 1.2e-6;
+
+  std::unique_ptr<core::XhcComponent> inner_;
+};
+
+}  // namespace xhc::base

@@ -1,0 +1,81 @@
+// Collective component interface — the equivalent of OpenMPI's coll
+// framework (paper §II-A). One Component instance exists per communicator;
+// its constructor allocates shared control state, and every rank then calls
+// the collective methods concurrently from inside a Machine::run region.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "coll/tuning.h"
+#include "mach/machine.h"
+#include "p2p/counters.h"
+#include "smsc/reg_cache.h"
+
+namespace xhc::coll {
+
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// MPI_Bcast: on entry the root's `buf` holds the payload; on exit every
+  /// rank's `buf` does. Must be called by all ranks collectively.
+  virtual void bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
+                     int root) = 0;
+
+  /// MPI_Allreduce: element-wise reduction of all ranks' `sbuf` into every
+  /// rank's `rbuf`. `sbuf == rbuf` (in place) is supported.
+  virtual void allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                         std::size_t count, mach::DType dtype,
+                         mach::ROp op) = 0;
+
+  /// MPI_Reduce: reduction into the root's `rbuf` (paper §VII lists Reduce
+  /// as ongoing work; XHC and tuned provide native implementations).
+  /// Deviation from MPI: `rbuf` must be a valid buffer on every rank — the
+  /// hierarchical single-copy algorithm accumulates subtree partials in the
+  /// leaders' receive buffers. The default implementation falls back to
+  /// allreduce (correct, but moves more data than necessary).
+  virtual void reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                      std::size_t count, mach::DType dtype, mach::ROp op,
+                      int root) {
+    (void)root;
+    allreduce(ctx, sbuf, rbuf, count, dtype, op);
+  }
+
+  /// MPI_Barrier (paper §VII). The default implementation piggybacks on a
+  /// one-element allreduce; XHC provides a native flag-only gather/release.
+  virtual void barrier(mach::Ctx& ctx) {
+    std::uint64_t in = 1;
+    std::uint64_t out = 0;
+    allreduce(ctx, &in, &out, 1, mach::DType::kI64, mach::ROp::kSum);
+  }
+
+  /// Optional traffic accounting (Table II); components that move data
+  /// directly record one entry per leader↔member transfer. Wrapper
+  /// components forward the counter to their inner implementation.
+  virtual void set_traffic_counter(p2p::TrafficCounter* counter) noexcept {
+    traffic_ = counter;
+  }
+
+  /// Aggregate registration-cache statistics (XPMEM components), or nullopt.
+  virtual std::optional<smsc::RegCache::Stats> reg_cache_stats() const {
+    return std::nullopt;
+  }
+
+  Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+ protected:
+  void record_traffic(int src_rank, int dst_rank) {
+    if (traffic_ != nullptr) traffic_->record(src_rank, dst_rank);
+  }
+
+ private:
+  p2p::TrafficCounter* traffic_ = nullptr;
+};
+
+}  // namespace xhc::coll

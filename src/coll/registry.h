@@ -1,0 +1,35 @@
+// Component registry — constructs any collective framework by name, the way
+// OpenMPI's MCA selects coll components (paper §II-A, §V-C).
+//
+// Names:
+//   "xhc"        XHC, numa+socket-aware hierarchy (XHC-tree in the paper)
+//   "xhc-flat"   XHC with a flat tree
+//   "tuned"      pt2pt-based trees/rings (OpenMPI default)
+//   "sm"         shared-memory CICO, atomic fetch-add sync
+//   "ucc"        UCC model: socket-level static trees, XPMEM
+//   "smhc"       shared-memory hierarchical collectives [18], socket-aware
+//   "smhc-flat"  SMHC's flat variant
+//   "xbrc"       XPMEM-based reduction collectives [5], flat
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "coll/component.h"
+
+namespace xhc::coll {
+
+std::unique_ptr<Component> make_component(std::string_view name,
+                                          mach::Machine& machine,
+                                          Tuning tuning = {});
+
+/// All registry names, paper-evaluation order.
+std::vector<std::string_view> component_names();
+
+/// The subset compared in the paper's bcast figures (XBRC is
+/// reduction-only) and allreduce figures.
+std::vector<std::string_view> bcast_component_names();
+std::vector<std::string_view> allreduce_component_names();
+
+}  // namespace xhc::coll

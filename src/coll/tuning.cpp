@@ -1,0 +1,27 @@
+#include "coll/tuning.h"
+
+namespace xhc::coll {
+
+const char* to_string(FlagLayout l) {
+  switch (l) {
+    case FlagLayout::kSingle:
+      return "single";
+    case FlagLayout::kMultiSharedLine:
+      return "shared";
+    case FlagLayout::kMultiSeparateLines:
+      return "separated";
+  }
+  return "?";
+}
+
+const char* to_string(SyncMethod s) {
+  switch (s) {
+    case SyncMethod::kSingleWriter:
+      return "single-writer";
+    case SyncMethod::kAtomicFetchAdd:
+      return "atomics";
+  }
+  return "?";
+}
+
+}  // namespace xhc::coll

@@ -1,0 +1,68 @@
+// Runtime-tunable parameters of the collective components — the equivalent
+// of OpenMPI's MCA parameter mechanism the paper uses to configure XHC
+// (chunk sizes per level, CICO threshold, hierarchy sensitivity, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "smsc/mechanism.h"
+
+namespace xhc::coll {
+
+/// Layout of the leader→members progress flags (paper Fig. 10).
+enum class FlagLayout {
+  kSingle,             ///< one shared flag per group (XHC default)
+  kMultiSharedLine,    ///< one flag per member, all in one cache line
+  kMultiSeparateLines  ///< one flag per member, one cache line each
+};
+
+/// Synchronization style (paper §III-E, Fig. 4).
+enum class SyncMethod {
+  kSingleWriter,   ///< single-writer flags, no atomic RMW (XHC default)
+  kAtomicFetchAdd  ///< atomic fetch-add counters (the sm baseline's style)
+};
+
+const char* to_string(FlagLayout l);
+const char* to_string(SyncMethod s);
+
+struct Tuning {
+  /// Hierarchy sensitivity: "flat", "numa", "socket", "numa+socket",
+  /// "l3+numa+socket" (paper §III-A).
+  std::string sensitivity = "numa+socket";
+
+  /// Messages at or below this size use the copy-in-copy-out path
+  /// (paper §III-D; default 1 KB).
+  std::size_t cico_threshold = 1024;
+
+  /// Pipeline chunk size per hierarchy level, innermost first; the last
+  /// entry repeats for deeper levels (paper §III-B).
+  std::vector<std::size_t> chunk_bytes = {16 * 1024};
+
+  /// Single-copy mechanism and registration caching (paper §III-C).
+  smsc::Mechanism mechanism = smsc::Mechanism::kXpmem;
+  bool reg_cache = true;
+
+  /// Experiment variants.
+  FlagLayout flag_layout = FlagLayout::kSingle;
+  SyncMethod sync = SyncMethod::kSingleWriter;
+
+  /// pt2pt layer (tuned baseline): eager/rendezvous switchover.
+  std::size_t eager_threshold = 4096;
+
+  /// Allreduce: minimum number of bytes a member must take on before
+  /// another member joins the intra-group reduction (paper §IV-B, step 2a).
+  std::size_t min_reduce_bytes = 256;
+
+  /// CICO shared-segment size per rank.
+  std::size_t cico_segment_bytes = 256 * 1024;
+
+  std::size_t chunk_for_level(int level) const noexcept {
+    if (chunk_bytes.empty()) return 16 * 1024;
+    const std::size_t i = static_cast<std::size_t>(level);
+    return i < chunk_bytes.size() ? chunk_bytes[i] : chunk_bytes.back();
+  }
+};
+
+}  // namespace xhc::coll

@@ -1,0 +1,305 @@
+// XHC MPI_Allreduce (paper §IV-B): hierarchical reduce to an internal root,
+// overlapped (per chunk) with a broadcast of the result.
+//
+// Every member publishes its contribution buffer; non-leader members take on
+// chunk ranges and reduce all peers' data into the leader's result buffer,
+// bumping their reduce_done counter. Leaders scan completion in chunk order
+// and republish availability one level up through their reduce_ready slot;
+// when a chunk reaches the top it is immediately broadcast down the same
+// hierarchy via the pull machinery shared with MPI_Bcast.
+#include <algorithm>
+
+#include "core/xhc_component.h"
+#include "util/check.h"
+
+namespace xhc::core {
+
+namespace {
+
+/// Number of members that actually reduce, honoring the per-member minimum
+/// workload (paper §IV-B step 2a: with little data only one member reduces).
+std::size_t active_reducers(std::size_t bytes, std::size_t n_nonleader,
+                            std::size_t min_bytes) {
+  if (n_nonleader == 0) return 0;
+  if (min_bytes == 0) return n_nonleader;
+  const std::size_t by_min = (bytes + min_bytes - 1) / min_bytes;
+  return std::clamp<std::size_t>(by_min, 1, n_nonleader);
+}
+
+/// Chunk size aligned down to the element size (at least one element).
+std::size_t aligned_chunk(std::size_t chunk, std::size_t elem) {
+  if (chunk < elem) return elem;
+  return chunk - chunk % elem;
+}
+
+}  // namespace
+
+struct XhcComponent::ReducePlan {
+  std::size_t bytes = 0;
+  std::size_t elem = 0;
+  mach::DType dtype{};
+  mach::ROp op{};
+  bool cico = false;
+  std::uint64_t s = 0;
+  const std::byte* contrib0 = nullptr;
+  std::byte* result = nullptr;
+  std::vector<std::size_t> scanned;
+};
+
+void XhcComponent::pump_own(mach::Ctx& ctx, const CommView& view,
+                            ReducePlan& plan, std::size_t target_bytes) {
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  const auto& ms = view.memberships(r);
+  const std::size_t target = std::min(target_bytes, plan.bytes);
+
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const CommView::Membership& m = ms[i];
+    if (!m.is_leader) break;
+    std::size_t& pos = plan.scanned[i];
+    if (pos >= target) continue;
+
+    GroupCtl& ctl = tree_.ctl(m.ctl_id);
+    const GroupShape& shape = tree_.shape(m.ctl_id);
+    const std::uint64_t base =
+        rs.reduce_base[static_cast<std::size_t>(m.ctl_id)];
+    const std::size_t chunk =
+        aligned_chunk(tuning_.chunk_for_level(m.level), plan.elem);
+
+    std::vector<int> reducers;
+    reducers.reserve(m.members.size());
+    for (const int j : m.members) {
+      if (j != r) reducers.push_back(j);
+    }
+    const std::size_t n_red = active_reducers(
+        plan.bytes, reducers.size(), tuning_.min_reduce_bytes);
+
+    while (pos < target) {
+      const std::size_t lo = pos;
+      const std::size_t hi = std::min(plan.bytes, lo + chunk);
+      const std::size_t ci = lo / chunk;
+      if (reducers.empty()) {
+        // Singleton group: the group partial is the leader's own
+        // contribution. At the leaf that means materializing it.
+        if (m.level == 0) {
+          ctx.copy(plan.result + lo, plan.contrib0 + lo, hi - lo);
+        }
+      } else {
+        const int red = reducers[ci % n_red];
+        ctx.flag_wait_ge(*ctl.reduce_done[shape.slot_of(red)], base + hi);
+      }
+      pos = hi;
+
+      if (i + 1 < ms.size()) {
+        // Republish the subtree partial one level up (§IV-B step 2b).
+        const CommView::Membership& pm = ms[i + 1];
+        GroupCtl& pctl = tree_.ctl(pm.ctl_id);
+        ctx.flag_store(
+            *pctl.reduce_ready[pm.my_slot],
+            rs.reduce_base[static_cast<std::size_t>(pm.ctl_id)] + pos);
+      } else {
+        // Internal root: the chunk is globally reduced — trigger the
+        // broadcast at every level the root leads (§IV-B step 3).
+        for (const auto& m2 : ms) {
+          announce_publish(
+              ctx, m2,
+              rs.bcast_base[static_cast<std::size_t>(m2.ctl_id)] + pos);
+        }
+      }
+    }
+  }
+}
+
+void XhcComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                             std::size_t count, mach::DType dtype,
+                             mach::ROp op) {
+  // The internal root is rank 0 and everyone receives the result.
+  reduce_impl(ctx, sbuf, rbuf, count, dtype, op, /*root=*/0,
+              /*deliver_all=*/true);
+}
+
+void XhcComponent::reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                          std::size_t count, mach::DType dtype, mach::ROp op,
+                          int root) {
+  XHC_REQUIRE(root >= 0 && root < ctx.size(), "bad root ", root);
+  reduce_impl(ctx, sbuf, rbuf, count, dtype, op, root,
+              /*deliver_all=*/false);
+}
+
+void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                               std::size_t count, mach::DType dtype,
+                               mach::ROp op, int root, bool deliver_all) {
+  const std::size_t elem = mach::dtype_size(dtype);
+  const std::size_t bytes = count * elem;
+  if (count == 0) return;
+  const bool in_place = (sbuf == rbuf || sbuf == nullptr);
+  if (ctx.size() == 1) {
+    if (!in_place) ctx.copy(rbuf, sbuf, bytes);
+    return;
+  }
+  if (in_place) sbuf = rbuf;
+
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  const std::uint64_t s = ++rs.op_seq;
+  const CommView& view = tree_.view(root);
+  const bool cico = bytes <= tuning_.cico_threshold;
+  const auto& ms = view.memberships(r);
+  const CicoSeg& my_seg = cico_[static_cast<std::size_t>(r)];
+
+  ReducePlan plan;
+  plan.bytes = bytes;
+  plan.elem = elem;
+  plan.dtype = dtype;
+  plan.op = op;
+  plan.cico = cico;
+  plan.s = s;
+  plan.scanned.assign(ms.size(), 0);
+  if (cico) {
+    // Copy-in (paper §IV-C): stage the contribution in the CICO segment.
+    ctx.copy(my_seg.contrib, sbuf, bytes);
+    plan.contrib0 = my_seg.contrib;
+    plan.result = my_seg.result;
+  } else {
+    plan.contrib0 = static_cast<const std::byte*>(sbuf);
+    plan.result = static_cast<std::byte*>(rbuf);
+    rs.endpoint->expose(ctx, sbuf, bytes);
+    rs.endpoint->expose(ctx, rbuf, bytes);
+  }
+
+  // Step 1 (preparation): publish addresses and leaf availability.
+  for (const auto& m : ms) {
+    GroupCtl& ctl = tree_.ctl(m.ctl_id);
+    ctl.minfo[m.my_slot]->contrib =
+        (m.level == 0) ? static_cast<const void*>(plan.contrib0)
+                       : static_cast<const void*>(plan.result);
+    ctx.flag_store(*ctl.member_seq[m.my_slot], s);
+    if (m.level == 0) {
+      ctx.flag_store(
+          *ctl.reduce_ready[m.my_slot],
+          rs.reduce_base[static_cast<std::size_t>(m.ctl_id)] + bytes);
+    }
+    if (m.is_leader) {
+      ctl.info[0]->buf = plan.result;
+      ctx.flag_store(*ctl.seq[0], s);
+    }
+  }
+
+  const CommView::Membership& top = ms.back();
+  if (top.is_leader) {
+    // Internal root: drive the completion scans; announce is published from
+    // inside pump_own as chunks reach the top.
+    pump_own(ctx, view, plan, bytes);
+    for (const auto& m : ms) {
+      wait_acks(ctx, m, s);
+    }
+    if (cico) ctx.copy(rbuf, my_seg.result, bytes);
+  } else {
+    // Step 2a (intra-group reduction) at this rank's member level,
+    // interleaved with its leader duties below.
+    GroupCtl& ctl = tree_.ctl(top.ctl_id);
+    const GroupShape& shape = tree_.shape(top.ctl_id);
+    const std::uint64_t base =
+        rs.reduce_base[static_cast<std::size_t>(top.ctl_id)];
+    std::vector<int> reducers;
+    for (const int j : top.members) {
+      if (j != top.leader) reducers.push_back(j);
+    }
+    const std::size_t n_red = active_reducers(
+        bytes, reducers.size(), tuning_.min_reduce_bytes);
+    std::size_t my_idx = reducers.size();
+    for (std::size_t i = 0; i < reducers.size(); ++i) {
+      if (reducers[i] == r) my_idx = i;
+    }
+    XHC_CHECK(my_idx < reducers.size(), "rank missing from reducer list");
+    const bool active = my_idx < n_red;
+
+    // Leader's result buffer (destination of the group partial).
+    ctx.flag_wait_ge(*ctl.seq[0], s);
+    std::byte* dst;
+    const std::byte* leader_contrib = nullptr;
+    if (cico) {
+      dst = cico_[static_cast<std::size_t>(top.leader)].result;
+    } else {
+      dst = static_cast<std::byte*>(rs.endpoint->attach_mut(
+          ctx, top.leader, const_cast<void*>(ctl.info[0]->buf), bytes));
+    }
+    // Source operands: every non-leader member's contribution (including
+    // this rank's own), plus — at the leaf — the leader's contribution used
+    // to initialize the destination.
+    std::vector<const std::byte*> src(reducers.size(), nullptr);
+    if (active) {
+      for (std::size_t i = 0; i < reducers.size(); ++i) {
+        const int j = reducers[i];
+        const int slot = shape.slot_of(j);
+        ctx.flag_wait_ge(*ctl.member_seq[slot], s);
+        src[i] = static_cast<const std::byte*>(rs.endpoint->attach(
+            ctx, j, ctl.minfo[slot]->contrib, bytes));
+      }
+      if (top.level == 0) {
+        ctx.flag_wait_ge(*ctl.member_seq[top.leader_slot], s);
+        leader_contrib = static_cast<const std::byte*>(rs.endpoint->attach(
+            ctx, top.leader, ctl.minfo[top.leader_slot]->contrib, bytes));
+      }
+    }
+
+    const std::size_t chunk =
+        aligned_chunk(tuning_.chunk_for_level(top.level), elem);
+    for (std::size_t lo = 0; lo < bytes;) {
+      const std::size_t hi = std::min(bytes, lo + chunk);
+      const std::size_t ci = lo / chunk;
+      // Keep this rank's own subtree partial flowing for the whole range —
+      // peers reducing other chunks depend on it.
+      pump_own(ctx, view, plan, hi);
+      if (active && ci % n_red == my_idx) {
+        if (top.level == 0) {
+          // In-place at the internal root: dst may alias the leader's own
+          // contribution, which is then already in place.
+          if (dst != leader_contrib) {
+            ctx.copy(dst + lo, leader_contrib + lo, hi - lo);
+          }
+        } else {
+          // The destination must already hold the leader's subtree partial.
+          ctx.flag_wait_ge(*ctl.reduce_ready[top.leader_slot], base + hi);
+        }
+        const std::size_t n_elems = (hi - lo) / elem;
+        for (std::size_t i = 0; i < reducers.size(); ++i) {
+          if (top.level > 0 && reducers[i] != r) {
+            ctx.flag_wait_ge(*ctl.reduce_ready[shape.slot_of(reducers[i])],
+                             base + hi);
+          }
+          rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
+          ctx.reduce(dst + lo, src[i] + lo, n_elems, dtype, op);
+        }
+        ctx.flag_store(*ctl.reduce_done[top.my_slot], base + hi);
+        record_traffic(r, top.leader);
+      }
+      lo = hi;
+    }
+
+    if (deliver_all) {
+      // Step 3 (broadcast of the result), shared with MPI_Bcast.
+      pull_bcast(ctx, view, rbuf, bytes, cico, s);
+    } else {
+      // Reduce: only a completion release flows down — wait for the root's
+      // announce, republish to led groups, then acknowledge upward.
+      announce_wait(
+          ctx, top,
+          rs.bcast_base[static_cast<std::size_t>(top.ctl_id)] + bytes);
+      for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+        announce_publish(
+            ctx, ms[i],
+            rs.bcast_base[static_cast<std::size_t>(ms[i].ctl_id)] + bytes);
+      }
+      for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+        wait_acks(ctx, ms[i], s);
+      }
+      ack_publish(ctx, top, s);
+    }
+  }
+
+  for (auto& b : rs.bcast_base) b += bytes;
+  for (auto& b : rs.reduce_base) b += bytes;
+}
+
+}  // namespace xhc::core

@@ -1,0 +1,136 @@
+// XHC MPI_Bcast (paper §IV-A): hierarchical, pipelined, pull-based.
+//
+// The root exposes its buffer and publishes availability through the
+// announce counter of every group it leads. Each other rank waits on its
+// leader's counter, pulls chunks into its own buffer (single-copy via
+// XPMEM, or via the leader's CICO result area for small messages), and —
+// when it leads lower groups — republishes each chunk to its children.
+// A hierarchical acknowledgement closes the operation so buffers and flags
+// can be reused.
+#include "core/xhc_component.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::core {
+
+void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
+                              void* user_buf, std::size_t bytes, bool cico,
+                              std::uint64_t s) {
+  const int r = ctx.rank();
+  const auto& ms = view.memberships(r);
+  const CommView::Membership& top = ms.back();
+  XHC_CHECK(!top.is_leader, "pull_bcast called on the root");
+  RankState& rs = state(r);
+  GroupCtl& top_ctl = tree_.ctl(top.ctl_id);
+
+  // Wait for the leader to join this op and publish its buffer.
+  ctx.flag_wait_ge(*top_ctl.seq[0], s);
+  const void* src;
+  if (cico) {
+    src = cico_[static_cast<std::size_t>(top.leader)].result;
+  } else {
+    const void* leader_buf = top_ctl.info[0]->buf;
+    src = rs.endpoint->attach(ctx, top.leader, leader_buf, bytes);
+  }
+
+  // Destination this rank copies into: leaders stage into their own CICO
+  // result area (their children read it); everyone else receives in place.
+  const bool leads_any = ms.size() > 1;
+  std::byte* dst =
+      (cico && leads_any)
+          ? cico_[static_cast<std::size_t>(r)].result
+          : static_cast<std::byte*>(user_buf);
+
+  const std::size_t chunk = std::max<std::size_t>(
+      tuning_.chunk_for_level(top.level), 1);
+  const std::uint64_t base = rs.bcast_base[static_cast<std::size_t>(
+      top.ctl_id)];
+
+  for (std::size_t lo = 0; lo < bytes;) {
+    const std::size_t hi = std::min(bytes, lo + chunk);
+    announce_wait(ctx, top, base + hi);
+    rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
+    ctx.copy(dst + lo, static_cast<const std::byte*>(src) + lo, hi - lo);
+    // Republish to led groups (pipelining across levels, §III-B).
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      const std::uint64_t led_base =
+          rs.bcast_base[static_cast<std::size_t>(ms[i].ctl_id)];
+      announce_publish(ctx, ms[i], led_base + hi);
+    }
+    lo = hi;
+  }
+  record_traffic(top.leader, r);
+
+  if (cico && leads_any) {
+    // Copy-out from the staged result into the user buffer.
+    ctx.copy(user_buf, dst, bytes);
+  }
+
+  // Hierarchical acknowledgement: collect children's acks, then ack upward.
+  for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+    wait_acks(ctx, ms[i], s);
+  }
+  ack_publish(ctx, top, s);
+}
+
+void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
+                         int root) {
+  if (bytes == 0 || ctx.size() == 1) return;
+  XHC_REQUIRE(root >= 0 && root < ctx.size(), "bad root ", root);
+
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  const std::uint64_t s = ++rs.op_seq;
+  const CommView& view = tree_.view(root);
+  const bool cico = bytes <= tuning_.cico_threshold;
+  XHC_REQUIRE(!cico || bytes <= cico_[0].half_bytes,
+              "CICO threshold exceeds segment half");
+  const auto& ms = view.memberships(r);
+
+  if (r == root) {
+    const void* src = buf;
+    if (cico) {
+      // Copy-in: stage the payload in the root's CICO result area.
+      ctx.copy(cico_[static_cast<std::size_t>(r)].result, buf, bytes);
+      src = cico_[static_cast<std::size_t>(r)].result;
+    } else {
+      rs.endpoint->expose(ctx, buf, bytes);
+    }
+    // The root's data is fully available up front: join every led group and
+    // publish the complete range at once (children still pull chunk-wise).
+    for (const auto& m : ms) {
+      GroupCtl& ctl = tree_.ctl(m.ctl_id);
+      ctl.info[0]->buf = src;
+      ctx.flag_store(*ctl.seq[0], s);
+      const std::uint64_t base =
+          rs.bcast_base[static_cast<std::size_t>(m.ctl_id)];
+      announce_publish(ctx, m, base + bytes);
+    }
+    for (const auto& m : ms) {
+      wait_acks(ctx, m, s);
+    }
+  } else {
+    // Join led groups first so children can start as soon as data flows.
+    const void* my_pub =
+        cico ? static_cast<const void*>(
+                   cico_[static_cast<std::size_t>(r)].result)
+             : static_cast<const void*>(buf);
+    if (!cico && ms.size() > 1) {
+      rs.endpoint->expose(ctx, buf, bytes);
+    }
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
+      ctl.info[0]->buf = my_pub;
+      ctx.flag_store(*ctl.seq[0], s);
+    }
+    pull_bcast(ctx, view, buf, bytes, cico, s);
+  }
+
+  // Advance the per-group cumulative byte bases (kept mirrored by every
+  // rank; all ranks execute every collective, so the mirrors agree).
+  for (auto& b : rs.bcast_base) b += bytes;
+}
+
+}  // namespace xhc::core

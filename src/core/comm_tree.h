@@ -1,0 +1,97 @@
+// Communicator tree: hierarchy shapes, per-root views and control blocks.
+//
+// The *partition* of ranks into groups depends only on the topology and the
+// sensitivity list, never on the operation root — only leader election does
+// (the root leads every group it belongs to, paper §IV). CommTree therefore
+// allocates one control block per (level, group) up front, sized for every
+// rank that could ever be a member, and builds cheap per-root Views lazily.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/ctl.h"
+#include "mach/machine.h"
+#include "topo/hierarchy.h"
+
+namespace xhc::core {
+
+/// Root-independent description of one group.
+struct GroupShape {
+  int level = 0;
+  int index_in_level = 0;
+  int ctl_id = 0;                ///< index into CommTree::ctl()
+  std::vector<int> domain_ranks; ///< sorted; every possible member
+  int home_rank = 0;             ///< owns the control block allocation
+
+  /// Slot of `rank` in the per-member arrays; -1 if not in the domain.
+  int slot_of(int rank) const;
+};
+
+/// Per-root view: which groups a rank belongs to and who leads them.
+class CommView {
+ public:
+  struct Membership {
+    int level = 0;
+    int ctl_id = 0;            ///< control block / shape id
+    int leader = 0;            ///< leader rank for this root
+    std::vector<int> members;  ///< actual members, ascending
+    int my_slot = 0;           ///< this rank's slot in the shape
+    int leader_slot = 0;       ///< leader's slot in the shape
+    bool is_leader = false;
+  };
+
+  /// Groups `rank` participates in, ordered innermost level first. A rank
+  /// appears at level l+1 only if it leads its level-l group; the last entry
+  /// is the rank's "member level" (where it is a non-leader member), except
+  /// for the root, which leads everything.
+  const std::vector<Membership>& memberships(int rank) const {
+    return per_rank_[static_cast<std::size_t>(rank)];
+  }
+
+  int root() const noexcept { return root_; }
+  int n_levels() const noexcept { return n_levels_; }
+
+ private:
+  friend class CommTree;
+  std::vector<std::vector<Membership>> per_rank_;
+  int root_ = 0;
+  int n_levels_ = 0;
+};
+
+class CommTree {
+ public:
+  /// Builds shapes and control blocks for `machine`'s rank map under the
+  /// given sensitivity (empty = flat).
+  CommTree(mach::Machine& machine, std::vector<topo::Domain> sensitivity);
+
+  int n_ranks() const noexcept { return machine_->n_ranks(); }
+  int n_levels() const noexcept { return n_levels_; }
+  int n_groups() const noexcept { return static_cast<int>(shapes_.size()); }
+
+  const GroupShape& shape(int ctl_id) const {
+    return shapes_[static_cast<std::size_t>(ctl_id)];
+  }
+  GroupCtl& ctl(int ctl_id) { return ctls_[static_cast<std::size_t>(ctl_id)]; }
+
+  /// Per-root view; built on first use (thread-safe, deterministic).
+  const CommView& view(int root);
+
+ private:
+  void build_shapes();
+  std::unique_ptr<CommView> build_view(int root) const;
+
+  mach::Machine* machine_;
+  std::vector<topo::Domain> sensitivity_;
+  int n_levels_ = 0;
+  std::vector<GroupShape> shapes_;
+  std::vector<GroupCtl> ctls_;
+  CtlArena arena_;
+
+  std::mutex views_mu_;
+  std::map<int, std::unique_ptr<CommView>> views_;
+};
+
+}  // namespace xhc::core

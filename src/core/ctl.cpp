@@ -1,0 +1,75 @@
+#include "core/ctl.h"
+
+#include <new>
+
+#include "util/check.h"
+
+namespace xhc::core {
+
+namespace {
+
+constexpr std::size_t kLine = util::kCacheLine;
+
+std::size_t round_line(std::size_t n) {
+  return (n + kLine - 1) / kLine * kLine;
+}
+
+template <typename T>
+T* place_array(std::byte* base, std::size_t& offset, std::size_t count) {
+  T* p = reinterpret_cast<T*>(base + offset);
+  for (std::size_t i = 0; i < count; ++i) new (p + i) T();
+  offset += round_line(sizeof(T) * count);
+  return p;
+}
+
+}  // namespace
+
+CtlArena::~CtlArena() {
+  // Flags and info structs are trivially destructible; just release memory.
+  for (auto& a : allocations_) {
+    if (a.machine != nullptr && a.p != nullptr) a.machine->free(a.p);
+  }
+}
+
+GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
+  XHC_REQUIRE(slots > 0, "group needs at least one slot");
+  const auto n = static_cast<std::size_t>(slots);
+
+  // Layout: leader line(s), then per-member arrays, then variant areas.
+  const std::size_t bytes =
+      round_line(sizeof(util::CachePadded<mach::Flag>)) * 3 +  // seq, announce,
+                                                               // atomic_ctr
+      round_line(sizeof(util::CachePadded<LeaderInfo>)) +
+      round_line(sizeof(util::CachePadded<mach::Flag>)) * 0 +
+      round_line(sizeof(util::CachePadded<mach::Flag>) * n) * 5 +  // ack,
+          // member_seq, reduce_ready, reduce_done, announce_sep
+      round_line(sizeof(util::CachePadded<MemberInfo>) * n) +
+      round_line(sizeof(mach::Flag) * n);  // announce_shared (packed)
+
+  void* raw = m.alloc(home_rank, bytes, kLine);
+  allocations_.push_back({&m, raw});
+  auto* base = static_cast<std::byte*>(raw);
+  std::size_t offset = 0;
+
+  GroupCtl ctl;
+  ctl.slots = slots;
+  ctl.seq = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
+  ctl.announce = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
+  ctl.atomic_ctr = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
+  ctl.info = place_array<util::CachePadded<LeaderInfo>>(base, offset, 1);
+  ctl.ack = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.member_seq = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.minfo = place_array<util::CachePadded<MemberInfo>>(base, offset, n);
+  ctl.reduce_ready =
+      place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.reduce_done =
+      place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.announce_sep =
+      place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.announce_shared = place_array<mach::Flag>(base, offset, n);
+  XHC_CHECK(offset <= bytes, "control block layout overflow: ", offset, " > ",
+            bytes);
+  return ctl;
+}
+
+}  // namespace xhc::core

@@ -1,0 +1,96 @@
+// Shared control blocks of the XHC framework (paper §III-E, §IV).
+//
+// One GroupCtl exists per hierarchy group. All synchronization state follows
+// the single-writer / multiple-readers paradigm: every flag has exactly one
+// writer (the group leader, or one specific member), and flags with distinct
+// writers live on distinct cache lines to avoid false sharing. The only
+// exceptions are the deliberately mis-laid-out variants used by the paper's
+// experiments: the packed `announce_shared` array (Fig. 10, "shared") and
+// the `atomic_ctr` counter (Fig. 4, atomics-based sync).
+//
+// All counters are monotone across operations (cumulative bytes / operation
+// sequence numbers), so flags never need to be reset — reuse is governed by
+// the hierarchical acknowledgement step alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mach/flag.h"
+#include "mach/machine.h"
+#include "util/cacheline.h"
+
+namespace xhc::core {
+
+/// Leader-published per-operation metadata; guarded by `seq` (release on
+/// store, acquire on wait).
+struct LeaderInfo {
+  const void* buf = nullptr;  ///< leader's exposed buffer for this op
+};
+
+/// Member-published per-operation metadata; guarded by `member_seq`.
+struct MemberInfo {
+  const void* contrib = nullptr;  ///< member's contribution buffer
+  const void* result = nullptr;   ///< member's result buffer (XBRC allgather)
+};
+
+/// Typed view over one group's shared control block. The pointers target a
+/// single machine allocation owned by the group's home rank; constructed by
+/// CtlArena.
+struct GroupCtl {
+  // --- leader-written ------------------------------------------------------
+  util::CachePadded<mach::Flag>* seq = nullptr;       ///< op sequence
+  util::CachePadded<mach::Flag>* announce = nullptr;  ///< cumulative bytes
+                                                      ///< published (single-
+                                                      ///< flag layout)
+  util::CachePadded<LeaderInfo>* info = nullptr;
+
+  // --- per-member slots (each member writes only its own slot) -------------
+  util::CachePadded<mach::Flag>* ack = nullptr;          ///< [slots]
+  util::CachePadded<mach::Flag>* member_seq = nullptr;   ///< [slots]
+  util::CachePadded<MemberInfo>* minfo = nullptr;        ///< [slots]
+  util::CachePadded<mach::Flag>* reduce_ready = nullptr; ///< [slots]
+  util::CachePadded<mach::Flag>* reduce_done = nullptr;  ///< [slots]
+
+  // --- experiment variants --------------------------------------------------
+  /// Per-member announce flags, deliberately packed so neighbours share
+  /// cache lines (Fig. 10 "shared"). Leader-written.
+  mach::Flag* announce_shared = nullptr;  ///< [slots]
+  /// Per-member announce flags, one line each (Fig. 10 "separated").
+  util::CachePadded<mach::Flag>* announce_sep = nullptr;  ///< [slots]
+  /// Shared atomic counter for the fetch-add sync variant (Fig. 4).
+  util::CachePadded<mach::Flag>* atomic_ctr = nullptr;
+
+  int slots = 0;
+};
+
+/// Allocates and owns the control blocks for a set of groups.
+class CtlArena {
+ public:
+  CtlArena() = default;
+  ~CtlArena();
+  CtlArena(const CtlArena&) = delete;
+  CtlArena& operator=(const CtlArena&) = delete;
+
+  /// Builds a control block for a group with `slots` member slots; the
+  /// allocation is owned by `home_rank` (placed on its NUMA node).
+  GroupCtl add_group(mach::Machine& m, int home_rank, int slots);
+
+ private:
+  struct Allocation {
+    mach::Machine* machine = nullptr;
+    void* p = nullptr;
+  };
+  std::vector<Allocation> allocations_;
+};
+
+/// Per-rank copy-in-copy-out segment (paper §IV-C): the first half stages a
+/// rank's outgoing contribution, the second half stages a leader's result.
+struct CicoSeg {
+  std::byte* contrib = nullptr;
+  std::byte* result = nullptr;
+  std::size_t half_bytes = 0;
+};
+
+}  // namespace xhc::core

@@ -1,0 +1,160 @@
+#include "core/xhc_component.h"
+
+#include "topo/hierarchy.h"
+#include "util/check.h"
+
+namespace xhc::core {
+
+XhcComponent::XhcComponent(mach::Machine& machine, coll::Tuning tuning,
+                           std::string name)
+    : machine_(&machine),
+      tuning_(std::move(tuning)),
+      name_(std::move(name)),
+      tree_(machine, topo::parse_sensitivity(tuning_.sensitivity)) {
+  const int n = machine.n_ranks();
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto rs = std::make_unique<RankState>();
+    rs->bcast_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
+    rs->reduce_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
+    rs->endpoint = std::make_unique<smsc::Endpoint>(tuning_.mechanism,
+                                                    tuning_.reg_cache);
+    ranks_.push_back(std::move(rs));
+  }
+  // Copy-in-copy-out segments (paper §IV-C): one per rank, allocated at
+  // communicator creation, attached (cached) for the communicator lifetime.
+  XHC_REQUIRE(tuning_.cico_segment_bytes >= 2 * tuning_.cico_threshold,
+              "CICO segment must hold a contribution and a result area");
+  cico_bufs_.reserve(static_cast<std::size_t>(n));
+  cico_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    cico_bufs_.emplace_back(machine, r, tuning_.cico_segment_bytes);
+    CicoSeg& seg = cico_[static_cast<std::size_t>(r)];
+    seg.half_bytes = tuning_.cico_segment_bytes / 2;
+    seg.contrib = cico_bufs_.back().bytes();
+    seg.result = seg.contrib + seg.half_bytes;
+  }
+}
+
+XhcComponent::~XhcComponent() = default;
+
+void XhcComponent::barrier(mach::Ctx& ctx) {
+  if (ctx.size() == 1) return;
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  const std::uint64_t s = ++rs.op_seq;
+  const CommView& view = tree_.view(0);
+  const auto& ms = view.memberships(r);
+
+  // Arrival gather, bottom-up: a leader joins its upper group only after
+  // every member of its own group has arrived, so arrival is transitive.
+  for (const auto& m : ms) {
+    GroupCtl& ctl = tree_.ctl(m.ctl_id);
+    const GroupShape& shape = tree_.shape(m.ctl_id);
+    if (m.is_leader) {
+      for (const int j : m.members) {
+        if (j == r) continue;
+        ctx.flag_wait_ge(*ctl.member_seq[shape.slot_of(j)], s);
+      }
+    } else {
+      ctx.flag_store(*ctl.member_seq[m.my_slot], s);
+    }
+  }
+
+  // Release, top-down through the announce counters (one "byte" per
+  // barrier keeps them monotone).
+  const CommView::Membership& top = ms.back();
+  if (top.is_leader) {
+    for (const auto& m : ms) {
+      announce_publish(
+          ctx, m, rs.bcast_base[static_cast<std::size_t>(m.ctl_id)] + 1);
+    }
+  } else {
+    announce_wait(ctx, top,
+                  rs.bcast_base[static_cast<std::size_t>(top.ctl_id)] + 1);
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      announce_publish(
+          ctx, ms[i],
+          rs.bcast_base[static_cast<std::size_t>(ms[i].ctl_id)] + 1);
+    }
+  }
+  for (auto& b : rs.bcast_base) b += 1;
+}
+
+std::optional<smsc::RegCache::Stats> XhcComponent::reg_cache_stats() const {
+  smsc::RegCache::Stats total;
+  for (const auto& rs : ranks_) {
+    total.hits += rs->endpoint->cache_stats().hits;
+    total.misses += rs->endpoint->cache_stats().misses;
+  }
+  return total;
+}
+
+void XhcComponent::announce_publish(mach::Ctx& ctx,
+                                    const CommView::Membership& m,
+                                    std::uint64_t value) {
+  GroupCtl& ctl = tree_.ctl(m.ctl_id);
+  const GroupShape& shape = tree_.shape(m.ctl_id);
+  switch (tuning_.flag_layout) {
+    case coll::FlagLayout::kSingle:
+      ctx.flag_store(*ctl.announce[0], value);
+      return;
+    case coll::FlagLayout::kMultiSharedLine:
+      for (const int j : m.members) {
+        if (j == ctx.rank()) continue;
+        ctx.flag_store(ctl.announce_shared[shape.slot_of(j)], value);
+      }
+      return;
+    case coll::FlagLayout::kMultiSeparateLines:
+      for (const int j : m.members) {
+        if (j == ctx.rank()) continue;
+        ctx.flag_store(*ctl.announce_sep[shape.slot_of(j)], value);
+      }
+      return;
+  }
+}
+
+void XhcComponent::announce_wait(mach::Ctx& ctx,
+                                 const CommView::Membership& m,
+                                 std::uint64_t value) {
+  GroupCtl& ctl = tree_.ctl(m.ctl_id);
+  switch (tuning_.flag_layout) {
+    case coll::FlagLayout::kSingle:
+      ctx.flag_wait_ge(*ctl.announce[0], value);
+      return;
+    case coll::FlagLayout::kMultiSharedLine:
+      ctx.flag_wait_ge(ctl.announce_shared[m.my_slot], value);
+      return;
+    case coll::FlagLayout::kMultiSeparateLines:
+      ctx.flag_wait_ge(*ctl.announce_sep[m.my_slot], value);
+      return;
+  }
+}
+
+void XhcComponent::ack_publish(mach::Ctx& ctx, const CommView::Membership& m,
+                               std::uint64_t s) {
+  GroupCtl& ctl = tree_.ctl(m.ctl_id);
+  if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
+    ctx.flag_store(*ctl.ack[m.my_slot], s);
+  } else {
+    ctx.fetch_add(*ctl.atomic_ctr[0], 1);
+  }
+}
+
+void XhcComponent::wait_acks(mach::Ctx& ctx, const CommView::Membership& m,
+                             std::uint64_t s) {
+  GroupCtl& ctl = tree_.ctl(m.ctl_id);
+  const GroupShape& shape = tree_.shape(m.ctl_id);
+  if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
+    for (const int j : m.members) {
+      if (j == ctx.rank()) continue;
+      ctx.flag_wait_ge(*ctl.ack[shape.slot_of(j)], s);
+    }
+  } else {
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(m.members.size() - 1) * s;
+    ctx.flag_wait_ge(*ctl.atomic_ctr[0], expected);
+  }
+}
+
+}  // namespace xhc::core

@@ -1,0 +1,107 @@
+// XHC — XPMEM-based Hierarchical Collectives (the paper's contribution).
+//
+// Implements MPI_Bcast (paper §IV-A) and MPI_Allreduce (§IV-B) directly over
+// shared memory, with:
+//   * an n-level topology-aware hierarchy (§III-A) or a flat tree,
+//   * single-copy data movement through the smsc/XPMEM endpoint with a
+//     registration cache (§III-C),
+//   * a copy-in-copy-out path below a size threshold (§III-D, §IV-C),
+//   * per-level chunked pipelining (§III-B),
+//   * single-writer/multiple-readers control flags (§III-E), with the
+//     alternative flag layouts and the atomic-fetch-add variant used by the
+//     paper's Fig. 10 and Fig. 4 experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "coll/component.h"
+#include "core/comm_tree.h"
+#include "smsc/endpoint.h"
+
+namespace xhc::core {
+
+class XhcComponent final : public coll::Component {
+ public:
+  /// `name` distinguishes configured variants ("xhc", "xhc-flat", ...).
+  XhcComponent(mach::Machine& machine, coll::Tuning tuning,
+               std::string name = "xhc");
+  ~XhcComponent() override;
+
+  std::string_view name() const noexcept override { return name_; }
+
+  void bcast(mach::Ctx& ctx, void* buf, std::size_t bytes, int root) override;
+  void allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                 std::size_t count, mach::DType dtype, mach::ROp op) override;
+
+  /// Native MPI_Reduce (paper §VII, "ongoing work"): the allreduce's
+  /// hierarchical reduction rooted at `root`, with the broadcast phase
+  /// replaced by a flag-only completion release. `rbuf` must be valid on
+  /// every rank (leaders accumulate subtree partials in it on the
+  /// single-copy path).
+  void reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+              std::size_t count, mach::DType dtype, mach::ROp op,
+              int root) override;
+
+  /// Native MPI_Barrier (paper §VII): hierarchical arrival gather through
+  /// the member_seq flags, release through the announce counters — no data
+  /// movement, no atomics.
+  void barrier(mach::Ctx& ctx) override;
+
+  std::optional<smsc::RegCache::Stats> reg_cache_stats() const override;
+
+  const coll::Tuning& tuning() const noexcept { return tuning_; }
+  CommTree& tree() noexcept { return tree_; }
+
+ private:
+  /// Per-rank private state; one line-padded entry per rank.
+  struct RankState {
+    std::uint64_t op_seq = 0;
+    std::vector<std::uint64_t> bcast_base;   ///< per group: cumulative bytes
+                                             ///< published via announce
+    std::vector<std::uint64_t> reduce_base;  ///< per group: cumulative bytes
+                                             ///< through the reduce counters
+    std::unique_ptr<smsc::Endpoint> endpoint;
+  };
+
+  RankState& state(int rank) {
+    return *ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  // --- flag helpers (layout / sync variants) -------------------------------
+  void announce_publish(mach::Ctx& ctx, const CommView::Membership& m,
+                        std::uint64_t value);
+  void announce_wait(mach::Ctx& ctx, const CommView::Membership& m,
+                     std::uint64_t value);
+  void ack_publish(mach::Ctx& ctx, const CommView::Membership& m,
+                   std::uint64_t s);
+  void wait_acks(mach::Ctx& ctx, const CommView::Membership& m,
+                 std::uint64_t s);
+
+  // --- broadcast machinery (shared by bcast and the allreduce fan-out) -----
+  /// Non-root side: pulls `bytes` from the member-level leader into the
+  /// rank's destination, republishing to led groups chunk by chunk.
+  void pull_bcast(mach::Ctx& ctx, const CommView& view, void* user_buf,
+                  std::size_t bytes, bool cico, std::uint64_t s);
+
+  // --- allreduce machinery --------------------------------------------------
+  struct ReducePlan;
+  /// Advances this rank's leader duties (completion scans of led groups) far
+  /// enough that its subtree partial covers [0, target_bytes).
+  void pump_own(mach::Ctx& ctx, const CommView& view, ReducePlan& plan,
+                std::size_t target_bytes);
+  /// Shared implementation of allreduce (deliver_all) and reduce.
+  void reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
+                   std::size_t count, mach::DType dtype, mach::ROp op,
+                   int root, bool deliver_all);
+
+  mach::Machine* machine_;
+  coll::Tuning tuning_;
+  std::string name_;
+  CommTree tree_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<mach::Buffer> cico_bufs_;
+  std::vector<CicoSeg> cico_;
+};
+
+}  // namespace xhc::core

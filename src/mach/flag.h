@@ -1,0 +1,31 @@
+// Shared-memory control flag (paper §III-E).
+//
+// Flags follow the single-writer / multiple-readers paradigm: exactly one
+// owner process stores to a flag, any number of peers read it. Stores use
+// release semantics, loads acquire semantics; no atomic RMW is needed on the
+// single-writer path. `fetch_add` exists only for the atomics-based baselines
+// and the paper's Fig. 4 experiment.
+//
+// Flags are ordinary fields inside shared control blocks; their cache-line
+// placement is part of the algorithm design (Fig. 10) and is controlled by
+// the enclosing struct layout, not by this type.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace xhc::mach {
+
+/// A 64-bit single-writer control word. Non-copyable: its address is its
+/// identity (the simulator keys line state and publish history off it).
+struct Flag {
+  std::atomic<std::uint64_t> v{0};
+
+  Flag() = default;
+  Flag(const Flag&) = delete;
+  Flag& operator=(const Flag&) = delete;
+};
+
+static_assert(sizeof(Flag) == 8, "Flag must stay one word");
+
+}  // namespace xhc::mach

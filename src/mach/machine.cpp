@@ -1,0 +1,117 @@
+#include "mach/machine.h"
+
+#include "util/check.h"
+
+namespace xhc::mach {
+
+const char* to_string(DType t) noexcept {
+  switch (t) {
+    case DType::kU8:
+      return "u8";
+    case DType::kI32:
+      return "i32";
+    case DType::kI64:
+      return "i64";
+    case DType::kF32:
+      return "f32";
+    case DType::kF64:
+      return "f64";
+  }
+  return "?";
+}
+
+const char* to_string(ROp op) noexcept {
+  switch (op) {
+    case ROp::kSum:
+      return "sum";
+    case ROp::kProd:
+      return "prod";
+    case ROp::kMin:
+      return "min";
+    case ROp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void reduce_typed(T* dst, const T* src, std::size_t count, ROp op) {
+  switch (op) {
+    case ROp::kSum:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = dst[i] + src[i];
+      return;
+    case ROp::kProd:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = dst[i] * src[i];
+      return;
+    case ROp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        dst[i] = src[i] < dst[i] ? src[i] : dst[i];
+      return;
+    case ROp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        dst[i] = src[i] > dst[i] ? src[i] : dst[i];
+      return;
+  }
+  XHC_CHECK(false, "unknown reduction op");
+}
+
+}  // namespace
+
+void reduce_apply(void* dst, const void* src, std::size_t count, DType dtype,
+                  ROp op) {
+  switch (dtype) {
+    case DType::kU8:
+      reduce_typed(static_cast<std::uint8_t*>(dst),
+                   static_cast<const std::uint8_t*>(src), count, op);
+      return;
+    case DType::kI32:
+      reduce_typed(static_cast<std::int32_t*>(dst),
+                   static_cast<const std::int32_t*>(src), count, op);
+      return;
+    case DType::kI64:
+      reduce_typed(static_cast<std::int64_t*>(dst),
+                   static_cast<const std::int64_t*>(src), count, op);
+      return;
+    case DType::kF32:
+      reduce_typed(static_cast<float*>(dst), static_cast<const float*>(src),
+                   count, op);
+      return;
+    case DType::kF64:
+      reduce_typed(static_cast<double*>(dst), static_cast<const double*>(src),
+                   count, op);
+      return;
+  }
+  XHC_CHECK(false, "unknown dtype");
+}
+
+std::uint64_t AllocRegistry::insert(void* p, std::size_t bytes,
+                                    int owner_rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Block b;
+  b.base = static_cast<std::byte*>(p);
+  b.bytes = bytes;
+  b.owner_rank = owner_rank;
+  b.id = next_id_++;
+  blocks_[p] = b;
+  return b.id;
+}
+
+void AllocRegistry::erase(void* p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.erase(p);
+}
+
+const AllocRegistry::Block* AllocRegistry::find(const void* p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.upper_bound(p);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  const Block& b = it->second;
+  const auto* addr = static_cast<const std::byte*>(p);
+  if (addr >= b.base && addr < b.base + b.bytes) return &b;
+  return nullptr;
+}
+
+}  // namespace xhc::mach

@@ -1,0 +1,184 @@
+// Execution machine abstraction.
+//
+// Every collective algorithm in this repository is written once, against the
+// pure-abstract per-rank context `Ctx`. Two machines implement it:
+//
+//   * RealMachine — one host thread per rank sharing the address space
+//     (the threads-as-processes substitution for XPMEM-attached MPI ranks);
+//     operations execute natively, `now()` is wall-clock time.
+//   * SimMachine  — the same thread-per-rank execution, but under a
+//     deterministic virtual-time scheduler with a node cost model
+//     (topology-priced copies, cache-line service, congestion). Data
+//     operations still move real bytes, so correctness is checked in
+//     simulation too.
+//
+// See DESIGN.md §3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mach/flag.h"
+#include "mach/reduce_kernels.h"
+#include "topo/mapping.h"
+#include "topo/topology.h"
+
+namespace xhc::mach {
+
+/// Per-rank execution context. Passed by reference into the function a
+/// Machine runs on every rank; never retained beyond the run.
+class Ctx {
+ public:
+  virtual ~Ctx() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+  /// Physical core hosting this rank.
+  virtual int core() const noexcept = 0;
+
+  /// Seconds since the start of the current run (virtual or wall time).
+  virtual double now() = 0;
+
+  /// Charges modeled overhead (syscalls, library constants, application
+  /// compute). No-op on the real machine.
+  virtual void charge(double seconds) = 0;
+
+  /// Copies `n` bytes. Both machines move the bytes; the simulator also
+  /// prices the transfer from the buffers' homes, cache residency and
+  /// current congestion.
+  virtual void copy(void* dst, const void* src, std::size_t n) = 0;
+
+  /// dst[i] = op(dst[i], src[i]); priced like a read of src plus a
+  /// read-modify-write of dst.
+  virtual void reduce(void* dst, const void* src, std::size_t count,
+                      DType dtype, ROp op) = 0;
+
+  /// Fills `dst` with a deterministic pattern and marks the buffer as newly
+  /// produced (invalidates cached copies in the simulator). The `_mb`
+  /// microbenchmark variants call this before every iteration (paper §V-A).
+  virtual void write_payload(void* dst, std::size_t n, std::uint64_t seed) = 0;
+
+  // --- single-writer flags -------------------------------------------------
+  virtual void flag_store(Flag& f, std::uint64_t v) = 0;
+  virtual std::uint64_t flag_read(const Flag& f) = 0;
+  /// Blocks until `f >= v`.
+  virtual void flag_wait_ge(const Flag& f, std::uint64_t v) = 0;
+  /// Atomic RMW — used only by atomics-based baselines (Fig. 4).
+  virtual std::uint64_t fetch_add(Flag& f, std::uint64_t delta) = 0;
+
+  /// Full-communicator barrier (harness use only; the collective algorithms
+  /// themselves synchronize exclusively through flags).
+  virtual void barrier() = 0;
+
+  Ctx() = default;
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+};
+
+/// Result of one parallel region.
+struct RunResult {
+  std::vector<double> rank_time;  ///< per-rank elapsed seconds
+  double max_time = 0.0;          ///< completion time of the slowest rank
+};
+
+/// Registry of shared allocations. Both machines use it to answer "which
+/// rank owns the buffer containing this address" (the simulator derives the
+/// buffer's NUMA home and cache residency from it).
+class AllocRegistry {
+ public:
+  struct Block {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    int owner_rank = 0;
+    std::uint64_t id = 0;  ///< dense id, stable for the block's lifetime
+  };
+
+  /// Registers [p, p+bytes). Returns the block id.
+  std::uint64_t insert(void* p, std::size_t bytes, int owner_rank);
+  void erase(void* p);
+  /// Block containing `p`, or nullptr.
+  const Block* find(const void* p) const;
+
+ private:
+  std::map<const void*, Block> blocks_;  // keyed by base address
+  std::uint64_t next_id_ = 1;
+  mutable std::mutex mu_;
+};
+
+/// A machine executes parallel regions over a fixed rank map.
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  virtual const topo::Topology& topology() const noexcept = 0;
+  virtual const topo::RankMap& map() const noexcept = 0;
+  int n_ranks() const noexcept { return map().n_ranks(); }
+
+  /// Allocates `bytes` owned by `owner_rank` (first-touch on that rank's
+  /// NUMA node). Alignment is at least one cache line. Valid across runs.
+  virtual void* alloc(int owner_rank, std::size_t bytes,
+                      std::size_t align = 64) = 0;
+  virtual void free(void* p) = 0;
+
+  /// Runs `fn(ctx)` once per rank, concurrently, and joins.
+  virtual RunResult run(const std::function<void(Ctx&)>& fn) = 0;
+
+  Machine() = default;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+};
+
+/// Typed convenience wrapper around Machine::alloc.
+template <typename T>
+T* alloc_array(Machine& m, int owner_rank, std::size_t count) {
+  return static_cast<T*>(
+      m.alloc(owner_rank, count * sizeof(T), alignof(T) > 64 ? alignof(T) : 64));
+}
+
+/// RAII owner for a machine allocation (C++ Core Guidelines R.1).
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(Machine& m, int owner_rank, std::size_t bytes)
+      : machine_(&m), p_(m.alloc(owner_rank, bytes)), bytes_(bytes) {}
+  ~Buffer() { reset(); }
+
+  Buffer(Buffer&& o) noexcept { *this = std::move(o); }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      machine_ = o.machine_;
+      p_ = o.p_;
+      bytes_ = o.bytes_;
+      o.machine_ = nullptr;
+      o.p_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  void* get() const noexcept { return p_; }
+  std::byte* bytes() const noexcept { return static_cast<std::byte*>(p_); }
+  std::size_t size() const noexcept { return bytes_; }
+
+  void reset() noexcept {
+    if (machine_ != nullptr && p_ != nullptr) machine_->free(p_);
+    machine_ = nullptr;
+    p_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  Machine* machine_ = nullptr;
+  void* p_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace xhc::mach

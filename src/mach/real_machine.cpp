@@ -1,0 +1,166 @@
+#include "mach/real_machine.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "topo/presets.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace xhc::mach {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Sense-reversing central barrier usable by oversubscribed threads.
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(int n) : n_(n) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int n_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace
+
+class RealMachine::RealCtx final : public Ctx {
+ public:
+  RealCtx(int rank, int size, int core, Clock::time_point t0,
+          CentralBarrier* barrier)
+      : rank_(rank), size_(size), core_(core), t0_(t0), barrier_(barrier) {}
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return size_; }
+  int core() const noexcept override { return core_; }
+
+  double now() override { return seconds_since(t0_); }
+
+  void charge(double) override {
+    // Modeled costs do not apply to wall-clock execution.
+  }
+
+  void copy(void* dst, const void* src, std::size_t n) override {
+    std::memcpy(dst, src, n);
+  }
+
+  void reduce(void* dst, const void* src, std::size_t count, DType dtype,
+              ROp op) override {
+    reduce_apply(dst, src, count, dtype, op);
+  }
+
+  void write_payload(void* dst, std::size_t n, std::uint64_t seed) override {
+    util::fill_pattern(dst, n, seed);
+  }
+
+  void flag_store(Flag& f, std::uint64_t v) override {
+    f.v.store(v, std::memory_order_release);
+  }
+
+  std::uint64_t flag_read(const Flag& f) override {
+    return f.v.load(std::memory_order_acquire);
+  }
+
+  void flag_wait_ge(const Flag& f, std::uint64_t v) override {
+    // The host is oversubscribed (many rank threads per hardware core), so
+    // the spin must yield or writers would be starved.
+    while (f.v.load(std::memory_order_acquire) < v) {
+      std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t fetch_add(Flag& f, std::uint64_t delta) override {
+    return f.v.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  void barrier() override { barrier_->arrive_and_wait(); }
+
+ private:
+  const int rank_;
+  const int size_;
+  const int core_;
+  const Clock::time_point t0_;
+  CentralBarrier* const barrier_;
+};
+
+RealMachine::RealMachine(topo::Topology topo, int n_ranks,
+                         topo::MapPolicy policy)
+    : topo_(std::move(topo)), map_(topo_, n_ranks, policy) {}
+
+RealMachine::~RealMachine() = default;
+
+void* RealMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align) {
+  XHC_REQUIRE(owner_rank >= 0 && owner_rank < n_ranks(), "owner rank ",
+              owner_rank, " out of range");
+  if (align < 64) align = 64;
+  const std::size_t rounded = (bytes + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  XHC_CHECK(p != nullptr, "allocation of ", bytes, " bytes failed");
+  std::memset(p, 0, rounded ? rounded : align);
+  registry_.insert(p, rounded ? rounded : align, owner_rank);
+  return p;
+}
+
+void RealMachine::free(void* p) {
+  if (p == nullptr) return;
+  registry_.erase(p);
+  std::free(p);
+}
+
+RunResult RealMachine::run(const std::function<void(Ctx&)>& fn) {
+  const int n = n_ranks();
+  CentralBarrier barrier(n);
+  RunResult result;
+  result.rank_time.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      RealCtx ctx(r, n, map_.core_of(r), t0, &barrier);
+      try {
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      result.rank_time[static_cast<std::size_t>(r)] = ctx.now();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const double t : result.rank_time) {
+    result.max_time = std::max(result.max_time, t);
+  }
+  return result;
+}
+
+std::unique_ptr<RealMachine> make_real_machine(int n_ranks) {
+  return std::make_unique<RealMachine>(topo::flat(n_ranks), n_ranks);
+}
+
+}  // namespace xhc::mach

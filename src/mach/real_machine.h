@@ -1,0 +1,44 @@
+// RealMachine — native thread-per-rank execution.
+//
+// Ranks are host threads sharing one address space, which gives peer memory
+// exactly the load/store accessibility XPMEM gives MPI processes; all data
+// operations execute natively and `now()` is wall-clock time. This machine
+// backs the functional test suite and the host-native benchmarks.
+#pragma once
+
+#include <memory>
+
+#include "mach/machine.h"
+
+namespace xhc::mach {
+
+class RealMachine final : public Machine {
+ public:
+  /// Hosts `n_ranks` ranks mapped onto `topo` (mapping affects hierarchy
+  /// construction only; threads are not pinned — the host is typically far
+  /// smaller than the modeled node).
+  RealMachine(topo::Topology topo, int n_ranks,
+              topo::MapPolicy policy = topo::MapPolicy::kCore);
+  ~RealMachine() override;
+
+  const topo::Topology& topology() const noexcept override { return topo_; }
+  const topo::RankMap& map() const noexcept override { return map_; }
+
+  void* alloc(int owner_rank, std::size_t bytes,
+              std::size_t align = 64) override;
+  void free(void* p) override;
+
+  RunResult run(const std::function<void(Ctx&)>& fn) override;
+
+ private:
+  class RealCtx;
+
+  topo::Topology topo_;
+  topo::RankMap map_;
+  AllocRegistry registry_;
+};
+
+/// Convenience factory: flat `n`-core topology, one rank per core.
+std::unique_ptr<RealMachine> make_real_machine(int n_ranks);
+
+}  // namespace xhc::mach

@@ -1,0 +1,40 @@
+// Typed reduction kernels shared by both machines.
+//
+// XPMEM lets a reducer read peer source buffers directly, so reductions are
+// computed in place on the destination: dst[i] = op(dst[i], src[i]).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xhc::mach {
+
+/// Element datatype of a collective payload.
+enum class DType : std::uint8_t { kU8, kI32, kI64, kF32, kF64 };
+
+/// Reduction operator.
+enum class ROp : std::uint8_t { kSum, kProd, kMin, kMax };
+
+constexpr std::size_t dtype_size(DType t) noexcept {
+  switch (t) {
+    case DType::kU8:
+      return 1;
+    case DType::kI32:
+    case DType::kF32:
+      return 4;
+    case DType::kI64:
+    case DType::kF64:
+      return 8;
+  }
+  return 1;
+}
+
+const char* to_string(DType t) noexcept;
+const char* to_string(ROp op) noexcept;
+
+/// dst[i] = op(dst[i], src[i]) for `count` elements. Buffers must not
+/// overlap. Throws util::Error on an unknown dtype/op combination.
+void reduce_apply(void* dst, const void* src, std::size_t count, DType dtype,
+                  ROp op);
+
+}  // namespace xhc::mach

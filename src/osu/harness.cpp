@@ -1,0 +1,275 @@
+#include "osu/harness.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace xhc::osu {
+
+std::vector<std::size_t> default_sizes(std::size_t min_bytes,
+                                       std::size_t max_bytes) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = min_bytes; s <= max_bytes; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+namespace {
+
+/// Shared per-rank accumulation without false sharing.
+struct PaddedAcc {
+  alignas(64) double value = 0.0;
+};
+
+}  // namespace
+
+std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
+                                    coll::Component& comp,
+                                    const std::vector<std::size_t>& sizes,
+                                    const Config& config) {
+  const int n = machine.n_ranks();
+  std::vector<SizeResult> results;
+  results.reserve(sizes.size());
+
+  for (const std::size_t bytes : sizes) {
+    // One buffer per rank, owned (first-touch) by that rank.
+    std::vector<mach::Buffer> bufs;
+    bufs.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) bufs.emplace_back(machine, r, bytes);
+    std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+
+    const int total = config.warmup + config.iters;
+    machine.run([&](mach::Ctx& ctx) {
+      const int r = ctx.rank();
+      void* buf = bufs[static_cast<std::size_t>(r)].get();
+      for (int it = 0; it < total; ++it) {
+        if (r == config.root && (config.modify_buffer || it == 0)) {
+          ctx.write_payload(buf, bytes,
+                            0x9000u + static_cast<std::uint64_t>(it));
+        }
+        ctx.barrier();
+        const double t0 = ctx.now();
+        comp.bcast(ctx, buf, bytes, config.root);
+        const double t1 = ctx.now();
+        if (it >= config.warmup) {
+          acc[static_cast<std::size_t>(r)].value += t1 - t0;
+        }
+      }
+    });
+
+    if (config.verify) {
+      std::vector<std::byte> expect(bytes);
+      const std::uint64_t last_seed =
+          0x9000u + static_cast<std::uint64_t>(
+                        config.modify_buffer ? total - 1 : 0);
+      util::fill_pattern(expect.data(), bytes, last_seed);
+      for (int r = 0; r < n; ++r) {
+        XHC_CHECK(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                              expect.data(), bytes) == 0,
+                  comp.name(), ": bcast payload mismatch at rank ", r,
+                  " size ", bytes);
+      }
+    }
+
+    SizeResult sr;
+    sr.bytes = bytes;
+    double sum = 0.0;
+    double mn = 1e300;
+    double mx = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double us =
+          acc[static_cast<std::size_t>(r)].value / config.iters * 1e6;
+      sum += us;
+      mn = std::min(mn, us);
+      mx = std::max(mx, us);
+    }
+    sr.avg_us = sum / n;
+    sr.min_us = mn;
+    sr.max_us = mx;
+    results.push_back(sr);
+  }
+  return results;
+}
+
+std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
+                                        coll::Component& comp,
+                                        const std::vector<std::size_t>& sizes,
+                                        const Config& config) {
+  const int n = machine.n_ranks();
+  std::vector<SizeResult> results;
+  results.reserve(sizes.size());
+
+  for (const std::size_t bytes : sizes) {
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+    const std::size_t real_bytes = count * sizeof(float);
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(machine, r, real_bytes);
+      rbufs.emplace_back(machine, r, real_bytes);
+    }
+    std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+
+    const int total = config.warmup + config.iters;
+    machine.run([&](mach::Ctx& ctx) {
+      const int r = ctx.rank();
+      void* sbuf = sbufs[static_cast<std::size_t>(r)].get();
+      void* rbuf = rbufs[static_cast<std::size_t>(r)].get();
+      for (int it = 0; it < total; ++it) {
+        if (config.modify_buffer || it == 0) {
+          // Every rank refreshes its contribution (the payload actually
+          // changes between calls in real applications, §V-A).
+          ctx.write_payload(sbuf, real_bytes,
+                            0xA000u + static_cast<std::uint64_t>(
+                                          it * 1000 + r));
+        }
+        ctx.barrier();
+        const double t0 = ctx.now();
+        comp.allreduce(ctx, sbuf, rbuf, count, mach::DType::kF32,
+                       mach::ROp::kSum);
+        const double t1 = ctx.now();
+        if (it >= config.warmup) {
+          acc[static_cast<std::size_t>(r)].value += t1 - t0;
+        }
+      }
+    });
+
+    SizeResult sr;
+    sr.bytes = real_bytes;
+    double sum = 0.0;
+    double mn = 1e300;
+    double mx = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double us =
+          acc[static_cast<std::size_t>(r)].value / config.iters * 1e6;
+      sum += us;
+      mn = std::min(mn, us);
+      mx = std::max(mx, us);
+    }
+    sr.avg_us = sum / n;
+    sr.min_us = mn;
+    sr.max_us = mx;
+    results.push_back(sr);
+  }
+  return results;
+}
+
+std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
+                                     coll::Component& comp,
+                                     const std::vector<std::size_t>& sizes,
+                                     const Config& config) {
+  const int n = machine.n_ranks();
+  std::vector<SizeResult> results;
+  results.reserve(sizes.size());
+
+  for (const std::size_t bytes : sizes) {
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+    const std::size_t real_bytes = count * sizeof(float);
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(machine, r, real_bytes);
+      rbufs.emplace_back(machine, r, real_bytes);
+    }
+    std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+
+    const int total = config.warmup + config.iters;
+    machine.run([&](mach::Ctx& ctx) {
+      const int r = ctx.rank();
+      void* sbuf = sbufs[static_cast<std::size_t>(r)].get();
+      void* rbuf = rbufs[static_cast<std::size_t>(r)].get();
+      for (int it = 0; it < total; ++it) {
+        if (config.modify_buffer || it == 0) {
+          ctx.write_payload(sbuf, real_bytes,
+                            0xC000u + static_cast<std::uint64_t>(
+                                          it * 1000 + r));
+        }
+        ctx.barrier();
+        const double t0 = ctx.now();
+        comp.reduce(ctx, sbuf, rbuf, count, mach::DType::kF32,
+                    mach::ROp::kSum, config.root);
+        const double t1 = ctx.now();
+        if (it >= config.warmup) {
+          acc[static_cast<std::size_t>(r)].value += t1 - t0;
+        }
+      }
+    });
+
+    SizeResult sr;
+    sr.bytes = real_bytes;
+    double sum = 0.0;
+    double mn = 1e300;
+    double mx = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double us =
+          acc[static_cast<std::size_t>(r)].value / config.iters * 1e6;
+      sum += us;
+      mn = std::min(mn, us);
+      mx = std::max(mx, us);
+    }
+    sr.avg_us = sum / n;
+    sr.min_us = mn;
+    sr.max_us = mx;
+    results.push_back(sr);
+  }
+  return results;
+}
+
+double barrier_latency_us(mach::Machine& machine, coll::Component& comp,
+                          const Config& config) {
+  const int n = machine.n_ranks();
+  std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+  const int total = config.warmup + config.iters;
+  machine.run([&](mach::Ctx& ctx) {
+    for (int it = 0; it < total; ++it) {
+      ctx.barrier();  // harness sync, outside the timed window
+      const double t0 = ctx.now();
+      comp.barrier(ctx);
+      const double t1 = ctx.now();
+      if (it >= config.warmup) {
+        acc[static_cast<std::size_t>(ctx.rank())].value += t1 - t0;
+      }
+    }
+  });
+  double sum = 0.0;
+  for (const auto& a : acc) sum += a.value;
+  return sum / n / config.iters * 1e6;
+}
+
+double pt2pt_latency_us(mach::Machine& machine, p2p::Fabric& fabric,
+                        int rank_a, int rank_b, std::size_t bytes,
+                        const Config& config) {
+  XHC_REQUIRE(rank_a != rank_b, "need two distinct ranks");
+  mach::Buffer buf_a(machine, rank_a, bytes);
+  mach::Buffer buf_b(machine, rank_b, bytes);
+  PaddedAcc acc;
+
+  const int total = config.warmup + config.iters;
+  machine.run([&](mach::Ctx& ctx) {
+    const int r = ctx.rank();
+    for (int it = 0; it < total; ++it) {
+      if (r == rank_a && (config.modify_buffer || it == 0)) {
+        ctx.write_payload(buf_a.get(), bytes,
+                          0xB000u + static_cast<std::uint64_t>(it));
+      }
+      // Every rank joins the barrier; only the pair exchanges messages.
+      ctx.barrier();
+      if (r != rank_a && r != rank_b) continue;
+      const double t0 = ctx.now();
+      if (r == rank_a) {
+        fabric.send(ctx, rank_b, it, buf_a.get(), bytes);
+        fabric.recv(ctx, rank_b, total + it, buf_a.get(), bytes);
+      } else {
+        fabric.recv(ctx, rank_a, it, buf_b.get(), bytes);
+        fabric.send(ctx, rank_a, total + it, buf_b.get(), bytes);
+      }
+      const double t1 = ctx.now();
+      if (it >= config.warmup && r == rank_a) {
+        acc.value += (t1 - t0) / 2.0;  // one-way latency
+      }
+    }
+  });
+  return acc.value / config.iters * 1e6;
+}
+
+}  // namespace xhc::osu

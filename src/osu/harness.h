@@ -1,0 +1,65 @@
+// OSU-style microbenchmark harness (paper §V-A).
+//
+// Mirrors the OSU suite's structure — warmup runs, timed iterations, mean
+// latency — plus the authors' cache-defeating `_mb` variants that rewrite
+// the payload before every call (Fig. 7): with `modify_buffer=false` the
+// stock benchmark's buffer reuse lets the platform's caches hide the
+// inter-domain traffic the collective actually generates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/component.h"
+#include "mach/machine.h"
+#include "p2p/fabric.h"
+
+namespace xhc::osu {
+
+struct Config {
+  int warmup = 1;
+  int iters = 2;
+  bool modify_buffer = true;  ///< the `_mb` variant (default in §V)
+  int root = 0;
+  bool verify = true;  ///< bcast only: memcmp payload after the sweep
+};
+
+struct SizeResult {
+  std::size_t bytes = 0;
+  double avg_us = 0.0;  ///< mean latency over ranks and iterations
+  double min_us = 0.0;  ///< fastest rank
+  double max_us = 0.0;  ///< slowest rank
+};
+
+/// Power-of-two sizes in [min_bytes, max_bytes].
+std::vector<std::size_t> default_sizes(std::size_t min_bytes,
+                                       std::size_t max_bytes);
+
+/// osu_bcast / osu_bcast_mb over one component.
+std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
+                                    coll::Component& comp,
+                                    const std::vector<std::size_t>& sizes,
+                                    const Config& config);
+
+/// osu_allreduce / osu_allreduce_mb (float sum).
+std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
+                                        coll::Component& comp,
+                                        const std::vector<std::size_t>& sizes,
+                                        const Config& config);
+
+/// osu_reduce / osu_reduce_mb (float sum, root = Config::root).
+std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
+                                     coll::Component& comp,
+                                     const std::vector<std::size_t>& sizes,
+                                     const Config& config);
+
+/// osu_barrier: mean barrier latency.
+double barrier_latency_us(mach::Machine& machine, coll::Component& comp,
+                          const Config& config);
+
+/// osu_latency: one-way pt2pt latency between two ranks (Fig. 1a, Fig. 3a).
+double pt2pt_latency_us(mach::Machine& machine, p2p::Fabric& fabric,
+                        int rank_a, int rank_b, std::size_t bytes,
+                        const Config& config);
+
+}  // namespace xhc::osu

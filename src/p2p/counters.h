@@ -1,0 +1,57 @@
+// Message-distance accounting (paper Table II).
+//
+// Counts logical messages by the topological distance between the ranks
+// involved: inter-socket, inter-NUMA (same socket), intra-NUMA. Used by the
+// pt2pt fabric (tuned) and by the direct components (XHC etc.), which record
+// one entry per leader↔member data transfer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "topo/mapping.h"
+#include "topo/topology.h"
+
+namespace xhc::p2p {
+
+class TrafficCounter {
+ public:
+  TrafficCounter(const topo::Topology* topo, const topo::RankMap* map)
+      : topo_(topo), map_(map) {}
+
+  void record(int src_rank, int dst_rank) {
+    switch (map_->distance(*topo_, src_rank, dst_rank)) {
+      case topo::Distance::kCrossSocket:
+        inter_socket_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case topo::Distance::kCrossNuma:
+        inter_numa_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        intra_numa_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  std::uint64_t inter_socket() const noexcept { return inter_socket_.load(); }
+  std::uint64_t inter_numa() const noexcept { return inter_numa_.load(); }
+  std::uint64_t intra_numa() const noexcept { return intra_numa_.load(); }
+  std::uint64_t total() const noexcept {
+    return inter_socket() + inter_numa() + intra_numa();
+  }
+
+  void reset() {
+    inter_socket_.store(0);
+    inter_numa_.store(0);
+    intra_numa_.store(0);
+  }
+
+ private:
+  const topo::Topology* topo_;
+  const topo::RankMap* map_;
+  std::atomic<std::uint64_t> inter_socket_{0};
+  std::atomic<std::uint64_t> inter_numa_{0};
+  std::atomic<std::uint64_t> intra_numa_{0};
+};
+
+}  // namespace xhc::p2p

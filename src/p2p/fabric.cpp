@@ -1,0 +1,230 @@
+#include "p2p/fabric.h"
+
+#include <algorithm>
+#include <new>
+
+#include "util/cacheline.h"
+#include "util/check.h"
+
+namespace xhc::p2p {
+
+struct Fabric::Channel {
+  static constexpr std::uint64_t kRing = 4;
+
+  struct Desc {
+    std::uint64_t tag = 0;
+    std::uint64_t bytes = 0;
+    const void* buf = nullptr;  ///< rendezvous source buffer
+    bool eager = false;
+  };
+
+  /// Shared control block; receiver-owned memory (OpenMPI places the FIFO
+  /// at the receiver).
+  struct Ctl {
+    util::CachePadded<mach::Flag> send_seq;  ///< sender-written
+    util::CachePadded<mach::Flag> recv_seq;  ///< receiver-written
+    util::CachePadded<Desc> descs[kRing];    ///< guarded by send_seq
+  };
+
+  Ctl* ctl = nullptr;
+  std::byte* ring = nullptr;  ///< kRing * eager_slot payload bytes
+  // Rank-local protocol counters (sender touches nsent, receiver nrecv).
+  util::CachePadded<std::uint64_t> nsent;
+  util::CachePadded<std::uint64_t> nrecv;
+
+  mach::Machine* machine = nullptr;
+  void* ctl_alloc = nullptr;
+  void* ring_alloc = nullptr;
+
+  ~Channel() {
+    if (machine != nullptr) {
+      if (ctl_alloc != nullptr) machine->free(ctl_alloc);
+      if (ring_alloc != nullptr) machine->free(ring_alloc);
+    }
+  }
+};
+
+Fabric::Fabric(mach::Machine& machine, Config config)
+    : machine_(&machine),
+      config_(config),
+      counters_(&machine.topology(), &machine.map()) {
+  XHC_REQUIRE(config_.eager_slot >= config_.eager_threshold,
+              "eager ring slot smaller than the eager threshold");
+  endpoints_.reserve(static_cast<std::size_t>(machine.n_ranks()));
+  for (int r = 0; r < machine.n_ranks(); ++r) {
+    endpoints_.push_back(std::make_unique<smsc::Endpoint>(config_.mechanism,
+                                                          config_.reg_cache));
+  }
+}
+
+Fabric::~Fabric() = default;
+
+bool Fabric::eager(std::size_t bytes) const noexcept {
+  if (!smsc::costs_for(config_.mechanism).mapping &&
+      config_.mechanism == smsc::Mechanism::kCico) {
+    return true;  // no single-copy support: everything bounces via the ring
+  }
+  return bytes <= config_.eager_threshold;
+}
+
+Fabric::Channel& Fabric::channel(mach::Ctx& ctx, int src, int dst) {
+  (void)ctx;
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto it = channels_.find({src, dst});
+  if (it != channels_.end()) return *it->second;
+
+  auto ch = std::make_unique<Channel>();
+  ch->machine = machine_;
+  ch->ctl_alloc = machine_->alloc(dst, sizeof(Channel::Ctl));
+  ch->ctl = new (ch->ctl_alloc) Channel::Ctl();
+  ch->ring_alloc =
+      machine_->alloc(dst, Channel::kRing * config_.eager_slot);
+  ch->ring = static_cast<std::byte*>(ch->ring_alloc);
+  it = channels_.emplace(std::make_pair(src, dst), std::move(ch)).first;
+  return *it->second;
+}
+
+Fabric::SendHandle Fabric::send_begin(mach::Ctx& ctx, int dst, int tag,
+                                     const void* buf, std::size_t bytes) {
+  XHC_REQUIRE(dst != ctx.rank(), "self-send is not supported");
+  XHC_REQUIRE(!eager(bytes) || bytes <= config_.eager_slot,
+              "fragmentation must happen above send_begin");
+  Channel& ch = channel(ctx, ctx.rank(), dst);
+  counters_.record(ctx.rank(), dst);
+
+  const std::uint64_t seq = ++*ch.nsent;
+  if (seq > Channel::kRing) {
+    // Wait for a free ring slot / descriptor.
+    ctx.flag_wait_ge(*ch.ctl->recv_seq, seq - Channel::kRing);
+  }
+  Channel::Desc& d = *ch.ctl->descs[(seq - 1) % Channel::kRing];
+  d.tag = static_cast<std::uint64_t>(tag);
+  d.bytes = bytes;
+  ctx.charge(config_.match_overhead);
+
+  SendHandle token;
+  token.channel = &ch;
+  token.seq = seq;
+  if (eager(bytes)) {
+    d.eager = true;
+    d.buf = nullptr;
+    ctx.copy(ch.ring + ((seq - 1) % Channel::kRing) * config_.eager_slot, buf,
+             bytes);
+    token.pending = false;
+  } else {
+    d.eager = false;
+    d.buf = buf;
+    endpoints_[static_cast<std::size_t>(ctx.rank())]->expose(ctx, buf, bytes);
+    token.pending = true;
+  }
+  ctx.flag_store(*ch.ctl->send_seq, seq);
+  return token;
+}
+
+void Fabric::send_end(mach::Ctx& ctx, SendHandle token) {
+  if (!token.pending) return;
+  // Rendezvous completes when the receiver has pulled the payload.
+  ctx.flag_wait_ge(*token.channel->ctl->recv_seq, token.seq);
+}
+
+void Fabric::recv(mach::Ctx& ctx, int src, int tag, void* buf,
+                  std::size_t bytes) {
+  XHC_REQUIRE(src != ctx.rank(), "self-receive is not supported");
+  if (eager(bytes) && bytes > config_.eager_slot) {
+    // Mirror of the sender-side fragmentation.
+    std::size_t off = 0;
+    while (off < bytes) {
+      const std::size_t n = std::min(config_.eager_slot, bytes - off);
+      recv(ctx, src, tag, static_cast<std::byte*>(buf) + off, n);
+      off += n;
+    }
+    return;
+  }
+
+  Channel& ch = channel(ctx, src, ctx.rank());
+  const std::uint64_t seq = ++*ch.nrecv;
+  ctx.flag_wait_ge(*ch.ctl->send_seq, seq);
+  ctx.charge(config_.match_overhead);
+  const Channel::Desc& d = *ch.ctl->descs[(seq - 1) % Channel::kRing];
+  XHC_CHECK(d.tag == static_cast<std::uint64_t>(tag),
+            "out-of-order tag: expected ", tag, " got ", d.tag, " (src=", src,
+            " dst=", ctx.rank(), ")");
+  XHC_CHECK(d.bytes == bytes, "message size mismatch: expected ", bytes,
+            " got ", d.bytes);
+  if (d.eager) {
+    ctx.copy(buf, ch.ring + ((seq - 1) % Channel::kRing) * config_.eager_slot,
+             bytes);
+  } else {
+    auto& ep = *endpoints_[static_cast<std::size_t>(ctx.rank())];
+    const void* src_ptr = ep.attach(ctx, src, d.buf, bytes);
+    ep.charge_op(ctx, bytes, machine_->n_ranks());
+    ctx.copy(buf, src_ptr, bytes);
+  }
+  ctx.flag_store(*ch.ctl->recv_seq, seq);
+}
+
+Fabric::SendHandle Fabric::isend(mach::Ctx& ctx, int dst, int tag,
+                                 const void* buf, std::size_t bytes) {
+  if (eager(bytes) && bytes > config_.eager_slot) {
+    // Fragmented eager streams need flow control; post them synchronously.
+    send(ctx, dst, tag, buf, bytes);
+    return SendHandle{};
+  }
+  return send_begin(ctx, dst, tag, buf, bytes);
+}
+
+void Fabric::wait_send(mach::Ctx& ctx, SendHandle& handle) {
+  send_end(ctx, handle);
+  handle.pending = false;
+}
+
+void Fabric::send(mach::Ctx& ctx, int dst, int tag, const void* buf,
+                  std::size_t bytes) {
+  if (eager(bytes) && bytes > config_.eager_slot) {
+    std::size_t off = 0;
+    while (off < bytes) {
+      const std::size_t n = std::min(config_.eager_slot, bytes - off);
+      send(ctx, dst, tag, static_cast<const std::byte*>(buf) + off, n);
+      off += n;
+    }
+    return;
+  }
+  send_end(ctx, send_begin(ctx, dst, tag, buf, bytes));
+}
+
+void Fabric::sendrecv(mach::Ctx& ctx, int dst, const void* sbuf,
+                      std::size_t sbytes, int src, void* rbuf,
+                      std::size_t rbytes, int tag) {
+  const bool frag_send = eager(sbytes) && sbytes > config_.eager_slot;
+  const bool frag_recv = eager(rbytes) && rbytes > config_.eager_slot;
+  if (!frag_send && !frag_recv) {
+    SendHandle token = send_begin(ctx, dst, tag, sbuf, sbytes);
+    recv(ctx, src, tag, rbuf, rbytes);
+    send_end(ctx, token);
+    return;
+  }
+  // Interleave fragments so bounded rings cannot deadlock when both sides
+  // stream simultaneously.
+  std::size_t soff = 0;
+  std::size_t roff = 0;
+  while (soff < sbytes || roff < rbytes) {
+    if (soff < sbytes) {
+      const std::size_t n = std::min(config_.eager_slot, sbytes - soff);
+      SendHandle token = send_begin(
+          ctx, dst, tag, static_cast<const std::byte*>(sbuf) + soff, n);
+      soff += n;
+      if (roff < rbytes) {
+        const std::size_t m = std::min(config_.eager_slot, rbytes - roff);
+        recv(ctx, src, tag, static_cast<std::byte*>(rbuf) + roff, m);
+        roff += m;
+      }
+      send_end(ctx, token);
+    } else {
+      const std::size_t m = std::min(config_.eager_slot, rbytes - roff);
+      recv(ctx, src, tag, static_cast<std::byte*>(rbuf) + roff, m);
+      roff += m;
+    }
+  }
+}
+
+}  // namespace xhc::p2p

@@ -1,0 +1,96 @@
+// Point-to-point messaging fabric — the pt2pt layer the OpenMPI `tuned`
+// component builds collectives on (paper §II-A).
+//
+// Implements per-pair in-order channels with eager and rendezvous protocols:
+//   * eager: payload is copied into a bounded ring at the receiver
+//     (copy-in-copy-out), one extra copy per side plus matching overhead;
+//   * rendezvous: the sender publishes its buffer, the receiver pulls it
+//     with a single copy through the configured smsc mechanism (XPMEM with
+//     registration caching by default; CMA/KNEM pay their per-op kernel
+//     costs — the Fig. 3 experiment).
+// Matching is in-order per (source, destination) with tag verification,
+// which is exactly what the deterministic schedules of tree-based
+// collectives require. Every message is recorded in a TrafficCounter
+// (Table II).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "mach/machine.h"
+#include "p2p/counters.h"
+#include "smsc/endpoint.h"
+
+namespace xhc::p2p {
+
+class Fabric {
+ public:
+  struct Config {
+    std::size_t eager_threshold = 4096;  ///< <= this: eager protocol
+    std::size_t eager_slot = 8192;       ///< ring slot payload capacity
+    smsc::Mechanism mechanism = smsc::Mechanism::kXpmem;
+    bool reg_cache = true;
+    /// Per-message software overhead per side: descriptor handling, tag
+    /// matching, queue maintenance (§I: "overheads of the point-to-point
+    /// layer").
+    double match_overhead = 400e-9;
+  };
+
+  Fabric(mach::Machine& machine, Config config);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  struct Channel;
+
+  /// A posted-but-incomplete send (the isend/wait pair tree algorithms use
+  /// to overlap transfers to several children).
+  struct SendHandle {
+    Channel* channel = nullptr;
+    std::uint64_t seq = 0;
+    bool pending = false;
+  };
+
+  /// Blocking send: returns when the payload is delivered (eager) or pulled
+  /// by the receiver (rendezvous).
+  void send(mach::Ctx& ctx, int dst, int tag, const void* buf,
+            std::size_t bytes);
+
+  /// Posts a send without waiting for rendezvous completion. Falls back to
+  /// a blocking send when the payload needs eager fragmentation. Complete
+  /// with wait_send.
+  SendHandle isend(mach::Ctx& ctx, int dst, int tag, const void* buf,
+                   std::size_t bytes);
+  void wait_send(mach::Ctx& ctx, SendHandle& handle);
+
+  /// Blocking in-order receive; tag and size must match the next message on
+  /// the (src → this rank) channel.
+  void recv(mach::Ctx& ctx, int src, int tag, void* buf, std::size_t bytes);
+
+  /// Simultaneous exchange with (possibly different) peers — required by
+  /// recursive doubling and ring schedules, where a plain blocking
+  /// send+recv would deadlock.
+  void sendrecv(mach::Ctx& ctx, int dst, const void* sbuf, std::size_t sbytes,
+                int src, void* rbuf, std::size_t rbytes, int tag);
+
+  TrafficCounter& counters() noexcept { return counters_; }
+
+ private:
+  Channel& channel(mach::Ctx& ctx, int src, int dst);
+  SendHandle send_begin(mach::Ctx& ctx, int dst, int tag, const void* buf,
+                        std::size_t bytes);
+  void send_end(mach::Ctx& ctx, SendHandle token);
+  /// True when (src,dst,bytes) would use the eager path.
+  bool eager(std::size_t bytes) const noexcept;
+
+  mach::Machine* machine_;
+  Config config_;
+  TrafficCounter counters_;
+  std::vector<std::unique_ptr<smsc::Endpoint>> endpoints_;  // per rank
+
+  std::mutex channels_mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace xhc::p2p

@@ -1,0 +1,108 @@
+#include "sim/line_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::sim {
+
+LineModel::LineModel(const topo::Topology* topo, const SimParams* params)
+    : topo_(topo), params_(params) {
+  XHC_REQUIRE(topo_ != nullptr && params_ != nullptr, "null dependency");
+}
+
+LineModel::Line& LineModel::line(std::uintptr_t id) { return lines_[id]; }
+
+double& LineModel::core_port(int core) { return core_port_free_[core]; }
+
+double LineModel::read(std::uintptr_t id, int core, double t,
+                       bool pipelined) {
+  const double expose = pipelined ? 0.25 : 1.0;
+  Line& l = line(id);
+  const bool shared_llc = topo_->has_shared_llc();
+
+  if (l.owner_core < 0 || l.owner_core == core) {
+    // Never written, or reading our own line: a local hit.
+    return t + params_->line_hit;
+  }
+
+  const int reader_llc = topo_->core(core).llc;
+  if (shared_llc && l.sharer_llcs.count(reader_llc) != 0) {
+    // A group peer already pulled the line into our LLC (the implicit
+    // hardware assist of paper §V-D1).
+    return t + params_->line_lat_llc;
+  }
+
+  const topo::Distance dist = topo_->distance(core, l.owner_core);
+  double done;
+  if (l.dirty) {
+    // First read after a store: serviced by the owner core's port; all
+    // concurrent first-reads of this core's lines serialize here.
+    double& port = core_port(l.owner_core);
+    const double start = std::max(t, port);
+    port = start + params_->core_port_service;
+    done = start + std::max(params_->line_hit, params_->line_lat(dist) * expose);
+    l.dirty = false;
+    if (shared_llc) {
+      l.sharer_llcs.insert(topo_->core(l.owner_core).llc);
+    } else {
+      l.in_slc = true;
+    }
+  } else if (shared_llc) {
+    // Served by a providing LLC group; fetches of this line serialize on the
+    // line's service point.
+    const double start = std::max(t, l.line_free);
+    l.line_free = start + params_->line_service;
+    done = start + std::max(params_->line_hit, params_->line_lat(dist) * expose);
+  } else {
+    // SLC machine: single physical location; every fetch serializes there
+    // and no core-local reuse across cores is possible.
+    const double start = std::max(t, l.line_free);
+    l.line_free = start + params_->line_service;
+    done = start + std::max(params_->line_hit, params_->line_lat_numa * expose);
+  }
+
+  if (shared_llc) l.sharer_llcs.insert(reader_llc);
+  return done;
+}
+
+double LineModel::write(std::uintptr_t id, int core, double t) {
+  Line& l = line(id);
+  double cost = params_->store_cost;
+  if (!l.sharer_llcs.empty() || l.in_slc ||
+      (l.owner_core >= 0 && l.owner_core != core)) {
+    cost += params_->inval_cost;
+  }
+  l.owner_core = core;
+  l.dirty = true;
+  l.in_slc = false;
+  l.sharer_llcs.clear();
+  const double done = t + cost;
+  l.line_free = std::max(l.line_free, done);
+  return done;
+}
+
+double LineModel::rmw(std::uintptr_t id, int core, double t) {
+  Line& l = line(id);
+  // Exclusive ownership must be acquired; concurrent RMWs serialize on the
+  // line regardless of topology.
+  const double start = std::max(t, l.line_free);
+  double transfer = params_->line_hit;
+  if (l.owner_core >= 0 && l.owner_core != core) {
+    transfer = params_->line_lat(topo_->distance(core, l.owner_core));
+  }
+  l.owner_core = core;
+  l.dirty = true;
+  l.in_slc = false;
+  l.sharer_llcs.clear();
+  const double done = start + transfer + params_->rmw_service;
+  l.line_free = done;
+  return done;
+}
+
+void LineModel::reset() {
+  lines_.clear();
+  core_port_free_.clear();
+}
+
+}  // namespace xhc::sim

@@ -1,0 +1,66 @@
+// Cache-line service model for control flags (paper §III-E, Fig. 4, Fig. 10).
+//
+// Models a MESI-like life cycle per 64-byte line:
+//  * a store makes the writer's core the owner and invalidates all sharers;
+//  * the first read after a store is serviced by the owner core — concurrent
+//    first-reads of lines owned by one core serialize on that core's port
+//    (this is the fan-out hot spot of flat trees);
+//  * on shared-LLC machines the line then lives in the provider's LLC group:
+//    group peers hit locally, other groups fetch via the LLC port;
+//  * on SLC machines the line lives at a single SLC location: every core's
+//    fetch serializes on that line's bank — there is no peer-assist, which is
+//    why flat fan-out collapses on ARM-N1 (paper §V-D1);
+//  * atomic RMW always transfers exclusive ownership: N concurrent RMWs cost
+//    ~N ownership transfers (Fig. 4's 23x).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "sim/params.h"
+#include "topo/topology.h"
+
+namespace xhc::sim {
+
+class LineModel {
+ public:
+  LineModel(const topo::Topology* topo, const SimParams* params);
+
+  /// A read of the line by `core` issued at time `t`; returns the completion
+  /// time (>= t) and updates sharer state. `pipelined` models a read whose
+  /// value is already available (a scan over set flags): the miss latency
+  /// overlaps with neighbouring reads (memory-level parallelism) and only a
+  /// quarter of it is exposed; occupancy/serialization costs still apply.
+  double read(std::uintptr_t line, int core, double t, bool pipelined = false);
+
+  /// A store by `core` at time `t`; returns completion time.
+  double write(std::uintptr_t line, int core, double t);
+
+  /// An atomic read-modify-write by `core` at `t`; returns completion time.
+  double rmw(std::uintptr_t line, int core, double t);
+
+  void reset();
+
+ private:
+  struct Line {
+    int owner_core = -1;        ///< last writer
+    bool dirty = false;         ///< no shared-cache copy yet
+    bool in_slc = false;
+    std::set<int> sharer_llcs;  ///< LLC groups holding the line
+    double line_free = 0.0;     ///< serialization point for this line's
+                                ///< fetches (SLC bank / providing LLC)
+  };
+
+  Line& line(std::uintptr_t id);
+  /// Serialization queue of a provider core's port (first reads of dirty
+  /// lines owned by that core, across *all* lines — Fig. 10 separated-flags).
+  double& core_port(int core);
+
+  const topo::Topology* topo_;
+  const SimParams* params_;
+  std::map<std::uintptr_t, Line> lines_;
+  std::map<int, double> core_port_free_;
+};
+
+}  // namespace xhc::sim

@@ -1,0 +1,122 @@
+#include "sim/params.h"
+
+namespace xhc::sim {
+
+namespace {
+
+constexpr double kNs = 1e-9;
+constexpr double kUs = 1e-6;
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr std::size_t kMB = 1024u * 1024u;
+
+}  // namespace
+
+const LinkCost& SimParams::path(topo::Distance d) const noexcept {
+  switch (d) {
+    case topo::Distance::kSelf:
+    case topo::Distance::kLlcLocal:
+      return llc_local;
+    case topo::Distance::kIntraNuma:
+      return intra_numa;
+    case topo::Distance::kCrossNuma:
+      return cross_numa;
+    case topo::Distance::kCrossSocket:
+      return cross_socket;
+  }
+  return intra_numa;
+}
+
+double SimParams::line_lat(topo::Distance d) const noexcept {
+  switch (d) {
+    case topo::Distance::kSelf:
+      return line_hit;
+    case topo::Distance::kLlcLocal:
+      return line_lat_llc;
+    case topo::Distance::kIntraNuma:
+      return line_lat_numa;
+    case topo::Distance::kCrossNuma:
+      return line_lat_xnuma;
+    case topo::Distance::kCrossSocket:
+      return line_lat_xsocket;
+  }
+  return line_lat_numa;
+}
+
+SimParams epyc_like_params() {
+  SimParams p;
+  // Fig. 1a relationships: cache-local < intra-numa < cross-numa <<
+  // cross-socket for both latency and bandwidth.
+  p.llc_local = {40 * kNs, 34.0 * kGB};
+  p.slc = {70 * kNs, 28.0 * kGB};  // unused on Epyc (no SLC)
+  p.intra_numa = {90 * kNs, 17.0 * kGB};
+  p.cross_numa = {140 * kNs, 11.5 * kGB};
+  p.cross_socket = {290 * kNs, 7.2 * kGB};
+
+  p.llc_port_bw = 44.0 * kGB;
+  p.numa_mem_bw = 26.0 * kGB;
+  p.socket_fabric_bw = 52.0 * kGB;
+  p.xsocket_bw = 30.0 * kGB;
+  p.slc_bw = 0.0;
+
+  p.llc_bytes = 8 * kMB;  // one Zen CCX L3
+  p.slc_bytes = 0;
+
+  p.line_lat_llc = 28 * kNs;
+  p.line_lat_numa = 95 * kNs;
+  p.line_lat_xnuma = 150 * kNs;
+  p.line_lat_xsocket = 310 * kNs;
+  p.line_hit = 9 * kNs;
+  p.line_service = 32 * kNs;
+  p.core_port_service = 110 * kNs;
+  p.rmw_service = 130 * kNs;
+  p.store_cost = 5 * kNs;
+  p.inval_cost = 26 * kNs;
+
+  p.copy_base = 55 * kNs;
+  p.reduce_bw_factor = 1.3;
+  p.barrier_cost = 0.3 * kUs;
+  return p;
+}
+
+SimParams armn1_params() {
+  SimParams p = epyc_like_params();
+  // ARM-N1 (Ampere Altra): private L2 per core, no shared LLC; a physically
+  // tagged system-level cache behind the CMN-600 mesh. Intra- vs cross-NUMA
+  // latency is nearly identical (paper §III-A: "this elevation is marginal").
+  p.llc_local = {50 * kNs, 30.0 * kGB};  // only ever used for self-distance
+  p.slc = {80 * kNs, 24.0 * kGB};
+  p.intra_numa = {105 * kNs, 21.0 * kGB};
+  p.cross_numa = {115 * kNs, 19.5 * kGB};
+  p.cross_socket = {320 * kNs, 8.0 * kGB};
+
+  p.llc_port_bw = 0.0;  // no shared LLC groups
+  p.numa_mem_bw = 28.0 * kGB;
+  p.socket_fabric_bw = 70.0 * kGB;
+  p.xsocket_bw = 32.0 * kGB;
+  p.slc_bw = 110.0 * kGB;
+
+  p.llc_bytes = 0;
+  p.slc_bytes = 32 * kMB;
+
+  p.line_lat_llc = 30 * kNs;
+  p.line_lat_numa = 110 * kNs;
+  p.line_lat_xnuma = 125 * kNs;
+  p.line_lat_xsocket = 340 * kNs;
+  p.line_hit = 10 * kNs;
+  p.line_service = 24 * kNs;
+  p.core_port_service = 120 * kNs;
+  p.rmw_service = 160 * kNs;
+  p.store_cost = 6 * kNs;
+  p.inval_cost = 30 * kNs;
+
+  p.copy_base = 60 * kNs;
+  p.reduce_bw_factor = 1.3;
+  return p;
+}
+
+SimParams params_for(const topo::Topology& topo) {
+  if (topo.name() == "armn1" || !topo.has_shared_llc()) return armn1_params();
+  return epyc_like_params();
+}
+
+}  // namespace xhc::sim

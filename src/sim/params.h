@@ -1,0 +1,76 @@
+// Simulator cost-model parameters.
+//
+// One SimParams instance prices all data movement and synchronization on a
+// simulated node. The defaults for the three paper systems (Table I) are
+// chosen to reproduce the *relationships* the paper measures directly on
+// hardware (Fig. 1a domain costs, Fig. 1b congestion, Fig. 4 atomics, §V-D1
+// LLC vs SLC behaviour) — not any particular absolute number.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace xhc::sim {
+
+/// Latency + bandwidth of one kind of data path.
+struct LinkCost {
+  double lat = 0.0;  ///< seconds
+  double bw = 1.0;   ///< bytes / second
+};
+
+struct SimParams {
+  // --- bulk copy paths, by effective source location --------------------
+  LinkCost llc_local;     ///< source resident in the reader's own LLC group
+  LinkCost slc;           ///< source resident in the system-level cache (ARM)
+  LinkCost intra_numa;    ///< source homed in the reader's NUMA node
+  LinkCost cross_numa;    ///< other NUMA node, same socket
+  LinkCost cross_socket;  ///< other socket
+
+  // --- congestion resource capacities (bytes/second) --------------------
+  double llc_port_bw = 0.0;    ///< per-LLC-group read port
+  double numa_mem_bw = 0.0;    ///< per-NUMA-node memory channel
+  double socket_fabric_bw = 0.0;  ///< per-socket internal mesh
+  double xsocket_bw = 0.0;     ///< inter-socket link
+  double slc_bw = 0.0;         ///< total SLC bandwidth (0 on LLC machines)
+
+  // --- cache capacities ---------------------------------------------------
+  std::size_t llc_bytes = 0;  ///< per LLC group (0 = no shared LLC)
+  std::size_t slc_bytes = 0;  ///< system-level cache (0 = none)
+
+  // --- cache-line (flag) model -------------------------------------------
+  double line_lat_llc = 0.0;      ///< fetch within one LLC group
+  double line_lat_numa = 0.0;     ///< fetch within one NUMA node / from SLC
+  double line_lat_xnuma = 0.0;    ///< fetch across NUMA nodes
+  double line_lat_xsocket = 0.0;  ///< fetch across sockets
+  double line_hit = 0.0;       ///< read of a line already held locally
+  double line_service = 0.0;   ///< shared-cache occupancy per line fetch
+  double core_port_service = 0.0;  ///< owner-core occupancy when servicing a
+                                   ///< dirty line (first read after a store)
+  double rmw_service = 0.0;    ///< ownership-transfer cost per atomic RMW
+  double store_cost = 0.0;     ///< flag store
+  double inval_cost = 0.0;     ///< extra store cost when sharers must be
+                               ///< invalidated
+
+  // --- software constants -------------------------------------------------
+  double copy_base = 0.0;        ///< fixed per-copy software cost
+  double reduce_bw_factor = 1.0; ///< reduce throughput = copy / factor
+  double barrier_cost = 0.0;     ///< harness barrier release cost
+
+  /// Returns the copy LinkCost for a source at the given distance.
+  const LinkCost& path(topo::Distance d) const noexcept;
+  /// Returns the line-fetch latency for the given distance.
+  double line_lat(topo::Distance d) const noexcept;
+};
+
+/// Cost model for one of the paper's evaluation systems; dispatches on the
+/// topology name ("epyc1p", "epyc2p", "armn1"); other names get the generic
+/// LLC-style model (or SLC-style when the topology has no shared LLC).
+SimParams params_for(const topo::Topology& topo);
+
+/// Generic models, exposed for tests.
+SimParams epyc_like_params();
+SimParams armn1_params();
+
+}  // namespace xhc::sim

@@ -1,0 +1,50 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::sim {
+
+void ResourceLedger::set_capacity(ResId res, double bytes_per_sec) {
+  XHC_REQUIRE(bytes_per_sec > 0.0, "capacity must be positive");
+  states_[res].capacity = bytes_per_sec;
+}
+
+ResourceLedger::State& ResourceLedger::state(ResId res) {
+  auto it = states_.find(res);
+  XHC_CHECK(it != states_.end(), "resource has no capacity set (kind=",
+            static_cast<int>(res.kind), " index=", res.index, ")");
+  return it->second;
+}
+
+void ResourceLedger::expire(State& s, double t) {
+  // ends is sorted; drop the prefix of finished transfers.
+  auto it = std::upper_bound(s.ends.begin(), s.ends.end(), t);
+  s.ends.erase(s.ends.begin(), it);
+}
+
+double ResourceLedger::share(ResId res, double t) {
+  State& s = state(res);
+  expire(s, t);
+  return s.capacity / (1.0 + static_cast<double>(s.ends.size()));
+}
+
+void ResourceLedger::book(ResId res, double t_start, double t_end) {
+  XHC_REQUIRE(t_end >= t_start, "negative transfer duration");
+  State& s = state(res);
+  expire(s, t_start);
+  s.ends.insert(std::upper_bound(s.ends.begin(), s.ends.end(), t_end), t_end);
+}
+
+int ResourceLedger::active(ResId res, double t) {
+  State& s = state(res);
+  expire(s, t);
+  return static_cast<int>(s.ends.size());
+}
+
+void ResourceLedger::clear_in_flight() {
+  for (auto& [id, s] : states_) s.ends.clear();
+}
+
+}  // namespace xhc::sim

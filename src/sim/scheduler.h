@@ -1,0 +1,106 @@
+// Deterministic virtual-time scheduler.
+//
+// Ranks execute on real host threads, but exactly one thread runs at a time:
+// the ready thread with the minimal (virtual time, rank) key. Threads hand
+// the token off whenever their clock advances past another ready thread and
+// park when they block on a condition. Because the running thread is always
+// the unique minimum and all state transitions happen under one mutex, a
+// simulation's event order — and therefore every virtual timestamp — is a
+// pure function of the program, independent of host scheduling.
+//
+// Conditions are expressed as (channel, predicate) pairs: a blocked thread
+// is re-examined only when somebody calls notify(channel), keeping the
+// wake-up work proportional to actual dependencies.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace xhc::sim {
+
+class VirtualScheduler {
+ public:
+  /// `n` worker threads; `epoch` is the starting virtual time of this run.
+  VirtualScheduler(int n, double epoch);
+  ~VirtualScheduler();
+
+  // -- worker-thread side ---------------------------------------------------
+
+  /// First call of a worker; blocks until the thread is scheduled.
+  void start(int r);
+  /// Final call of a worker; hands the token to the next thread.
+  void finish(int r);
+
+  /// Virtual clock of `r` (callable only by `r` while it runs).
+  double now(int r);
+  /// Advances r's clock by `dt` and yields if another thread became minimal.
+  void advance(int r, double dt);
+  /// Raises r's clock to at least `t` (no-op if already past) and yields.
+  void lift(int r, double t);
+
+  /// Blocks `r` until `pred()` returns an engaged resume time. `pred` is
+  /// evaluated under the scheduler lock, only by the running thread, and
+  /// only after a notify(channel). Returns r's clock after resumption
+  /// (max of its previous clock and the predicate's resume time).
+  double wait_until(int r, const void* channel,
+                    std::function<std::optional<double>()> pred);
+
+  /// Marks every thread blocked on `channel` for predicate re-evaluation.
+  /// Call after mutating the state the predicates inspect.
+  void notify(const void* channel);
+
+  /// Full barrier over all n threads; everyone resumes at
+  /// (max arrival time + extra_cost).
+  void barrier(int r, double extra_cost);
+
+  /// Aborts the simulation: wakes every parked thread and makes all further
+  /// scheduler calls throw. Used when a worker throws, so the remaining
+  /// threads unwind instead of waiting forever on flags that will never be
+  /// stored.
+  void abort_all();
+
+  // -- observers -------------------------------------------------------------
+  int n_threads() const noexcept { return static_cast<int>(threads_.size()); }
+
+ private:
+  enum class Status { kNotStarted, kReady, kRunning, kBlocked, kDone };
+
+  struct ThreadState {
+    double vtime = 0.0;
+    Status status = Status::kNotStarted;
+    const void* channel = nullptr;
+    std::function<std::optional<double>()> pred;
+    bool dirty = false;  ///< channel notified since last predicate check
+    std::condition_variable cv;
+  };
+
+  // All private methods require mu_ held.
+  void promote_dirty_locked();
+  /// Picks and wakes the next thread. `self_status` is the state the caller
+  /// transitions into; if the caller remains the minimum it keeps running.
+  void handoff_locked(std::unique_lock<std::mutex>& lock, int r,
+                      Status self_status);
+  bool is_min_ready_locked(int r) const;
+  int pick_locked() const;
+  [[noreturn]] void report_deadlock_locked() const;
+
+  void check_abort_locked() const;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  int running_ = -1;
+  bool aborted_ = false;
+
+  // Barrier state.
+  int barrier_arrived_ = 0;
+  double barrier_max_time_ = 0.0;
+  double barrier_release_ = 0.0;
+  std::uint64_t barrier_gen_ = 0;
+};
+
+}  // namespace xhc::sim

@@ -1,0 +1,342 @@
+#include "sim/sim_machine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/cacheline.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace xhc::sim {
+
+// ---------------------------------------------------------------------------
+// FlagHist
+
+void SimMachine::FlagHist::append(std::uint64_t value, double t) {
+  entries.emplace_back(value, t);
+  if (entries.size() > 4096) {
+    // Keep the window bounded; the dropped prefix is summarized by the
+    // floor watermark (waits for long-passed thresholds resume at the
+    // window start, which can only over-estimate slightly).
+    for (std::size_t i = 0; i < 2048; ++i) {
+      floor_value = entries.front().first;
+      floor_time = entries.front().second;
+      entries.pop_front();
+    }
+  }
+}
+
+std::optional<double> SimMachine::FlagHist::crossing(std::uint64_t v) const {
+  if (v == 0) return 0.0;
+  if (floor_value >= v) return floor_time;
+  // Values are non-decreasing (monotone counters / fetch-adds), so binary
+  // search for the first entry reaching v.
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), v,
+      [](const std::pair<std::uint64_t, double>& e, std::uint64_t val) {
+        return e.first < val;
+      });
+  if (it == entries.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t SimMachine::FlagHist::value_at(double t) const {
+  std::uint64_t value = floor_value;
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->second <= t) {
+      value = it->first;
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+std::uint64_t SimMachine::FlagHist::last_value() const {
+  return entries.empty() ? floor_value : entries.back().first;
+}
+
+// ---------------------------------------------------------------------------
+// SimCtx
+
+class SimMachine::SimCtx final : public mach::Ctx {
+ public:
+  SimCtx(SimMachine* m, int rank, double run_epoch)
+      : m_(m),
+        rank_(rank),
+        core_(m->map_.core_of(rank)),
+        run_epoch_(run_epoch) {}
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return m_->n_ranks(); }
+  int core() const noexcept override { return core_; }
+
+  double now() override { return m_->sched_->now(rank_) - run_epoch_; }
+
+  void charge(double seconds) override {
+    m_->sched_->advance(rank_, seconds);
+  }
+
+  void copy(void* dst, const void* src, std::size_t n) override {
+    const double t = m_->sched_->now(rank_);
+    const auto* src_block = m_->registry_.find(src);
+    const auto* dst_block = m_->registry_.find(dst);
+    const double d = m_->price_read(src_block, core_, n, t, 1.0);
+    std::memcpy(dst, src, n);
+    if (dst_block != nullptr) m_->cache_.on_write(dst_block->id, core_);
+    m_->sched_->advance(rank_, d);
+  }
+
+  void reduce(void* dst, const void* src, std::size_t count,
+              mach::DType dtype, mach::ROp op) override {
+    const std::size_t n = count * mach::dtype_size(dtype);
+    const double t = m_->sched_->now(rank_);
+    const auto* src_block = m_->registry_.find(src);
+    const auto* dst_block = m_->registry_.find(dst);
+    // Fetch the source operand (at reduction throughput), then the
+    // destination operand, which is also read-modified-written.
+    const double d1 = m_->price_read(src_block, core_, n, t,
+                                     m_->params_.reduce_bw_factor);
+    const double d2 = m_->price_read(dst_block, core_, n, t + d1, 1.0);
+    mach::reduce_apply(dst, src, count, dtype, op);
+    if (dst_block != nullptr) m_->cache_.on_write(dst_block->id, core_);
+    m_->sched_->advance(rank_, d1 + d2);
+  }
+
+  void write_payload(void* dst, std::size_t n, std::uint64_t seed) override {
+    util::fill_pattern(dst, n, seed);
+    const auto* block = m_->registry_.find(dst);
+    if (block != nullptr) m_->cache_.on_write(block->id, core_);
+    const double d = m_->params_.copy_base +
+                     static_cast<double>(n) / m_->params_.intra_numa.bw;
+    m_->sched_->advance(rank_, d);
+  }
+
+  void flag_store(mach::Flag& f, std::uint64_t v) override {
+    const double t = m_->sched_->now(rank_);
+    const double done = m_->lines_.write(util::line_of(&f), core_, t);
+    f.v.store(v, std::memory_order_release);
+    m_->flag_hist_[&f].append(v, done);
+    m_->sched_->notify(&f);
+    m_->sched_->advance(rank_, done - t);
+  }
+
+  std::uint64_t flag_read(const mach::Flag& f) override {
+    const double t = m_->sched_->now(rank_);
+    const double done = m_->lines_.read(util::line_of(&f), core_, t);
+    const std::uint64_t value = m_->flag_hist_[&f].value_at(done);
+    m_->sched_->advance(rank_, done - t);
+    return value;
+  }
+
+  void flag_wait_ge(const mach::Flag& f, std::uint64_t v) override {
+    FlagHist& hist = m_->flag_hist_[&f];
+    // Fast path: the value is already published — the fetch overlaps with
+    // the surrounding reads (a scan over set flags exposes only part of the
+    // miss latency).
+    const double now = m_->sched_->now(rank_);
+    if (const auto crossing = hist.crossing(v);
+        crossing.has_value() && *crossing <= now) {
+      const double done =
+          m_->lines_.read(util::line_of(&f), core_, now, /*pipelined=*/true);
+      m_->sched_->advance(rank_, done - now);
+      return;
+    }
+    const double resume = m_->sched_->wait_until(
+        rank_, &f, [&hist, v]() { return hist.crossing(v); });
+    // Pay for actually fetching the line at the resume time (the line-model
+    // serializes concurrent fetchers — the fan-in effect).
+    const double done = m_->lines_.read(util::line_of(&f), core_, resume);
+    m_->sched_->advance(rank_, done - resume);
+  }
+
+  std::uint64_t fetch_add(mach::Flag& f, std::uint64_t delta) override {
+    const double t = m_->sched_->now(rank_);
+    const double done = m_->lines_.rmw(util::line_of(&f), core_, t);
+    FlagHist& hist = m_->flag_hist_[&f];
+    const std::uint64_t prev = hist.last_value();
+    const std::uint64_t next = prev + delta;
+    f.v.store(next, std::memory_order_release);
+    hist.append(next, done);
+    m_->sched_->notify(&f);
+    m_->sched_->advance(rank_, done - t);
+    return prev;
+  }
+
+  void barrier() override {
+    m_->sched_->barrier(rank_, m_->params_.barrier_cost);
+  }
+
+ private:
+  SimMachine* const m_;
+  const int rank_;
+  const int core_;
+  const double run_epoch_;
+};
+
+// ---------------------------------------------------------------------------
+// SimMachine
+
+SimMachine::SimMachine(topo::Topology topo, int n_ranks,
+                       topo::MapPolicy policy)
+    // Both the delegation argument and params_for only read `topo`.
+    : SimMachine(topo, n_ranks, policy, params_for(topo)) {}
+
+SimMachine::SimMachine(topo::Topology topo, int n_ranks,
+                       topo::MapPolicy policy, SimParams params)
+    : topo_(std::move(topo)),
+      map_(topo_, n_ranks, policy),
+      params_(params),
+      cache_(&topo_, &params_),
+      lines_(&topo_, &params_) {
+  setup_ledger();
+}
+
+SimMachine::~SimMachine() = default;
+
+void SimMachine::setup_ledger() {
+  ledger_ = ResourceLedger();
+  if (topo_.has_shared_llc() && params_.llc_port_bw > 0) {
+    for (int l = 0; l < topo_.n_llc(); ++l) {
+      ledger_.set_capacity({ResKind::kLlcPort, l}, params_.llc_port_bw);
+    }
+  }
+  for (int n = 0; n < topo_.n_numa(); ++n) {
+    ledger_.set_capacity({ResKind::kNumaChannel, n}, params_.numa_mem_bw);
+  }
+  for (int s = 0; s < topo_.n_sockets(); ++s) {
+    ledger_.set_capacity({ResKind::kSocketFabric, s},
+                         params_.socket_fabric_bw);
+  }
+  if (topo_.n_sockets() > 1) {
+    ledger_.set_capacity({ResKind::kXSocketLink, 0}, params_.xsocket_bw);
+  }
+  if (params_.slc_bw > 0) {
+    ledger_.set_capacity({ResKind::kSlc, 0}, params_.slc_bw);
+  }
+}
+
+void* SimMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align) {
+  XHC_REQUIRE(owner_rank >= 0 && owner_rank < n_ranks(), "owner rank ",
+              owner_rank, " out of range");
+  if (align < 64) align = 64;
+  const std::size_t rounded = (bytes + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  XHC_CHECK(p != nullptr, "allocation of ", bytes, " bytes failed");
+  std::memset(p, 0, rounded ? rounded : align);
+  const std::uint64_t id =
+      registry_.insert(p, rounded ? rounded : align, owner_rank);
+  const int home_numa = topo_.core(map_.core_of(owner_rank)).numa;
+  cache_.add_block(id, rounded ? rounded : align, home_numa);
+  return p;
+}
+
+void SimMachine::free(void* p) {
+  if (p == nullptr) return;
+  const auto* block = registry_.find(p);
+  if (block != nullptr) cache_.remove_block(block->id);
+  registry_.erase(p);
+  std::free(p);
+}
+
+double SimMachine::price_read(const mach::AllocRegistry::Block* block,
+                              int core, std::size_t n, double t,
+                              double bw_divisor) {
+  ServeInfo info = (block != nullptr)
+                       ? cache_.on_read(block->id, core, n)
+                       : cache_.local_read(core);
+  const LinkCost* link = nullptr;
+  ResId res[3];
+  int n_res = 0;
+
+  switch (info.kind) {
+    case ServeKind::kLocalLlc:
+      link = &params_.llc_local;
+      break;
+    case ServeKind::kSlc:
+      link = &params_.slc;
+      res[n_res++] = {ResKind::kSlc, 0};
+      break;
+    case ServeKind::kProducerLlc:
+      link = &params_.path(info.distance);
+      res[n_res++] = {ResKind::kLlcPort, info.src_llc};
+      break;
+    case ServeKind::kMemory:
+      link = &params_.path(info.distance);
+      res[n_res++] = {ResKind::kNumaChannel, info.src_numa};
+      break;
+  }
+
+  // Path crossings share the fabric / inter-socket link.
+  const topo::CorePlace& reader = topo_.core(core);
+  if (info.kind != ServeKind::kLocalLlc) {
+    if (info.distance == topo::Distance::kCrossSocket) {
+      res[n_res++] = {ResKind::kXSocketLink, 0};
+    } else if (info.distance == topo::Distance::kCrossNuma) {
+      res[n_res++] = {ResKind::kSocketFabric, reader.socket};
+    }
+  }
+
+  double bw = link->bw;
+  for (int i = 0; i < n_res; ++i) bw = std::min(bw, ledger_.share(res[i], t));
+  const double duration = params_.copy_base + link->lat +
+                          static_cast<double>(n) * bw_divisor / bw;
+  for (int i = 0; i < n_res; ++i) ledger_.book(res[i], t, t + duration);
+  return duration;
+}
+
+mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {
+  const int n = n_ranks();
+  const double run_epoch = epoch_;
+  sched_ = std::make_unique<VirtualScheduler>(n, run_epoch);
+
+  mach::RunResult result;
+  result.rank_time.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<double> end_time(static_cast<std::size_t>(n), run_epoch);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      bool started = false;
+      try {
+        sched_->start(r);
+        started = true;
+        SimCtx ctx(this, r, run_epoch);
+        fn(ctx);
+        end_time[static_cast<std::size_t>(r)] = sched_->now(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        sched_->abort_all();
+      }
+      if (started) {
+        try {
+          sched_->finish(r);
+        } catch (...) {
+          // Aborted while finishing; nothing more to unwind.
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < n; ++r) {
+    result.rank_time[static_cast<std::size_t>(r)] =
+        end_time[static_cast<std::size_t>(r)] - run_epoch;
+    result.max_time = std::max(result.max_time,
+                               result.rank_time[static_cast<std::size_t>(r)]);
+    epoch_ = std::max(epoch_, end_time[static_cast<std::size_t>(r)]);
+  }
+  sched_.reset();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return result;
+}
+
+}  // namespace xhc::sim

@@ -1,0 +1,92 @@
+// SimMachine — deterministic virtual-time execution over a modeled node.
+//
+// Runs the same rank functions as RealMachine (data operations move real
+// bytes), but each operation also advances a virtual clock priced by the
+// node model: topology-dependent copy costs with congestion (Fig. 1),
+// cache residency (Fig. 7), cache-line service for flags (Fig. 4, Fig. 10),
+// and explicit charges for mechanism overheads (XPMEM attach, syscalls —
+// charged by the smsc layer). The virtual clock is continuous across run()
+// calls, so warmup iterations populate caches and registration state exactly
+// like a long-lived MPI job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "mach/machine.h"
+#include "sim/cache_model.h"
+#include "sim/line_model.h"
+#include "sim/params.h"
+#include "sim/resources.h"
+#include "sim/scheduler.h"
+
+namespace xhc::sim {
+
+class SimMachine final : public mach::Machine {
+ public:
+  SimMachine(topo::Topology topo, int n_ranks,
+             topo::MapPolicy policy = topo::MapPolicy::kCore);
+  SimMachine(topo::Topology topo, int n_ranks, topo::MapPolicy policy,
+             SimParams params);
+  ~SimMachine() override;
+
+  const topo::Topology& topology() const noexcept override { return topo_; }
+  const topo::RankMap& map() const noexcept override { return map_; }
+  const SimParams& params() const noexcept { return params_; }
+
+  void* alloc(int owner_rank, std::size_t bytes,
+              std::size_t align = 64) override;
+  void free(void* p) override;
+
+  mach::RunResult run(const std::function<void(mach::Ctx&)>& fn) override;
+
+  /// Virtual time at which the last run() completed (the clock is
+  /// continuous across runs).
+  double epoch() const noexcept { return epoch_; }
+
+  /// Test hooks.
+  CacheModel& cache_model() noexcept { return cache_; }
+  LineModel& line_model() noexcept { return lines_; }
+  ResourceLedger& ledger() noexcept { return ledger_; }
+
+ private:
+  class SimCtx;
+  friend class SimCtx;
+
+  /// Publish history of one flag: (value, virtual time) pairs, pruned.
+  struct FlagHist {
+    std::deque<std::pair<std::uint64_t, double>> entries;
+    std::uint64_t floor_value = 0;  ///< value before the retained window
+    double floor_time = 0.0;
+
+    void append(std::uint64_t value, double t);
+    /// Earliest retained time at which the value was >= v; nullopt if the
+    /// value has not reached v yet.
+    std::optional<double> crossing(std::uint64_t v) const;
+    /// Value visible at time t (latest entry with time <= t).
+    std::uint64_t value_at(double t) const;
+    std::uint64_t last_value() const;
+  };
+
+  void setup_ledger();
+  /// Prices a bulk read of `n` bytes of `block` (or unregistered memory when
+  /// block == nullptr) by `core` starting at `t`; books resources; returns
+  /// the duration. `bw_divisor` scales throughput (reductions are slower).
+  double price_read(const mach::AllocRegistry::Block* block, int core,
+                    std::size_t n, double t, double bw_divisor);
+
+  topo::Topology topo_;
+  topo::RankMap map_;
+  SimParams params_;
+  mach::AllocRegistry registry_;
+  CacheModel cache_;
+  LineModel lines_;
+  ResourceLedger ledger_;
+  std::map<const mach::Flag*, FlagHist> flag_hist_;
+  std::unique_ptr<VirtualScheduler> sched_;  // alive during run()
+  double epoch_ = 0.0;
+};
+
+}  // namespace xhc::sim

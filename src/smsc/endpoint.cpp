@@ -1,0 +1,67 @@
+#include "smsc/endpoint.h"
+
+#include "util/check.h"
+
+namespace xhc::smsc {
+
+Endpoint::Endpoint(Mechanism mech, bool use_reg_cache)
+    : mech_(mech), costs_(costs_for(mech)), use_reg_cache_(use_reg_cache) {}
+
+void Endpoint::expose(mach::Ctx& ctx, const void* buf, std::size_t len) {
+  if (!costs_.mapping) return;
+  const std::pair<int, const void*> key{ctx.rank(), buf};
+  auto it = exposed_.find(key);
+  if (it != exposed_.end() && it->second >= len) return;
+  exposed_[key] = len;
+  ctx.charge(costs_.expose);
+}
+
+void Endpoint::charge_attach(mach::Ctx& ctx, std::size_t len) {
+  ctx.charge(costs_.attach_syscall +
+             static_cast<double>(pages_of(len)) * costs_.page_fault);
+}
+
+const void* Endpoint::attach(mach::Ctx& ctx, int owner, const void* buf,
+                             std::size_t len) {
+  XHC_REQUIRE(buf != nullptr, "attach of null buffer");
+  if (!costs_.mapping) {
+    // CMA/KNEM/CICO have no mapping concept; per-op costs apply instead.
+    return buf;
+  }
+  if (use_reg_cache_) {
+    if (cache_.lookup(owner, buf, len)) {
+      ctx.charge(costs_.cache_lookup);
+    } else {
+      charge_attach(ctx, len);
+      cache_.insert(owner, buf, len);
+    }
+  } else {
+    // Fig. 3 dashed: the mapping is created and torn down every time.
+    charge_attach(ctx, len);
+    ctx.charge(costs_.detach);
+  }
+  return buf;
+}
+
+void* Endpoint::attach_mut(mach::Ctx& ctx, int owner, void* buf,
+                           std::size_t len) {
+  return const_cast<void*>(
+      attach(ctx, owner, static_cast<const void*>(buf), len));
+}
+
+void Endpoint::charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks) {
+  if (costs_.op_syscall == 0.0 && costs_.op_per_page == 0.0) return;
+  const double contention =
+      1.0 + costs_.lock_coef * static_cast<double>(node_ranks - 1);
+  ctx.charge(costs_.op_syscall +
+             static_cast<double>(pages_of(bytes)) * costs_.op_per_page *
+                 contention);
+}
+
+void Endpoint::detach_all(mach::Ctx& ctx) {
+  if (!costs_.mapping) return;
+  ctx.charge(static_cast<double>(cache_.size()) * costs_.detach);
+  cache_.clear();
+}
+
+}  // namespace xhc::smsc

@@ -1,0 +1,60 @@
+// Per-rank shared-memory single-copy endpoint (OpenMPI's SMSC component).
+//
+// Components obtain peer-buffer access through an Endpoint: `attach` charges
+// the mechanism's mapping costs (amortized by the registration cache) and
+// returns a pointer usable with Ctx::copy / Ctx::reduce; `charge_op` prices
+// the per-operation kernel path of CMA/KNEM. On the thread-backed machines
+// the returned pointer is the peer's actual buffer — precisely the
+// load/store visibility XPMEM provides between processes.
+#pragma once
+
+#include "mach/machine.h"
+#include "smsc/mechanism.h"
+#include "smsc/reg_cache.h"
+
+namespace xhc::smsc {
+
+class Endpoint {
+ public:
+  /// `use_reg_cache=false` reproduces the paper's Fig. 3 dashed variant:
+  /// XPMEM pays attach+detach on every operation.
+  explicit Endpoint(Mechanism mech, bool use_reg_cache = true);
+
+  Mechanism mechanism() const noexcept { return mech_; }
+  bool single_copy() const noexcept { return mech_ != Mechanism::kCico; }
+  /// True when reductions may read the peer buffer in place (XPMEM only).
+  bool can_map() const noexcept { return costs_.mapping; }
+
+  /// Owner-side: expose [buf, buf+len). Charged once per buffer (the owner
+  /// keeps its own bookkeeping of exposed ranges).
+  void expose(mach::Ctx& ctx, const void* buf, std::size_t len);
+
+  /// Reader-side: make the peer's buffer accessible. Returns `buf` (threads
+  /// share the address space) after charging mapping costs.
+  const void* attach(mach::Ctx& ctx, int owner, const void* buf,
+                     std::size_t len);
+  void* attach_mut(mach::Ctx& ctx, int owner, void* buf, std::size_t len);
+
+  /// Per-operation kernel cost for copy-through mechanisms (CMA/KNEM);
+  /// no-op for XPMEM/CICO. `node_ranks` scales the mm-lock contention.
+  void charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks);
+
+  /// Detaches everything (communicator teardown); charges detach costs.
+  void detach_all(mach::Ctx& ctx);
+
+  const RegCache::Stats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  void reset_stats() { cache_.reset_stats(); }
+
+ private:
+  void charge_attach(mach::Ctx& ctx, std::size_t len);
+
+  Mechanism mech_;
+  MechanismCosts costs_;
+  bool use_reg_cache_;
+  RegCache cache_;
+  std::map<std::pair<int, const void*>, std::size_t> exposed_;
+};
+
+}  // namespace xhc::smsc

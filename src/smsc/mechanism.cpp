@@ -1,0 +1,62 @@
+#include "smsc/mechanism.h"
+
+#include "util/check.h"
+
+namespace xhc::smsc {
+
+const char* to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kXpmem:
+      return "xpmem";
+    case Mechanism::kCma:
+      return "cma";
+    case Mechanism::kKnem:
+      return "knem";
+    case Mechanism::kCico:
+      return "cico";
+  }
+  return "?";
+}
+
+Mechanism mechanism_from(std::string_view name) {
+  if (name == "xpmem") return Mechanism::kXpmem;
+  if (name == "cma") return Mechanism::kCma;
+  if (name == "knem") return Mechanism::kKnem;
+  if (name == "cico" || name == "none") return Mechanism::kCico;
+  XHC_REQUIRE(false, "unknown mechanism '", std::string(name), "'");
+  return Mechanism::kCico;
+}
+
+MechanismCosts costs_for(Mechanism m) {
+  constexpr double kUs = 1e-6;
+  MechanismCosts c;
+  switch (m) {
+    case Mechanism::kXpmem:
+      c.expose = 0.4 * kUs;
+      c.attach_syscall = 1.5 * kUs;
+      c.page_fault = 0.5 * kUs;
+      c.detach = 0.9 * kUs;
+      c.cache_lookup = 0.15 * kUs;
+      c.mapping = true;
+      break;
+    case Mechanism::kCma:
+      // process_vm_readv: every copy traverses the kernel, pins the source
+      // pages and takes the remote mm lock.
+      c.op_syscall = 1.5 * kUs;
+      c.op_per_page = 0.10 * kUs;
+      c.lock_coef = 0.08;
+      break;
+    case Mechanism::kKnem:
+      // Cookie-based declared regions make per-copy page handling cheaper
+      // than CMA, but the per-operation kernel path remains.
+      c.op_syscall = 1.0 * kUs;
+      c.op_per_page = 0.035 * kUs;
+      c.lock_coef = 0.05;
+      break;
+    case Mechanism::kCico:
+      break;
+  }
+  return c;
+}
+
+}  // namespace xhc::smsc

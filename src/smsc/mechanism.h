@@ -1,0 +1,57 @@
+// Single-copy mechanism models (paper §II-B, §III-C, Fig. 3).
+//
+// XPMEM maps a peer's memory once and then allows plain load/store access —
+// attach is expensive (syscall + page-table population) but amortizable via
+// a registration cache, and reductions can read peer buffers directly.
+// CMA and KNEM copy through the kernel on *every* operation: they pay
+// per-operation syscall and page-pinning costs and suffer mm-lock contention
+// that grows with node occupancy ([28]); they also cannot reduce in place.
+// CICO is the no-mechanism baseline: data bounces through shared segments.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace xhc::smsc {
+
+enum class Mechanism {
+  kXpmem,
+  kCma,
+  kKnem,
+  kCico,  ///< no single-copy support (copy-in-copy-out only)
+};
+
+const char* to_string(Mechanism m);
+Mechanism mechanism_from(std::string_view name);
+
+/// Cost model of one mechanism. All times in seconds; charged through
+/// Ctx::charge (no-ops on the real machine, where the mechanisms degenerate
+/// to pointer sharing between threads).
+struct MechanismCosts {
+  // One-time / cached path (XPMEM).
+  double expose = 0.0;         ///< xpmem_make on the owner
+  double attach_syscall = 0.0; ///< xpmem_attach
+  double page_fault = 0.0;     ///< first-touch fault per 4 KiB page
+  double detach = 0.0;         ///< xpmem_detach
+  double cache_lookup = 0.0;   ///< registration-cache hit cost (§III-D)
+
+  // Per-operation path (CMA / KNEM).
+  double op_syscall = 0.0;     ///< per-copy syscall entry
+  double op_per_page = 0.0;    ///< per-4KiB page pinning per copy
+  double lock_coef = 0.0;      ///< kernel mm-lock contention: the per-page
+                               ///< cost scales by (1 + lock_coef*(ranks-1))
+
+  /// True when the mechanism supports mapping (and therefore registration
+  /// caching and in-place reduction).
+  bool mapping = false;
+};
+
+MechanismCosts costs_for(Mechanism m);
+
+inline constexpr std::size_t kPageSize = 4096;
+
+inline std::size_t pages_of(std::size_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace xhc::smsc

@@ -1,0 +1,27 @@
+#include "smsc/reg_cache.h"
+
+namespace xhc::smsc {
+
+bool RegCache::lookup(int owner, const void* buf, std::size_t len) {
+  // Find the cached range with the greatest base <= buf for this owner.
+  auto it = ranges_.upper_bound({owner, buf});
+  if (it != ranges_.begin()) {
+    --it;
+    if (it->first.first == owner) {
+      const auto* base = static_cast<const char*>(it->first.second);
+      const auto* req = static_cast<const char*>(buf);
+      if (req >= base && req + len <= base + it->second) {
+        ++stats_.hits;
+        return true;
+      }
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void RegCache::insert(int owner, const void* buf, std::size_t len) {
+  ranges_[{owner, buf}] = len;
+}
+
+}  // namespace xhc::smsc

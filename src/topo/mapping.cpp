@@ -1,0 +1,73 @@
+#include "topo/mapping.h"
+
+#include "util/check.h"
+
+namespace xhc::topo {
+
+const char* to_string(MapPolicy p) {
+  switch (p) {
+    case MapPolicy::kCore:
+      return "map-core";
+    case MapPolicy::kNuma:
+      return "map-numa";
+  }
+  return "?";
+}
+
+RankMap::RankMap(const Topology& topo, int n_ranks, MapPolicy policy)
+    : policy_(policy) {
+  XHC_REQUIRE(n_ranks > 0, "need at least one rank");
+  XHC_REQUIRE(n_ranks <= topo.n_cores(), "asked for ", n_ranks, " ranks on ",
+              topo.n_cores(), "-core topology '", topo.name(), "'");
+  rank_to_core_.resize(static_cast<std::size_t>(n_ranks));
+  core_to_rank_.assign(static_cast<std::size_t>(topo.n_cores()), -1);
+
+  if (policy == MapPolicy::kCore) {
+    for (int r = 0; r < n_ranks; ++r) {
+      rank_to_core_[static_cast<std::size_t>(r)] = r;
+    }
+  } else {
+    // Round-robin over NUMA nodes: rank r lands on the next free core of
+    // NUMA node (r mod n_numa).
+    std::vector<std::vector<int>> per_numa(
+        static_cast<std::size_t>(topo.n_numa()));
+    for (int n = 0; n < topo.n_numa(); ++n) {
+      per_numa[static_cast<std::size_t>(n)] = topo.cores_in_numa(n);
+    }
+    std::vector<std::size_t> next(static_cast<std::size_t>(topo.n_numa()), 0);
+    for (int r = 0; r < n_ranks; ++r) {
+      // Skip NUMA nodes that are already full.
+      int numa = r % topo.n_numa();
+      for (int tries = 0; tries < topo.n_numa(); ++tries) {
+        const auto idx = static_cast<std::size_t>(numa);
+        if (next[idx] < per_numa[idx].size()) break;
+        numa = (numa + 1) % topo.n_numa();
+      }
+      const auto idx = static_cast<std::size_t>(numa);
+      XHC_CHECK(next[idx] < per_numa[idx].size(), "no free core for rank ", r);
+      rank_to_core_[static_cast<std::size_t>(r)] = per_numa[idx][next[idx]++];
+    }
+  }
+  for (int r = 0; r < n_ranks; ++r) {
+    core_to_rank_[static_cast<std::size_t>(
+        rank_to_core_[static_cast<std::size_t>(r)])] = r;
+  }
+}
+
+int RankMap::core_of(int rank) const {
+  XHC_REQUIRE(rank >= 0 && rank < n_ranks(), "rank ", rank, " out of range");
+  return rank_to_core_[static_cast<std::size_t>(rank)];
+}
+
+int RankMap::rank_on(int core) const {
+  XHC_REQUIRE(core >= 0 && core < static_cast<int>(core_to_rank_.size()),
+              "core ", core, " out of range");
+  return core_to_rank_[static_cast<std::size_t>(core)];
+}
+
+Distance RankMap::distance(const Topology& topo, int rank_a,
+                           int rank_b) const {
+  return topo.distance(core_of(rank_a), core_of(rank_b));
+}
+
+}  // namespace xhc::topo

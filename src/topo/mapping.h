@@ -1,0 +1,39 @@
+// Rank-to-core mapping policies (paper Fig. 9a: map-core vs map-numa).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace xhc::topo {
+
+/// How MPI ranks are assigned to the node's cores.
+enum class MapPolicy {
+  kCore,  ///< rank r on core r (sequential fill; OpenMPI --map-by core)
+  kNuma,  ///< ranks round-robin across NUMA nodes (OpenMPI --map-by numa)
+};
+
+const char* to_string(MapPolicy p);
+
+/// A concrete rank→core assignment for `n_ranks` ranks on `topo`.
+class RankMap {
+ public:
+  RankMap(const Topology& topo, int n_ranks, MapPolicy policy);
+
+  int n_ranks() const noexcept { return static_cast<int>(rank_to_core_.size()); }
+  int core_of(int rank) const;
+  /// Rank running on `core`, or -1 when the core hosts no rank.
+  int rank_on(int core) const;
+  MapPolicy policy() const noexcept { return policy_; }
+
+  /// Topological relation between the cores hosting two ranks.
+  Distance distance(const Topology& topo, int rank_a, int rank_b) const;
+
+ private:
+  std::vector<int> rank_to_core_;
+  std::vector<int> core_to_rank_;
+  MapPolicy policy_;
+};
+
+}  // namespace xhc::topo

@@ -1,0 +1,61 @@
+#include "topo/presets.h"
+
+#include "util/check.h"
+
+namespace xhc::topo {
+
+Topology grid(std::string name, int sockets, int numa_per_socket,
+              int cores_per_numa, int cores_per_llc) {
+  XHC_REQUIRE(sockets > 0 && numa_per_socket > 0 && cores_per_numa > 0,
+              "bad grid shape");
+  XHC_REQUIRE(cores_per_llc >= 0, "bad llc group size");
+  const bool shared_llc = cores_per_llc > 1;
+  std::vector<CorePlace> cores;
+  int id = 0;
+  for (int s = 0; s < sockets; ++s) {
+    for (int n = 0; n < numa_per_socket; ++n) {
+      for (int c = 0; c < cores_per_numa; ++c) {
+        CorePlace p;
+        p.core = id;
+        p.numa = s * numa_per_socket + n;
+        p.socket = s;
+        p.llc = shared_llc ? id / cores_per_llc : id;
+        cores.push_back(p);
+        ++id;
+      }
+    }
+  }
+  return Topology(std::move(name), std::move(cores), shared_llc);
+}
+
+Topology epyc1p() { return grid("epyc1p", 1, 4, 8, 4); }
+
+Topology epyc2p() { return grid("epyc2p", 2, 4, 8, 4); }
+
+Topology armn1() { return grid("armn1", 2, 4, 20, 0); }
+
+Topology mini8() { return grid("mini8", 2, 2, 2, 2); }
+
+Topology mini16() { return grid("mini16", 2, 2, 4, 2); }
+
+Topology flat(int n) {
+  XHC_REQUIRE(n > 0, "flat topology needs at least one core");
+  return grid("flat" + std::to_string(n), 1, 1, n, n);
+}
+
+Topology by_name(std::string_view name) {
+  if (name == "epyc1p") return epyc1p();
+  if (name == "epyc2p") return epyc2p();
+  if (name == "armn1") return armn1();
+  if (name == "mini8") return mini8();
+  if (name == "mini16") return mini16();
+  XHC_REQUIRE(false, "unknown topology preset '", std::string(name), "'");
+  // Unreachable; XHC_REQUIRE throws.
+  return flat(1);
+}
+
+std::vector<std::string_view> paper_systems() {
+  return {"epyc1p", "epyc2p", "armn1"};
+}
+
+}  // namespace xhc::topo

@@ -1,0 +1,45 @@
+// Topology presets for the paper's evaluation systems (Table I) plus small
+// synthetic topologies used by the test suite.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace xhc::topo {
+
+/// 1x AMD Epyc 7551P — 32 cores, 4 NUMA nodes, 1 socket, 4-core L3 (CCX).
+Topology epyc1p();
+
+/// 2x AMD Epyc 7501 — 64 cores, 8 NUMA nodes, 2 sockets, 4-core L3 (CCX).
+Topology epyc2p();
+
+/// 2x ARM Neoverse N1 (Ampere Altra) — 160 cores, 8 NUMA nodes, 2 sockets,
+/// private L2 per core and a system-level cache (no shared LLC groups).
+Topology armn1();
+
+/// 8 cores, 2 sockets, 4 NUMA nodes, 2-core LLC groups. Small enough for
+/// exhaustive unit tests while retaining all three domain kinds.
+Topology mini8();
+
+/// 16 cores, 2 sockets, 4 NUMA nodes, 2-core LLC groups.
+Topology mini16();
+
+/// `n` cores in a single LLC/NUMA/socket (uniform flat machine).
+Topology flat(int n);
+
+/// Builds a synthetic machine: `sockets` x `numa_per_socket` x
+/// `cores_per_numa`, with LLC groups of `cores_per_llc` cores
+/// (`cores_per_llc == 0` means no shared LLC, e.g. ARM-style).
+Topology grid(std::string name, int sockets, int numa_per_socket,
+              int cores_per_numa, int cores_per_llc);
+
+/// Look up a preset by name ("epyc1p", "epyc2p", "armn1", "mini8",
+/// "mini16"); throws util::Error for unknown names.
+Topology by_name(std::string_view name);
+
+/// Names of the three paper evaluation systems, in Table I order.
+std::vector<std::string_view> paper_systems();
+
+}  // namespace xhc::topo

@@ -1,0 +1,70 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::topo {
+
+const char* to_string(Distance d) {
+  switch (d) {
+    case Distance::kSelf:
+      return "self";
+    case Distance::kLlcLocal:
+      return "cache-local";
+    case Distance::kIntraNuma:
+      return "intra-numa";
+    case Distance::kCrossNuma:
+      return "cross-numa";
+    case Distance::kCrossSocket:
+      return "cross-socket";
+  }
+  return "?";
+}
+
+Topology::Topology(std::string name, std::vector<CorePlace> cores,
+                   bool shared_llc)
+    : name_(std::move(name)), cores_(std::move(cores)), shared_llc_(shared_llc) {
+  XHC_REQUIRE(!cores_.empty(), "topology '", name_, "' has no cores");
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    XHC_REQUIRE(cores_[i].core == static_cast<int>(i),
+                "core ids must be dense; slot ", i, " holds id ",
+                cores_[i].core);
+    n_llc_ = std::max(n_llc_, cores_[i].llc + 1);
+    n_numa_ = std::max(n_numa_, cores_[i].numa + 1);
+    n_sockets_ = std::max(n_sockets_, cores_[i].socket + 1);
+  }
+}
+
+const CorePlace& Topology::core(int id) const {
+  XHC_REQUIRE(id >= 0 && id < n_cores(), "core id ", id, " out of range");
+  return cores_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Topology::cores_in_numa(int numa) const {
+  std::vector<int> out;
+  for (const auto& c : cores_) {
+    if (c.numa == numa) out.push_back(c.core);
+  }
+  return out;
+}
+
+std::vector<int> Topology::cores_in_socket(int socket) const {
+  std::vector<int> out;
+  for (const auto& c : cores_) {
+    if (c.socket == socket) out.push_back(c.core);
+  }
+  return out;
+}
+
+Distance Topology::distance(int core_a, int core_b) const {
+  const CorePlace& a = core(core_a);
+  const CorePlace& b = core(core_b);
+  if (a.core == b.core) return Distance::kSelf;
+  if (a.socket != b.socket) return Distance::kCrossSocket;
+  if (a.numa != b.numa) return Distance::kCrossNuma;
+  if (shared_llc_ && a.llc == b.llc) return Distance::kLlcLocal;
+  return Distance::kIntraNuma;
+}
+
+}  // namespace xhc::topo

@@ -1,0 +1,68 @@
+// Node topology description — the hwloc substitute (paper §III-A).
+//
+// A Topology lists every core's LLC group, NUMA node and socket. XHC uses it
+// to build topology-aware hierarchies; the simulator uses it to price data
+// movement between cores (Fig. 1a) and to model cache-line service.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xhc::topo {
+
+/// Placement of one core inside the node.
+struct CorePlace {
+  int core = 0;    ///< core id (index in Topology::cores())
+  int llc = 0;     ///< id of the last-level-cache group the core belongs to
+  int numa = 0;    ///< NUMA node id
+  int socket = 0;  ///< socket / package id
+};
+
+/// Topological relation between two cores, from nearest to farthest.
+enum class Distance {
+  kSelf,        ///< same core
+  kLlcLocal,    ///< different cores sharing a last-level cache
+  kIntraNuma,   ///< same NUMA node, no shared LLC
+  kCrossNuma,   ///< different NUMA nodes, same socket
+  kCrossSocket  ///< different sockets
+};
+
+const char* to_string(Distance d);
+
+/// Immutable description of a multicore node.
+class Topology {
+ public:
+  /// `cores[i].core` must equal `i`; ids must be dense starting at 0.
+  Topology(std::string name, std::vector<CorePlace> cores, bool shared_llc);
+
+  const std::string& name() const noexcept { return name_; }
+  int n_cores() const noexcept { return static_cast<int>(cores_.size()); }
+  int n_llc() const noexcept { return n_llc_; }
+  int n_numa() const noexcept { return n_numa_; }
+  int n_sockets() const noexcept { return n_sockets_; }
+
+  /// True when neighbouring cores share a last-level cache (Epyc CCX);
+  /// false for system-level-cache machines like ARM-N1 (paper §V-D1).
+  bool has_shared_llc() const noexcept { return shared_llc_; }
+
+  const CorePlace& core(int id) const;
+  const std::vector<CorePlace>& cores() const noexcept { return cores_; }
+
+  /// Cores belonging to NUMA node `numa`, in core-id order.
+  std::vector<int> cores_in_numa(int numa) const;
+  /// Cores belonging to socket `socket`, in core-id order.
+  std::vector<int> cores_in_socket(int socket) const;
+
+  Distance distance(int core_a, int core_b) const;
+
+ private:
+  std::string name_;
+  std::vector<CorePlace> cores_;
+  bool shared_llc_;
+  int n_llc_ = 0;
+  int n_numa_ = 0;
+  int n_sockets_ = 0;
+};
+
+}  // namespace xhc::topo

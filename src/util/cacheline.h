@@ -1,0 +1,39 @@
+// Cache-line geometry and padding helpers.
+//
+// All control flags in XHC follow the single-writer / multiple-readers
+// paradigm and must be laid out with explicit cache-line placement to avoid
+// false sharing (paper §III-E). `CachePadded<T>` rounds a value up to one
+// full line; `kCacheLine` is the line size assumed throughout (both the real
+// machine and the simulator's line model use it).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace xhc::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value so that it occupies (at least) one whole cache line.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  // sizeof(CachePadded<T>) is a multiple of kCacheLine because the struct's
+  // alignment is kCacheLine; no explicit padding member is needed.
+};
+
+/// Identifier of the cache line containing an address (used by the
+/// simulator's coherence-line model; flags that share a line share fate).
+inline std::uintptr_t line_of(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) / kCacheLine;
+}
+
+}  // namespace xhc::util

@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+namespace xhc::util::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  std::ostringstream os;
+  os << "xhc " << kind << " failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace xhc::util::detail

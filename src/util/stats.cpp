@@ -1,0 +1,38 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace xhc::util {
+
+void Stats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Stats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> xs, double q) {
+  XHC_REQUIRE(!xs.empty(), "percentile of empty sample");
+  XHC_REQUIRE(q >= 0.0 && q <= 1.0, "q=", q);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace xhc::util

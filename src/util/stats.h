@@ -1,0 +1,35 @@
+// Streaming summary statistics (Welford) used by the OSU-style harness and
+// the benchmark drivers to aggregate per-iteration latencies.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace xhc::util {
+
+/// Online mean / variance / min / max accumulator.
+class Stats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile of a sample set (linear interpolation); `q` in [0, 1].
+double percentile(std::vector<double> xs, double q);
+
+}  // namespace xhc::util

@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace xhc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  XHC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  XHC_REQUIRE(cells.size() == header_.size(), "row has ", cells.size(),
+              " cells, header has ", header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_bytes(std::size_t bytes) {
+  std::ostringstream os;
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    os << (bytes >> 20) << "M";
+  } else if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    os << (bytes >> 10) << "K";
+  } else {
+    os << bytes;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(width[c]))
+           << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace xhc::util

@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by the benchmark binaries to emit
+// paper-style result rows (one table per paper figure/table).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xhc::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Cells are right-aligned except the first column, matching the layout of
+/// latency tables in MPI benchmark suites.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `fmt_double`.
+  static std::string fmt_double(double v, int precision = 2);
+  static std::string fmt_bytes(std::size_t bytes);
+
+  void print(std::ostream& os) const;
+  /// Comma-separated dump (machine-readable companion of print()).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xhc::util

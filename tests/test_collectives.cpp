@@ -1,0 +1,349 @@
+// Parameterized correctness tests for every collective component, across
+// machines, topologies, payload sizes, roots, datatypes and reduction
+// operators — the functional contract all of the paper's experiments
+// depend on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "coll/registry.h"
+#include "mach/real_machine.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/prng.h"
+
+namespace xhc {
+namespace {
+
+std::unique_ptr<mach::Machine> make_machine(const std::string& kind,
+                                            const topo::Topology& topo,
+                                            int ranks) {
+  if (kind == "real") {
+    return std::make_unique<mach::RealMachine>(topo, ranks);
+  }
+  return std::make_unique<sim::SimMachine>(topo, ranks);
+}
+
+// ---------------------------------------------------------------------------
+// Bcast: component x machine x size (mini16, roots 0 and 5)
+
+using BcastParam = std::tuple<std::string, std::string, std::size_t>;
+
+class BcastCorrectness : public ::testing::TestWithParam<BcastParam> {};
+
+TEST_P(BcastCorrectness, PayloadReachesEveryRank) {
+  const auto& [comp_name, machine_kind, bytes] = GetParam();
+  for (const int root : {0, 5}) {
+    auto machine = make_machine(machine_kind, topo::mini16(), 16);
+    auto comp = coll::make_component(comp_name, *machine);
+    std::vector<mach::Buffer> bufs;
+    for (int r = 0; r < 16; ++r) bufs.emplace_back(*machine, r, bytes);
+    util::fill_pattern(bufs[static_cast<std::size_t>(root)].get(), bytes,
+                       0xBC + static_cast<std::uint64_t>(root));
+
+    machine->run([&](mach::Ctx& ctx) {
+      comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                  bytes, root);
+    });
+
+    std::vector<std::byte> expect(bytes);
+    util::fill_pattern(expect.data(), bytes,
+                       0xBC + static_cast<std::uint64_t>(root));
+    for (int r = 0; r < 16; ++r) {
+      ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                            expect.data(), bytes),
+                0)
+          << comp_name << " on " << machine_kind << ", root " << root
+          << ", rank " << r << ", " << bytes << " B";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BcastCorrectness,
+    ::testing::Combine(
+        ::testing::Values("xhc", "xhc-flat", "tuned", "sm", "ucc", "smhc",
+                          "smhc-flat", "xbrc"),
+        ::testing::Values("real", "sim"),
+        // 1 B, the CICO threshold edge (1 KB +/- 1), a pipeline chunk
+        // boundary, several chunks, and an odd large size.
+        ::testing::Values(std::size_t{1}, std::size_t{1023},
+                          std::size_t{1024}, std::size_t{1025},
+                          std::size_t{16384}, std::size_t{100000})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         std::to_string(std::get<2>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Allreduce: component x machine x count
+
+using AllreduceParam = std::tuple<std::string, std::string, std::size_t>;
+
+class AllreduceCorrectness
+    : public ::testing::TestWithParam<AllreduceParam> {};
+
+TEST_P(AllreduceCorrectness, SumOfI64) {
+  const auto& [comp_name, machine_kind, count] = GetParam();
+  auto machine = make_machine(machine_kind, topo::mini16(), 16);
+  auto comp = coll::make_component(comp_name, *machine);
+  const std::size_t bytes = count * sizeof(std::int64_t);
+  std::vector<mach::Buffer> sbufs;
+  std::vector<mach::Buffer> rbufs;
+  std::vector<std::int64_t> expect(count, 0);
+  for (int r = 0; r < 16; ++r) {
+    sbufs.emplace_back(*machine, r, bytes);
+    rbufs.emplace_back(*machine, r, bytes);
+    auto* s = static_cast<std::int64_t*>(sbufs.back().get());
+    for (std::size_t i = 0; i < count; ++i) {
+      s[i] = static_cast<std::int64_t>((r + 3) * 7 + i * 13);
+      expect[i] += s[i];
+    }
+  }
+
+  machine->run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), count,
+                    mach::DType::kI64, mach::ROp::kSum);
+  });
+
+  for (int r = 0; r < 16; ++r) {
+    const auto* got = static_cast<const std::int64_t*>(
+        rbufs[static_cast<std::size_t>(r)].get());
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(got[i], expect[i])
+          << comp_name << " on " << machine_kind << ", rank " << r
+          << ", elem " << i << "/" << count;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllreduceCorrectness,
+    ::testing::Combine(
+        ::testing::Values("xhc", "xhc-flat", "tuned", "sm", "ucc", "smhc",
+                          "smhc-flat", "xbrc"),
+        ::testing::Values("real", "sim"),
+        // 1 element, CICO-threshold edge (128 x 8B = 1 KB), chunk-crossing
+        // counts, a non-divisible odd count.
+        ::testing::Values(std::size_t{1}, std::size_t{128}, std::size_t{129},
+                          std::size_t{5000}, std::size_t{12289})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         std::to_string(std::get<2>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-cutting properties
+
+class ComponentProps : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ComponentProps, InPlaceAllreduce) {
+  auto machine = make_machine("real", topo::mini8(), 8);
+  auto comp = coll::make_component(GetParam(), *machine);
+  constexpr std::size_t kCount = 700;
+  std::vector<mach::Buffer> bufs;
+  std::vector<std::int64_t> expect(kCount, 0);
+  for (int r = 0; r < 8; ++r) {
+    bufs.emplace_back(*machine, r, kCount * sizeof(std::int64_t));
+    auto* s = static_cast<std::int64_t*>(bufs.back().get());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      s[i] = static_cast<std::int64_t>(r * 100 + i);
+      expect[i] += s[i];
+    }
+  }
+  machine->run([&](mach::Ctx& ctx) {
+    void* buf = bufs[static_cast<std::size_t>(ctx.rank())].get();
+    comp->allreduce(ctx, buf, buf, kCount, mach::DType::kI64, mach::ROp::kSum);
+  });
+  for (int r = 0; r < 8; ++r) {
+    const auto* got = static_cast<const std::int64_t*>(
+        bufs[static_cast<std::size_t>(r)].get());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(got[i], expect[i]) << GetParam() << " rank " << r;
+    }
+  }
+}
+
+TEST_P(ComponentProps, MinMaxProdOperators) {
+  auto machine = make_machine("real", topo::mini8(), 8);
+  auto comp = coll::make_component(GetParam(), *machine);
+  constexpr std::size_t kCount = 64;
+  for (const mach::ROp op : {mach::ROp::kMin, mach::ROp::kMax,
+                             mach::ROp::kProd}) {
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    std::vector<double> expect(kCount);
+    for (int r = 0; r < 8; ++r) {
+      sbufs.emplace_back(*machine, r, kCount * sizeof(double));
+      rbufs.emplace_back(*machine, r, kCount * sizeof(double));
+      auto* s = static_cast<double*>(sbufs.back().get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        s[i] = 1.0 + static_cast<double>((r * 31 + i * 7) % 5) / 4.0;
+        if (r == 0) {
+          expect[i] = s[i];
+        } else {
+          switch (op) {
+            case mach::ROp::kMin:
+              expect[i] = std::min(expect[i], s[i]);
+              break;
+            case mach::ROp::kMax:
+              expect[i] = std::max(expect[i], s[i]);
+              break;
+            default:
+              expect[i] *= s[i];
+              break;
+          }
+        }
+      }
+    }
+    machine->run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                      mach::DType::kF64, op);
+    });
+    for (int r = 0; r < 8; ++r) {
+      const auto* got = static_cast<const double*>(
+          rbufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_DOUBLE_EQ(got[i], expect[i])
+            << GetParam() << " op " << static_cast<int>(op) << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(ComponentProps, BackToBackMixedOperations) {
+  // Alternating bcasts and allreduces reuse the same control structures;
+  // sequence/base bookkeeping must keep them apart.
+  auto machine = make_machine("real", topo::mini8(), 8);
+  auto comp = coll::make_component(GetParam(), *machine);
+  constexpr std::size_t kBytes = 3000;
+  constexpr std::size_t kCount = 400;
+  std::vector<mach::Buffer> bufs;
+  std::vector<mach::Buffer> sbufs;
+  std::vector<mach::Buffer> rbufs;
+  for (int r = 0; r < 8; ++r) {
+    bufs.emplace_back(*machine, r, kBytes);
+    sbufs.emplace_back(*machine, r, kCount * sizeof(std::int64_t));
+    rbufs.emplace_back(*machine, r, kCount * sizeof(std::int64_t));
+  }
+  std::atomic<int> failures{0};
+  machine->run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    for (int round = 0; round < 5; ++round) {
+      if (ctx.rank() == 0) {
+        ctx.write_payload(bufs[0].get(), kBytes,
+                          static_cast<std::uint64_t>(round));
+      }
+      ctx.barrier();
+      comp->bcast(ctx, bufs[r].get(), kBytes, 0);
+      std::vector<std::byte> expect(kBytes);
+      util::fill_pattern(expect.data(), kBytes,
+                         static_cast<std::uint64_t>(round));
+      if (std::memcmp(bufs[r].get(), expect.data(), kBytes) != 0) ++failures;
+
+      auto* s = static_cast<std::int64_t*>(sbufs[r].get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        s[i] = static_cast<std::int64_t>(ctx.rank() + round);
+      }
+      ctx.barrier();
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                      mach::DType::kI64, mach::ROp::kSum);
+      const auto* got = static_cast<const std::int64_t*>(rbufs[r].get());
+      const std::int64_t want = 8 * round + 28;  // sum of ranks 0..7 + round
+      for (std::size_t i = 0; i < kCount; ++i) {
+        if (got[i] != want) {
+          ++failures;
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0) << GetParam();
+}
+
+TEST_P(ComponentProps, SingleRankDegenerates) {
+  auto machine = make_machine("real", topo::flat(1), 1);
+  auto comp = coll::make_component(GetParam(), *machine);
+  mach::Buffer buf(*machine, 0, 64);
+  mach::Buffer sbuf(*machine, 0, 8 * sizeof(double));
+  mach::Buffer rbuf(*machine, 0, 8 * sizeof(double));
+  auto* s = static_cast<double*>(sbuf.get());
+  for (int i = 0; i < 8; ++i) s[i] = i;
+  machine->run([&](mach::Ctx& ctx) {
+    comp->bcast(ctx, buf.get(), 64, 0);
+    comp->allreduce(ctx, sbuf.get(), rbuf.get(), 8, mach::DType::kF64,
+                    mach::ROp::kSum);
+  });
+  const auto* got = static_cast<const double*>(rbuf.get());
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(got[i], s[i]);
+}
+
+TEST_P(ComponentProps, ZeroBytesIsANoOp) {
+  auto machine = make_machine("real", topo::mini8(), 8);
+  auto comp = coll::make_component(GetParam(), *machine);
+  mach::Buffer buf(*machine, 0, 64);
+  EXPECT_NO_THROW(machine->run([&](mach::Ctx& ctx) {
+    comp->bcast(ctx, buf.get(), 0, 0);
+    comp->allreduce(ctx, buf.get(), buf.get(), 0, mach::DType::kF64,
+                    mach::ROp::kSum);
+  }));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, ComponentProps,
+                         ::testing::Values("xhc", "xhc-flat", "tuned", "sm",
+                                           "ucc", "smhc", "smhc-flat",
+                                           "xbrc"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Larger simulated topologies (full paper systems, reduced payloads)
+
+class PaperSystems : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperSystems, XhcCorrectAtFullScale) {
+  topo::Topology topo = topo::by_name(GetParam());
+  const int ranks = topo.n_cores();
+  sim::SimMachine machine(std::move(topo), ranks);
+  auto comp = coll::make_component("xhc", machine);
+  constexpr std::size_t kBytes = 40000;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < ranks; ++r) bufs.emplace_back(machine, r, kBytes);
+  util::fill_pattern(bufs[0].get(), kBytes, 99);
+  machine.run([&](mach::Ctx& ctx) {
+    comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes,
+                0);
+  });
+  std::vector<std::byte> expect(kBytes);
+  util::fill_pattern(expect.data(), kBytes, 99);
+  for (int r = 0; r < ranks; ++r) {
+    ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                          expect.data(), kBytes),
+              0)
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, PaperSystems,
+                         ::testing::Values("epyc1p", "epyc2p", "armn1"));
+
+}  // namespace
+}  // namespace xhc

@@ -1,0 +1,257 @@
+// Tests of the Machine/Ctx contract on both implementations: allocation
+// registry, flags, copies, reductions, barriers, error propagation, and the
+// virtual clock's basic laws on SimMachine.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mach/real_machine.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/check.h"
+
+namespace xhc {
+namespace {
+
+template <typename M>
+std::unique_ptr<mach::Machine> make_machine(int ranks);
+
+template <>
+std::unique_ptr<mach::Machine> make_machine<mach::RealMachine>(int ranks) {
+  return std::make_unique<mach::RealMachine>(topo::mini8(), ranks);
+}
+
+template <>
+std::unique_ptr<mach::Machine> make_machine<sim::SimMachine>(int ranks) {
+  return std::make_unique<sim::SimMachine>(topo::mini8(), ranks);
+}
+
+template <typename M>
+class MachineTest : public ::testing::Test {};
+
+using Machines = ::testing::Types<mach::RealMachine, sim::SimMachine>;
+TYPED_TEST_SUITE(MachineTest, Machines);
+
+TYPED_TEST(MachineTest, RunInvokesEveryRankOnce) {
+  auto m = make_machine<TypeParam>(8);
+  std::atomic<int> calls{0};
+  std::vector<int> seen(8, 0);
+  m->run([&](mach::Ctx& ctx) {
+    ++calls;
+    seen[static_cast<std::size_t>(ctx.rank())] += 1;
+    EXPECT_EQ(ctx.size(), 8);
+  });
+  EXPECT_EQ(calls.load(), 8);
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TYPED_TEST(MachineTest, AllocIsZeroedAndAligned) {
+  auto m = make_machine<TypeParam>(4);
+  void* p = m->alloc(1, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bytes[i], 0);
+  m->free(p);
+}
+
+TYPED_TEST(MachineTest, AllocRejectsBadOwner) {
+  auto m = make_machine<TypeParam>(4);
+  EXPECT_THROW(m->alloc(-1, 8), util::Error);
+  EXPECT_THROW(m->alloc(4, 8), util::Error);
+}
+
+TYPED_TEST(MachineTest, CopyMovesBytes) {
+  auto m = make_machine<TypeParam>(2);
+  mach::Buffer src(*m, 0, 256);
+  mach::Buffer dst(*m, 1, 256);
+  std::memset(src.get(), 0x5A, 256);
+  m->run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 1) ctx.copy(dst.get(), src.get(), 256);
+  });
+  EXPECT_EQ(std::memcmp(dst.get(), src.get(), 256), 0);
+}
+
+TYPED_TEST(MachineTest, ReduceAppliesOperator) {
+  auto m = make_machine<TypeParam>(2);
+  mach::Buffer a(*m, 0, 4 * sizeof(double));
+  mach::Buffer b(*m, 1, 4 * sizeof(double));
+  auto* da = static_cast<double*>(a.get());
+  auto* db = static_cast<double*>(b.get());
+  for (int i = 0; i < 4; ++i) {
+    da[i] = i;
+    db[i] = 10;
+  }
+  m->run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.reduce(a.get(), b.get(), 4, mach::DType::kF64, mach::ROp::kSum);
+    }
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(da[i], i + 10.0);
+}
+
+TYPED_TEST(MachineTest, FlagsSignalAcrossRanks) {
+  auto m = make_machine<TypeParam>(2);
+  auto* flag = static_cast<mach::Flag*>(m->alloc(0, sizeof(mach::Flag)));
+  auto* data = static_cast<std::uint64_t*>(m->alloc(0, 8));
+  m->run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      *data = 77;
+      ctx.flag_store(*flag, 1);
+    } else {
+      ctx.flag_wait_ge(*flag, 1);
+      EXPECT_EQ(*data, 77u);  // release/acquire pairing
+    }
+  });
+  m->free(flag);
+  m->free(data);
+}
+
+TYPED_TEST(MachineTest, FetchAddReturnsPrevious) {
+  auto m = make_machine<TypeParam>(4);
+  auto* flag = static_cast<mach::Flag*>(m->alloc(0, sizeof(mach::Flag)));
+  std::atomic<std::uint64_t> sum_prev{0};
+  m->run([&](mach::Ctx& ctx) {
+    sum_prev += ctx.fetch_add(*flag, 1);
+  });
+  // Previous values are a permutation of {0,1,2,3}.
+  EXPECT_EQ(sum_prev.load(), 6u);
+  m->run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) EXPECT_EQ(ctx.flag_read(*flag), 4u);
+  });
+  m->free(flag);
+}
+
+TYPED_TEST(MachineTest, ExceptionsPropagateToCaller) {
+  auto m = make_machine<TypeParam>(2);
+  EXPECT_THROW(m->run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) throw util::Error("boom");
+    // The peer must not hang: on SimMachine the abort wakes it, on
+    // RealMachine it simply finishes.
+  }),
+               util::Error);
+}
+
+TYPED_TEST(MachineTest, BarrierSeparatesPhases) {
+  auto m = make_machine<TypeParam>(8);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  m->run([&](mach::Ctx& ctx) {
+    ++phase1;
+    ctx.barrier();
+    if (phase1.load() != 8) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+// ---------------------------------------------------------------------------
+// Sim-specific timing laws
+
+TEST(SimMachineTime, ChargeAdvancesClock) {
+  sim::SimMachine m(topo::mini8(), 2);
+  std::vector<double> end(2);
+  m.run([&](mach::Ctx& ctx) {
+    ctx.charge(1e-3);
+    end[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  EXPECT_DOUBLE_EQ(end[0], 1e-3);
+  EXPECT_DOUBLE_EQ(end[1], 1e-3);
+}
+
+TEST(SimMachineTime, ClockContinuesAcrossRuns) {
+  sim::SimMachine m(topo::mini8(), 2);
+  m.run([&](mach::Ctx& ctx) { ctx.charge(1e-3); });
+  const double epoch = m.epoch();
+  EXPECT_GE(epoch, 1e-3);
+  const auto result = m.run([&](mach::Ctx& ctx) { ctx.charge(2e-3); });
+  // Per-run times are relative to the run's start.
+  EXPECT_DOUBLE_EQ(result.max_time, 2e-3);
+  EXPECT_GE(m.epoch(), epoch + 2e-3);
+}
+
+TEST(SimMachineTime, CopyCostScalesWithSize) {
+  sim::SimMachine m(topo::mini8(), 2);
+  mach::Buffer small_src(m, 0, 4096);
+  mach::Buffer big_src(m, 0, 1 << 20);
+  mach::Buffer dst(m, 1, 1 << 20);
+  double t_small = 0;
+  double t_big = 0;
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() != 1) return;
+    double t0 = ctx.now();
+    ctx.copy(dst.get(), small_src.get(), 4096);
+    t_small = ctx.now() - t0;
+    t0 = ctx.now();
+    ctx.copy(dst.get(), big_src.get(), 1 << 20);
+    t_big = ctx.now() - t0;
+  });
+  EXPECT_GT(t_big, 10 * t_small);
+}
+
+TEST(SimMachineTime, WaitDoesNotRunBackwards) {
+  sim::SimMachine m(topo::mini8(), 2);
+  auto* flag = static_cast<mach::Flag*>(m.alloc(0, sizeof(mach::Flag)));
+  std::vector<double> end(2);
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.charge(5e-6);
+      ctx.flag_store(*flag, 1);
+    } else {
+      ctx.flag_wait_ge(*flag, 1);
+      end[1] = ctx.now();
+    }
+  });
+  // The waiter cannot observe the flag before it was published.
+  EXPECT_GE(end[1], 5e-6);
+  m.free(flag);
+}
+
+TEST(SimMachineTime, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    sim::SimMachine m(topo::epyc1p(), 16);
+    std::vector<mach::Buffer> bufs;
+    for (int r = 0; r < 16; ++r) bufs.emplace_back(m, r, 8192);
+    auto* flag = static_cast<mach::Flag*>(m.alloc(0, sizeof(mach::Flag)));
+    const auto result = m.run([&](mach::Ctx& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.write_payload(bufs[0].get(), 8192, 3);
+        ctx.flag_store(*flag, 1);
+      } else {
+        ctx.flag_wait_ge(*flag, 1);
+        ctx.copy(bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                 bufs[0].get(), 8192);
+      }
+    });
+    m.free(flag);
+    return result.rank_time;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "rank " << i;
+  }
+}
+
+TEST(SimMachineTime, RegistryAttributesHomes) {
+  // Buffers owned by ranks in other NUMA nodes cost more to read.
+  sim::SimMachine m(topo::epyc1p(), 32);
+  mach::Buffer near_src(m, 1, 1 << 20);   // same NUMA as reader rank 0
+  mach::Buffer far_src(m, 28, 1 << 20);   // NUMA 3
+  mach::Buffer dst(m, 0, 1 << 20);
+  double t_near = 0;
+  double t_far = 0;
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() != 0) return;
+    double t0 = ctx.now();
+    ctx.copy(dst.get(), near_src.get(), 1 << 20);
+    t_near = ctx.now() - t0;
+    t0 = ctx.now();
+    ctx.copy(dst.get(), far_src.get(), 1 << 20);
+    t_far = ctx.now() - t0;
+  });
+  EXPECT_GT(t_far, t_near);
+}
+
+}  // namespace
+}  // namespace xhc

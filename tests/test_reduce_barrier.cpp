@@ -1,0 +1,183 @@
+// Tests for the §VII extensions: MPI_Reduce and MPI_Barrier — native
+// hierarchical implementations for XHC, a binomial reduce and dissemination
+// barrier for tuned, allreduce-based defaults for every other component.
+#include <gtest/gtest.h>
+
+#include "coll/registry.h"
+#include "mach/real_machine.h"
+#include "osu/harness.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+
+namespace xhc {
+namespace {
+
+class ReduceCorrectness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReduceCorrectness, SumReachesRoot) {
+  for (const int root : {0, 5}) {
+    for (const std::size_t count :
+         {std::size_t{1}, std::size_t{100}, std::size_t{5000}}) {
+      mach::RealMachine machine(topo::mini16(), 16);
+      auto comp = coll::make_component(GetParam(), machine);
+      const std::size_t bytes = count * sizeof(std::int64_t);
+      std::vector<mach::Buffer> sbufs;
+      std::vector<mach::Buffer> rbufs;
+      std::vector<std::int64_t> expect(count, 0);
+      for (int r = 0; r < 16; ++r) {
+        sbufs.emplace_back(machine, r, bytes);
+        rbufs.emplace_back(machine, r, bytes);
+        auto* s = static_cast<std::int64_t*>(sbufs.back().get());
+        for (std::size_t i = 0; i < count; ++i) {
+          s[i] = static_cast<std::int64_t>(r * 17 + i);
+          expect[i] += s[i];
+        }
+      }
+      machine.run([&](mach::Ctx& ctx) {
+        const auto r = static_cast<std::size_t>(ctx.rank());
+        comp->reduce(ctx, sbufs[r].get(), rbufs[r].get(), count,
+                     mach::DType::kI64, mach::ROp::kSum, root);
+      });
+      const auto* got = static_cast<const std::int64_t*>(
+          rbufs[static_cast<std::size_t>(root)].get());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[i], expect[i])
+            << GetParam() << " root " << root << " count " << count
+            << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST_P(ReduceCorrectness, SimMachineAgrees) {
+  sim::SimMachine machine(topo::mini16(), 16);
+  auto comp = coll::make_component(GetParam(), machine);
+  constexpr std::size_t kCount = 900;
+  std::vector<mach::Buffer> sbufs;
+  std::vector<mach::Buffer> rbufs;
+  std::vector<double> expect(kCount, 0.0);
+  for (int r = 0; r < 16; ++r) {
+    sbufs.emplace_back(machine, r, kCount * sizeof(double));
+    rbufs.emplace_back(machine, r, kCount * sizeof(double));
+    auto* s = static_cast<double*>(sbufs.back().get());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      s[i] = r + 0.25 * static_cast<double>(i);
+      expect[i] += s[i];
+    }
+  }
+  machine.run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    comp->reduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                 mach::DType::kF64, mach::ROp::kSum, 3);
+  });
+  const auto* got = static_cast<const double*>(rbufs[3].get());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_DOUBLE_EQ(got[i], expect[i]) << GetParam() << " elem " << i;
+  }
+}
+
+TEST_P(ReduceCorrectness, BarrierCompletesRepeatedly) {
+  mach::RealMachine machine(topo::mini16(), 16);
+  auto comp = coll::make_component(GetParam(), machine);
+  std::atomic<int> count{0};
+  machine.run([&](mach::Ctx& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      comp->barrier(ctx);
+      ++count;
+    }
+  });
+  EXPECT_EQ(count.load(), 16 * 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, ReduceCorrectness,
+                         ::testing::Values("xhc", "xhc-flat", "tuned", "sm",
+                                           "ucc", "smhc", "xbrc"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Barrier, NoRankLeavesBeforeTheLastArrives) {
+  // Virtual-time semantics: stagger arrivals; every release must be at or
+  // after the latest arrival.
+  for (const char* comp_name : {"xhc", "tuned", "sm"}) {
+    sim::SimMachine machine(topo::epyc1p(), 32);
+    auto comp = coll::make_component(comp_name, machine);
+    std::vector<double> release(32);
+    double last_arrival = 0.0;
+    machine.run([&](mach::Ctx& ctx) {
+      // Rank r arrives at r * 1us; rank 31 arrives last.
+      ctx.charge(static_cast<double>(ctx.rank()) * 1e-6);
+      comp->barrier(ctx);
+      release[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    });
+    last_arrival = 31e-6;
+    for (int r = 0; r < 32; ++r) {
+      EXPECT_GE(release[static_cast<std::size_t>(r)], last_arrival)
+          << comp_name << " rank " << r;
+    }
+  }
+}
+
+TEST(Barrier, XhcBarrierBeatsAtomicsBaselineOnArm) {
+  // The flag-only hierarchical barrier should scale far better than the
+  // sm baseline's atomics-based allreduce fallback on the dense SLC node.
+  double lat[2];
+  int i = 0;
+  for (const char* name : {"xhc", "sm"}) {
+    sim::SimMachine machine(topo::armn1(), 160);
+    auto comp = coll::make_component(name, machine);
+    osu::Config cfg;
+    cfg.warmup = 1;
+    cfg.iters = 3;
+    lat[i++] = osu::barrier_latency_us(machine, *comp, cfg);
+  }
+  EXPECT_LT(lat[0], lat[1]);
+}
+
+TEST(Reduce, NativeXhcSkipsTheBroadcast) {
+  // Reduce must be cheaper than allreduce at large sizes (no data fan-out).
+  sim::SimMachine m1(topo::epyc2p(), 64);
+  auto c1 = coll::make_component("xhc", m1);
+  osu::Config cfg;
+  cfg.warmup = 1;
+  cfg.iters = 2;
+  const double red =
+      osu::reduce_sweep(m1, *c1, {1u << 20}, cfg).front().avg_us;
+  sim::SimMachine m2(topo::epyc2p(), 64);
+  auto c2 = coll::make_component("xhc", m2);
+  const double all =
+      osu::allreduce_sweep(m2, *c2, {1u << 20}, cfg).front().avg_us;
+  EXPECT_LT(red, all);
+}
+
+TEST(Reduce, InPlaceAtRoot) {
+  mach::RealMachine machine(topo::mini8(), 8);
+  auto comp = coll::make_component("xhc", machine);
+  constexpr std::size_t kCount = 256;
+  std::vector<mach::Buffer> bufs;
+  std::vector<std::int64_t> expect(kCount, 0);
+  for (int r = 0; r < 8; ++r) {
+    bufs.emplace_back(machine, r, kCount * sizeof(std::int64_t));
+    auto* s = static_cast<std::int64_t*>(bufs.back().get());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      s[i] = static_cast<std::int64_t>(r + i);
+      expect[i] += s[i];
+    }
+  }
+  machine.run([&](mach::Ctx& ctx) {
+    void* buf = bufs[static_cast<std::size_t>(ctx.rank())].get();
+    comp->reduce(ctx, buf, buf, kCount, mach::DType::kI64, mach::ROp::kSum,
+                 0);
+  });
+  const auto* got = static_cast<const std::int64_t*>(bufs[0].get());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(got[i], expect[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xhc

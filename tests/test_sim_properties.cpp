@@ -1,0 +1,159 @@
+// Property-based tests of the simulator's invariants under randomized
+// inputs: ledger bookkeeping, flag-history semantics, per-rank virtual-time
+// monotonicity, and congestion monotonicity in the participant count.
+#include <gtest/gtest.h>
+
+#include "mach/machine.h"
+#include "util/cacheline.h"
+#include "sim/resources.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/prng.h"
+
+namespace xhc {
+namespace {
+
+TEST(LedgerProperties, ShareNeverExceedsCapacityAndStaysPositive) {
+  util::SplitMix64 rng(17);
+  sim::ResourceLedger ledger;
+  const sim::ResId res{sim::ResKind::kNumaChannel, 0};
+  constexpr double kCap = 1e9;
+  ledger.set_capacity(res, kCap);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.next_double() * 1e-5;
+    const double share = ledger.share(res, t);
+    ASSERT_GT(share, 0.0);
+    ASSERT_LE(share, kCap);
+    if (rng.next_below(2) == 0) {
+      ledger.book(res, t, t + rng.next_double() * 1e-4);
+    }
+  }
+}
+
+TEST(LedgerProperties, MoreInFlightMeansSmallerShare) {
+  sim::ResourceLedger ledger;
+  const sim::ResId res{sim::ResKind::kSlc, 0};
+  ledger.set_capacity(res, 100.0);
+  double prev = ledger.share(res, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    ledger.book(res, 0.0, 1.0);
+    const double share = ledger.share(res, 0.5);
+    ASSERT_LT(share, prev);
+    prev = share;
+  }
+}
+
+TEST(SimProperties, PerRankClockIsMonotone) {
+  // Random mixtures of copies, flags and charges can never move any rank's
+  // clock backwards.
+  sim::SimMachine m(topo::mini16(), 16);
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 16; ++r) bufs.emplace_back(m, r, 32 * 1024);
+  auto* flags = static_cast<mach::Flag*>(
+      m.alloc(0, 16 * sizeof(util::CachePadded<mach::Flag>)));
+  auto flag_at = [&](int i) -> mach::Flag& {
+    return *reinterpret_cast<mach::Flag*>(
+        reinterpret_cast<std::byte*>(flags) +
+        static_cast<std::size_t>(i) * sizeof(util::CachePadded<mach::Flag>));
+  };
+  std::atomic<int> violations{0};
+  m.run([&](mach::Ctx& ctx) {
+    const int r = ctx.rank();
+    util::SplitMix64 rng(static_cast<std::uint64_t>(r) + 99);
+    double last = ctx.now();
+    std::uint64_t published = 0;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      // Publish first: after this store every rank at iteration >= i has
+      // published at least i+1 values, so a wait targeting <= i+1 can
+      // always be satisfied (no deadlock possible by induction on the
+      // minimum iteration index).
+      ctx.flag_store(flag_at(r), ++published);
+      switch (rng.next_below(3)) {
+        case 0:
+          ctx.copy(bufs[static_cast<std::size_t>(r)].get(),
+                   bufs[rng.next_below(16)].get(),
+                   64 + rng.next_below(16000));
+          break;
+        case 1:
+          ctx.charge(rng.next_double() * 1e-6);
+          break;
+        default: {
+          const int peer = static_cast<int>(rng.next_below(16));
+          const std::uint64_t target = 1 + rng.next_below(i + 1);
+          if (peer != r) {
+            ctx.flag_wait_ge(flag_at(peer), target);
+          }
+          break;
+        }
+      }
+      const double now = ctx.now();
+      if (now < last) ++violations;
+      last = now;
+    }
+  });
+  m.free(flags);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SimProperties, CongestionMonotoneInParticipants) {
+  // A fixed observer's copy can only get slower as more concurrent readers
+  // target the same home NUMA node (the Fig. 1b mechanism, generalized).
+  double prev = 0.0;
+  for (const int participants : {2, 8, 16, 24, 32}) {
+    sim::SimMachine m(topo::epyc1p(), 32);
+    mach::Buffer src(m, 0, 1 << 20);
+    std::vector<mach::Buffer> dst;
+    for (int r = 0; r < 32; ++r) dst.emplace_back(m, r, 1 << 20);
+    double observed = 0.0;
+    m.run([&](mach::Ctx& ctx) {
+      const int r = ctx.rank();
+      if (r == 0) {
+        ctx.write_payload(src.get(), 1 << 20, 3);
+      }
+      ctx.barrier();
+      if (r != 0 && r < participants) {
+        const double t0 = ctx.now();
+        ctx.copy(dst[static_cast<std::size_t>(r)].get(), src.get(), 1 << 20);
+        if (r == 1) observed = ctx.now() - t0;
+      }
+    });
+    EXPECT_GE(observed, prev * 0.999) << participants << " participants";
+    prev = observed;
+  }
+}
+
+TEST(SimProperties, FlagValueAtRespectsPublishTimes) {
+  // flag_read returns the value as of the reader's virtual time, not the
+  // raw latest store.
+  sim::SimMachine m(topo::mini8(), 2);
+  auto* flag = static_cast<mach::Flag*>(m.alloc(0, sizeof(mach::Flag)));
+  std::uint64_t early_read = 99;
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.charge(10e-6);
+      ctx.flag_store(*flag, 7);  // published at t=10us
+    } else {
+      // Reads at t~0 must not see the future store.
+      early_read = ctx.flag_read(*flag);
+      ctx.charge(20e-6);
+      // After the publish time, the value is visible.
+      EXPECT_EQ(ctx.flag_read(*flag), 7u);
+    }
+  });
+  EXPECT_EQ(early_read, 0u);
+  m.free(flag);
+}
+
+TEST(SimProperties, EpochAdvancesExactlyWithRuns) {
+  sim::SimMachine m(topo::mini8(), 4);
+  EXPECT_DOUBLE_EQ(m.epoch(), 0.0);
+  m.run([](mach::Ctx& ctx) { ctx.charge(1e-3); });
+  const double e1 = m.epoch();
+  EXPECT_NEAR(e1, 1e-3, 1e-9);
+  m.run([](mach::Ctx&) {});
+  EXPECT_DOUBLE_EQ(m.epoch(), e1);  // empty run costs nothing
+}
+
+}  // namespace
+}  // namespace xhc

@@ -1,0 +1,203 @@
+// Tests for the single-copy mechanism layer: cost tables, registration
+// cache semantics, endpoint charging (paper §II-B, §III-C, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "sim/sim_machine.h"
+#include "smsc/endpoint.h"
+#include "smsc/mechanism.h"
+#include "smsc/reg_cache.h"
+#include "topo/presets.h"
+#include "util/check.h"
+
+namespace xhc::smsc {
+namespace {
+
+TEST(Mechanism, Names) {
+  EXPECT_STREQ(to_string(Mechanism::kXpmem), "xpmem");
+  EXPECT_EQ(mechanism_from("knem"), Mechanism::kKnem);
+  EXPECT_EQ(mechanism_from("none"), Mechanism::kCico);
+  EXPECT_THROW(mechanism_from("bogus"), util::Error);
+}
+
+TEST(Mechanism, CostStructure) {
+  const MechanismCosts xpmem = costs_for(Mechanism::kXpmem);
+  EXPECT_TRUE(xpmem.mapping);
+  EXPECT_GT(xpmem.attach_syscall, 0.0);
+  EXPECT_GT(xpmem.page_fault, 0.0);
+  EXPECT_EQ(xpmem.op_syscall, 0.0);  // no per-op kernel path
+
+  const MechanismCosts cma = costs_for(Mechanism::kCma);
+  EXPECT_FALSE(cma.mapping);
+  EXPECT_GT(cma.op_syscall, 0.0);
+  EXPECT_GT(cma.lock_coef, 0.0);
+
+  const MechanismCosts knem = costs_for(Mechanism::kKnem);
+  // KNEM's per-page cost sits below CMA's (paper §II-B).
+  EXPECT_LT(knem.op_per_page, cma.op_per_page);
+
+  const MechanismCosts cico = costs_for(Mechanism::kCico);
+  EXPECT_FALSE(cico.mapping);
+  EXPECT_EQ(cico.op_syscall, 0.0);
+}
+
+TEST(Mechanism, PageMath) {
+  EXPECT_EQ(pages_of(1), 1u);
+  EXPECT_EQ(pages_of(4096), 1u);
+  EXPECT_EQ(pages_of(4097), 2u);
+  EXPECT_EQ(pages_of(1 << 20), 256u);
+}
+
+TEST(RegCache, HitRequiresCoverage) {
+  RegCache cache;
+  char buf[256];
+  EXPECT_FALSE(cache.lookup(1, buf, 256));  // cold
+  cache.insert(1, buf, 256);
+  EXPECT_TRUE(cache.lookup(1, buf, 256));       // exact
+  EXPECT_TRUE(cache.lookup(1, buf + 16, 100));  // sub-range
+  EXPECT_FALSE(cache.lookup(1, buf + 16, 256)); // runs past the end
+  EXPECT_FALSE(cache.lookup(2, buf, 256));      // different owner
+}
+
+TEST(RegCache, StatsAccumulate) {
+  RegCache cache;
+  char buf[64];
+  cache.insert(0, buf, 64);
+  (void)cache.lookup(0, buf, 64);
+  (void)cache.lookup(0, buf, 64);
+  (void)cache.lookup(0, buf + 60, 64);  // miss
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().hit_ratio(), 2.0 / 3.0, 1e-12);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(RegCache, ClearDropsMappings) {
+  RegCache cache;
+  char buf[64];
+  cache.insert(0, buf, 64);
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(0, buf, 64));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint charging, measured through the simulator's virtual clock.
+
+double charge_of(const std::function<void(mach::Ctx&, Endpoint&)>& fn,
+                 Mechanism mech, bool reg_cache) {
+  sim::SimMachine m(topo::mini8(), 2);
+  Endpoint ep(mech, reg_cache);
+  double elapsed = 0.0;
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() != 0) return;
+    const double t0 = ctx.now();
+    fn(ctx, ep);
+    elapsed = ctx.now() - t0;
+  });
+  return elapsed;
+}
+
+TEST(Endpoint, FirstAttachPaysFaultsThenCacheHits) {
+  char buf[8192];
+  const double first = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) { ep.attach(ctx, 1, buf, 8192); },
+      Mechanism::kXpmem, true);
+  const double both = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.attach(ctx, 1, buf, 8192);
+        ep.attach(ctx, 1, buf, 8192);
+      },
+      Mechanism::kXpmem, true);
+  const MechanismCosts costs = costs_for(Mechanism::kXpmem);
+  EXPECT_NEAR(first, costs.attach_syscall + 2 * costs.page_fault, 1e-12);
+  EXPECT_NEAR(both - first, costs.cache_lookup, 1e-12);
+}
+
+TEST(Endpoint, NoRegCachePaysEveryTime) {
+  char buf[4096];
+  const double once = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) { ep.attach(ctx, 1, buf, 4096); },
+      Mechanism::kXpmem, false);
+  const double twice = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.attach(ctx, 1, buf, 4096);
+        ep.attach(ctx, 1, buf, 4096);
+      },
+      Mechanism::kXpmem, false);
+  EXPECT_NEAR(twice, 2 * once, 1e-12);  // attach + detach per operation
+  const MechanismCosts costs = costs_for(Mechanism::kXpmem);
+  EXPECT_NEAR(once, costs.attach_syscall + costs.page_fault + costs.detach,
+              1e-12);
+}
+
+TEST(Endpoint, AttachReturnsThePeerPointer) {
+  char buf[64];
+  sim::SimMachine m(topo::mini8(), 2);
+  Endpoint ep(Mechanism::kXpmem, true);
+  m.run([&](mach::Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(ep.attach(ctx, 1, buf, 64), buf);
+    }
+  });
+}
+
+TEST(Endpoint, CmaChargesPerOperationWithContention) {
+  char buf[1 << 20];
+  const MechanismCosts costs = costs_for(Mechanism::kCma);
+  const double op = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.attach(ctx, 1, buf, sizeof(buf));  // free: no mapping concept
+        ep.charge_op(ctx, sizeof(buf), /*node_ranks=*/2);
+      },
+      Mechanism::kCma, true);
+  const double expected =
+      costs.op_syscall +
+      256.0 * costs.op_per_page * (1.0 + costs.lock_coef * 1.0);
+  EXPECT_NEAR(op, expected, 1e-12);
+
+  // More ranks in the node → more mm-lock contention per copy ([28]).
+  const double crowded = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.charge_op(ctx, sizeof(buf), /*node_ranks=*/64);
+      },
+      Mechanism::kCma, true);
+  EXPECT_GT(crowded, op - costs.op_syscall);
+}
+
+TEST(Endpoint, XpmemChargesNothingPerOperation) {
+  const double op = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) { ep.charge_op(ctx, 1 << 20, 64); },
+      Mechanism::kXpmem, true);
+  EXPECT_EQ(op, 0.0);
+}
+
+TEST(Endpoint, ExposeChargedOncePerBuffer) {
+  char buf[4096];
+  const double once = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.expose(ctx, buf, 4096);
+        ep.expose(ctx, buf, 4096);  // idempotent
+      },
+      Mechanism::kXpmem, true);
+  EXPECT_NEAR(once, costs_for(Mechanism::kXpmem).expose, 1e-12);
+}
+
+TEST(Endpoint, DetachAllChargesAndClears) {
+  char a[64];
+  char b[64];
+  const MechanismCosts costs = costs_for(Mechanism::kXpmem);
+  const double total = charge_of(
+      [&](mach::Ctx& ctx, Endpoint& ep) {
+        ep.attach(ctx, 1, a, 64);
+        ep.attach(ctx, 1, b, 64);
+        const double before = ctx.now();
+        ep.detach_all(ctx);
+        EXPECT_NEAR(ctx.now() - before, 2 * costs.detach, 1e-12);
+      },
+      Mechanism::kXpmem, true);
+  (void)total;
+}
+
+}  // namespace
+}  // namespace xhc::smsc

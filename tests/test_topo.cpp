@@ -1,0 +1,247 @@
+// Unit tests for the topology module: presets (Table I), distances,
+// mapping policies (Fig. 9a) and hierarchy construction (§III-A, Fig. 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/hierarchy.h"
+#include "topo/mapping.h"
+#include "topo/presets.h"
+#include "util/check.h"
+
+namespace xhc::topo {
+namespace {
+
+TEST(Presets, TableIShapes) {
+  const Topology e1 = epyc1p();
+  EXPECT_EQ(e1.n_cores(), 32);
+  EXPECT_EQ(e1.n_numa(), 4);
+  EXPECT_EQ(e1.n_sockets(), 1);
+  EXPECT_TRUE(e1.has_shared_llc());
+  EXPECT_EQ(e1.n_llc(), 8);  // 4-core CCX
+
+  const Topology e2 = epyc2p();
+  EXPECT_EQ(e2.n_cores(), 64);
+  EXPECT_EQ(e2.n_numa(), 8);
+  EXPECT_EQ(e2.n_sockets(), 2);
+
+  const Topology arm = armn1();
+  EXPECT_EQ(arm.n_cores(), 160);
+  EXPECT_EQ(arm.n_numa(), 8);
+  EXPECT_EQ(arm.n_sockets(), 2);
+  EXPECT_FALSE(arm.has_shared_llc());
+}
+
+TEST(Presets, ByNameRoundTrip) {
+  for (const auto name : {"epyc1p", "epyc2p", "armn1", "mini8", "mini16"}) {
+    EXPECT_EQ(by_name(name).name(), name);
+  }
+  EXPECT_THROW(by_name("nonsense"), util::Error);
+}
+
+TEST(Presets, FlatTopology) {
+  const Topology f = flat(6);
+  EXPECT_EQ(f.n_cores(), 6);
+  EXPECT_EQ(f.n_numa(), 1);
+  EXPECT_EQ(f.n_sockets(), 1);
+  EXPECT_EQ(f.distance(0, 5), Distance::kLlcLocal);
+}
+
+TEST(Topology, DistanceClasses) {
+  const Topology e2 = epyc2p();  // 8 cores/NUMA, 4-core LLC, 32 cores/socket
+  EXPECT_EQ(e2.distance(0, 0), Distance::kSelf);
+  EXPECT_EQ(e2.distance(0, 1), Distance::kLlcLocal);   // same CCX
+  EXPECT_EQ(e2.distance(0, 4), Distance::kIntraNuma);  // other CCX, NUMA 0
+  EXPECT_EQ(e2.distance(0, 8), Distance::kCrossNuma);
+  EXPECT_EQ(e2.distance(0, 32), Distance::kCrossSocket);
+}
+
+TEST(Topology, ArmHasNoCacheLocalDistance) {
+  const Topology arm = armn1();
+  // Neighbouring cores do not share an LLC: nearest distance is intra-NUMA.
+  EXPECT_EQ(arm.distance(0, 1), Distance::kIntraNuma);
+  EXPECT_EQ(arm.distance(0, 20), Distance::kCrossNuma);
+  EXPECT_EQ(arm.distance(0, 80), Distance::kCrossSocket);
+}
+
+TEST(Topology, CoresInDomains) {
+  const Topology e1 = epyc1p();
+  EXPECT_EQ(e1.cores_in_numa(0).size(), 8u);
+  EXPECT_EQ(e1.cores_in_socket(0).size(), 32u);
+  EXPECT_EQ(e1.cores_in_numa(3).front(), 24);
+}
+
+TEST(Topology, RejectsBadInput) {
+  EXPECT_THROW(Topology("empty", {}, false), util::Error);
+  std::vector<CorePlace> cores(2);
+  cores[0].core = 0;
+  cores[1].core = 5;  // not dense
+  EXPECT_THROW(Topology("sparse", cores, false), util::Error);
+}
+
+TEST(Mapping, MapCoreIsIdentity) {
+  const Topology e1 = epyc1p();
+  const RankMap map(e1, 16, MapPolicy::kCore);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(map.core_of(r), r);
+  EXPECT_EQ(map.rank_on(3), 3);
+  EXPECT_EQ(map.rank_on(20), -1);  // unused core
+}
+
+TEST(Mapping, MapNumaRoundRobin) {
+  const Topology e1 = epyc1p();  // 4 NUMA nodes, 8 cores each
+  const RankMap map(e1, 8, MapPolicy::kNuma);
+  // Ranks 0..3 land on NUMA 0..3; ranks 4..7 wrap around.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(e1.core(map.core_of(r)).numa, r % 4) << "rank " << r;
+  }
+}
+
+TEST(Mapping, MapNumaFullNode) {
+  const Topology e2 = epyc2p();
+  const RankMap map(e2, 64, MapPolicy::kNuma);
+  // All cores used exactly once.
+  std::set<int> used;
+  for (int r = 0; r < 64; ++r) used.insert(map.core_of(r));
+  EXPECT_EQ(used.size(), 64u);
+  // Consecutive ranks land on different NUMA nodes.
+  EXPECT_NE(e2.core(map.core_of(0)).numa, e2.core(map.core_of(1)).numa);
+}
+
+TEST(Mapping, RejectsOversubscription) {
+  const Topology f = flat(4);
+  EXPECT_THROW(RankMap(f, 5, MapPolicy::kCore), util::Error);
+  EXPECT_THROW(RankMap(f, 0, MapPolicy::kCore), util::Error);
+}
+
+TEST(Sensitivity, Parsing) {
+  EXPECT_TRUE(parse_sensitivity("flat").empty());
+  EXPECT_EQ(parse_sensitivity("numa").size(), 1u);
+  const auto ns = parse_sensitivity("numa+socket");
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(ns[0], Domain::kNuma);
+  EXPECT_EQ(ns[1], Domain::kSocket);
+  EXPECT_EQ(parse_sensitivity("l3+numa+socket").size(), 3u);
+  EXPECT_THROW(parse_sensitivity("numa+bogus"), util::Error);
+}
+
+TEST(Hierarchy, PaperLevelCounts) {
+  // §V-C: numa+socket gives 3 levels on Epyc-2P and ARM-N1, 2 on Epyc-1P.
+  const auto sens = parse_sensitivity("numa+socket");
+  for (const auto& [name, want] :
+       std::vector<std::pair<const char*, int>>{
+           {"epyc1p", 2}, {"epyc2p", 3}, {"armn1", 3}}) {
+    const Topology topo = by_name(name);
+    const RankMap map(topo, topo.n_cores(), MapPolicy::kCore);
+    const Hierarchy hier(topo, map, sens, 0);
+    EXPECT_EQ(hier.n_levels(), want) << name;
+  }
+}
+
+TEST(Hierarchy, Fig2Structure) {
+  // The paper's Fig. 2: 16 cores, 2 sockets, 4 cores/NUMA (2 NUMA/socket),
+  // numa+socket sensitivity → 3 levels.
+  const Topology topo = grid("fig2", 2, 2, 4, 0);
+  const RankMap map(topo, 16, MapPolicy::kCore);
+  const Hierarchy hier(topo, map, parse_sensitivity("numa+socket"), 0);
+  ASSERT_EQ(hier.n_levels(), 3);
+  EXPECT_EQ(hier.level(0).size(), 4u);  // one group per NUMA node
+  EXPECT_EQ(hier.level(1).size(), 2u);  // one group per socket
+  EXPECT_EQ(hier.level(2).size(), 1u);  // node level
+  // NUMA leaders are 0,4,8,12; socket leaders 0 and 8; root 0 at the top.
+  EXPECT_EQ(hier.level(0)[0].leader, 0);
+  EXPECT_EQ(hier.level(0)[1].leader, 4);
+  EXPECT_EQ(hier.level(1)[1].leader, 8);
+  EXPECT_EQ(hier.level(2)[0].leader, 0);
+}
+
+TEST(Hierarchy, RootLeadsEveryLevel) {
+  const Topology topo = epyc2p();
+  const RankMap map(topo, 64, MapPolicy::kCore);
+  for (const int root : {0, 10, 33, 63}) {
+    const Hierarchy hier(topo, map, parse_sensitivity("numa+socket"), root);
+    for (int l = 0; l < hier.n_levels(); ++l) {
+      EXPECT_TRUE(hier.is_leader(l, root)) << "root " << root << " level " << l;
+    }
+  }
+}
+
+TEST(Hierarchy, GroupPartitionIsRootIndependent) {
+  const Topology topo = epyc2p();
+  const RankMap map(topo, 64, MapPolicy::kCore);
+  const auto sens = parse_sensitivity("numa+socket");
+  const Hierarchy a(topo, map, sens, 0);
+  const Hierarchy b(topo, map, sens, 10);
+  ASSERT_EQ(a.n_levels(), b.n_levels());
+  // Level-0 groups partition ranks identically regardless of root.
+  ASSERT_EQ(a.level(0).size(), b.level(0).size());
+  for (std::size_t g = 0; g < a.level(0).size(); ++g) {
+    EXPECT_EQ(a.level(0)[g].ranks, b.level(0)[g].ranks);
+  }
+  // But the leader of root 10's NUMA group moves to 10.
+  EXPECT_EQ(b.level(0)[1].leader, 10);
+  EXPECT_EQ(a.level(0)[1].leader, 8);
+}
+
+TEST(Hierarchy, FlatHasOneGroup) {
+  const Hierarchy flat = Hierarchy::make_flat(12, 3);
+  ASSERT_EQ(flat.n_levels(), 1);
+  EXPECT_EQ(flat.level(0)[0].ranks.size(), 12u);
+  EXPECT_EQ(flat.level(0)[0].leader, 3);
+}
+
+TEST(Hierarchy, DegenerateLlcLevelSkippedOnArm) {
+  // ARM-N1 has no shared LLCs: an "l3" level would be all-singleton and is
+  // skipped; l3+numa+socket behaves like numa+socket.
+  const Topology arm = armn1();
+  const RankMap map(arm, 160, MapPolicy::kCore);
+  const Hierarchy with_l3(arm, map, parse_sensitivity("l3+numa+socket"), 0);
+  const Hierarchy without(arm, map, parse_sensitivity("numa+socket"), 0);
+  EXPECT_EQ(with_l3.n_levels(), without.n_levels());
+}
+
+TEST(Hierarchy, L3SensitivityOnEpyc) {
+  const Topology e1 = epyc1p();
+  const RankMap map(e1, 32, MapPolicy::kCore);
+  const Hierarchy hier(e1, map, parse_sensitivity("l3+numa+socket"), 0);
+  ASSERT_GE(hier.n_levels(), 2);
+  EXPECT_EQ(hier.level(0).size(), 8u);           // one group per CCX
+  EXPECT_EQ(hier.level(0)[0].ranks.size(), 4u);  // 4 cores per CCX
+}
+
+TEST(Hierarchy, MembershipChain) {
+  const Topology e2 = epyc2p();
+  const RankMap map(e2, 64, MapPolicy::kCore);
+  const Hierarchy hier(e2, map, parse_sensitivity("numa+socket"), 0);
+  // Rank 9 is a plain member of NUMA group 1 and nothing above.
+  EXPECT_NE(hier.group_of(0, 9), nullptr);
+  EXPECT_EQ(hier.group_of(1, 9), nullptr);
+  // Rank 8 leads NUMA group 1 and is a member at the socket level.
+  EXPECT_TRUE(hier.is_leader(0, 8));
+  EXPECT_NE(hier.group_of(1, 8), nullptr);
+  EXPECT_FALSE(hier.is_leader(1, 8));
+  EXPECT_EQ(hier.group_of(2, 8), nullptr);
+  // Rank 32 leads its NUMA group and socket 1's group, and sits at the top.
+  EXPECT_TRUE(hier.is_leader(0, 32));
+  EXPECT_TRUE(hier.is_leader(1, 32));
+  EXPECT_NE(hier.group_of(2, 32), nullptr);
+  EXPECT_FALSE(hier.is_leader(2, 32));
+}
+
+TEST(Hierarchy, DescribeMentionsLeaders) {
+  const Hierarchy flat = Hierarchy::make_flat(4, 2);
+  const std::string text = flat.describe();
+  EXPECT_NE(text.find("*2"), std::string::npos);
+}
+
+TEST(Hierarchy, PartialOccupancy) {
+  // 12 ranks on Epyc-2P cover only NUMA 0 (8 ranks) and half of NUMA 1.
+  const Topology e2 = epyc2p();
+  const RankMap map(e2, 12, MapPolicy::kCore);
+  const Hierarchy hier(e2, map, parse_sensitivity("numa+socket"), 0);
+  EXPECT_EQ(hier.level(0).size(), 2u);
+  EXPECT_EQ(hier.level(0)[0].ranks.size(), 8u);
+  EXPECT_EQ(hier.level(0)[1].ranks.size(), 4u);
+}
+
+}  // namespace
+}  // namespace xhc::topo

@@ -1,0 +1,263 @@
+// White-box tests of the XHC core: communicator tree shapes and per-root
+// views, control-block layout (cache-line placement), flag layout variants,
+// the CICO threshold, per-level chunk configuration, and traffic patterns.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/comm_tree.h"
+#include "core/xhc_component.h"
+#include "mach/real_machine.h"
+#include "p2p/counters.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/cacheline.h"
+#include "util/prng.h"
+
+namespace xhc::core {
+namespace {
+
+TEST(CommTree, ShapesMatchHierarchy) {
+  mach::RealMachine m(topo::epyc2p(), 64);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  EXPECT_EQ(tree.n_levels(), 3);
+  // 8 NUMA groups + 2 socket groups + 1 top group.
+  EXPECT_EQ(tree.n_groups(), 11);
+  EXPECT_EQ(tree.shape(0).level, 0);
+  EXPECT_EQ(tree.shape(0).domain_ranks.size(), 8u);
+  EXPECT_EQ(tree.shape(8).level, 1);
+  EXPECT_EQ(tree.shape(8).domain_ranks.size(), 32u);  // any socket-0 rank
+  EXPECT_EQ(tree.shape(10).level, 2);
+  EXPECT_EQ(tree.shape(10).domain_ranks.size(), 64u);
+}
+
+TEST(CommTree, SlotLookup) {
+  mach::RealMachine m(topo::mini8(), 8);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  const GroupShape& shape = tree.shape(0);
+  EXPECT_EQ(shape.slot_of(shape.domain_ranks.front()), 0);
+  EXPECT_EQ(shape.slot_of(9999), -1);
+}
+
+TEST(CommTree, ViewFollowsRoot) {
+  mach::RealMachine m(topo::epyc2p(), 64);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  const CommView& v0 = tree.view(0);
+  const CommView& v10 = tree.view(10);
+  // Rank 10 (NUMA 1) becomes its NUMA leader, a socket member, and the top
+  // leader under root 10.
+  EXPECT_EQ(v0.memberships(10).size(), 1u);
+  EXPECT_EQ(v10.memberships(10).size(), 3u);
+  EXPECT_TRUE(v10.memberships(10).back().is_leader);
+  // Rank 8 loses its leadership when 10 takes over NUMA 1.
+  EXPECT_EQ(v10.memberships(8).size(), 1u);
+  EXPECT_EQ(v10.memberships(8)[0].leader, 10);
+  // Views are cached.
+  EXPECT_EQ(&tree.view(10), &v10);
+}
+
+TEST(CommTree, MembershipSlotsConsistent) {
+  mach::RealMachine m(topo::epyc1p(), 32);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  const CommView& v = tree.view(0);
+  for (int r = 0; r < 32; ++r) {
+    for (const auto& mb : v.memberships(r)) {
+      const GroupShape& shape = tree.shape(mb.ctl_id);
+      EXPECT_EQ(shape.slot_of(r), mb.my_slot);
+      EXPECT_EQ(shape.slot_of(mb.leader), mb.leader_slot);
+      EXPECT_TRUE(std::binary_search(mb.members.begin(), mb.members.end(), r));
+    }
+  }
+}
+
+TEST(CtlArena, PerWriterFlagsOnDistinctLines) {
+  mach::RealMachine m(topo::mini8(), 8);
+  CtlArena arena;
+  GroupCtl ctl = arena.add_group(m, 0, 8);
+  // Different members' single-writer flags must never share a line.
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      EXPECT_NE(util::line_of(&ctl.ack[i]->v), util::line_of(&ctl.ack[j]->v));
+      EXPECT_NE(util::line_of(&ctl.reduce_done[i]->v),
+                util::line_of(&ctl.reduce_done[j]->v));
+      EXPECT_NE(util::line_of(&ctl.announce_sep[i]->v),
+                util::line_of(&ctl.announce_sep[j]->v));
+    }
+  }
+  // Leader-written flags on lines distinct from member-written ones.
+  EXPECT_NE(util::line_of(&ctl.seq[0]->v), util::line_of(&ctl.ack[0]->v));
+  EXPECT_NE(util::line_of(&ctl.announce[0]->v),
+            util::line_of(&ctl.seq[0]->v));
+  // The deliberately packed variant *does* share lines (Fig. 10 "shared").
+  EXPECT_EQ(util::line_of(&ctl.announce_shared[0].v),
+            util::line_of(&ctl.announce_shared[7].v));
+}
+
+TEST(XhcTuning, FlagLayoutsAllCorrect) {
+  for (const coll::FlagLayout layout :
+       {coll::FlagLayout::kSingle, coll::FlagLayout::kMultiSharedLine,
+        coll::FlagLayout::kMultiSeparateLines}) {
+    mach::RealMachine m(topo::mini16(), 16);
+    coll::Tuning tuning;
+    tuning.flag_layout = layout;
+    XhcComponent comp(m, tuning, "xhc-layout");
+    constexpr std::size_t kBytes = 50000;
+    std::vector<mach::Buffer> bufs;
+    for (int r = 0; r < 16; ++r) bufs.emplace_back(m, r, kBytes);
+    util::fill_pattern(bufs[0].get(), kBytes, 5);
+    m.run([&](mach::Ctx& ctx) {
+      comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                 kBytes, 0);
+    });
+    std::vector<std::byte> expect(kBytes);
+    util::fill_pattern(expect.data(), kBytes, 5);
+    for (int r = 0; r < 16; ++r) {
+      ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                            expect.data(), kBytes),
+                0)
+          << "layout " << static_cast<int>(layout) << " rank " << r;
+    }
+  }
+}
+
+TEST(XhcTuning, AtomicSyncVariantCorrect) {
+  mach::RealMachine m(topo::mini16(), 16);
+  coll::Tuning tuning;
+  tuning.sync = coll::SyncMethod::kAtomicFetchAdd;
+  XhcComponent comp(m, tuning, "xhc-atomic");
+  constexpr std::size_t kBytes = 9000;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 16; ++r) bufs.emplace_back(m, r, kBytes);
+  m.run([&](mach::Ctx& ctx) {
+    for (int round = 0; round < 3; ++round) {
+      if (ctx.rank() == 0) {
+        ctx.write_payload(bufs[0].get(), kBytes,
+                          static_cast<std::uint64_t>(round));
+      }
+      ctx.barrier();
+      comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                 kBytes, 0);
+    }
+  });
+  std::vector<std::byte> expect(kBytes);
+  util::fill_pattern(expect.data(), kBytes, 2);
+  for (int r = 0; r < 16; ++r) {
+    ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                          expect.data(), kBytes),
+              0);
+  }
+}
+
+TEST(XhcTuning, PerLevelChunkSizes) {
+  // Distinct chunk sizes per level (paper §III-B / Fig. 5) must not affect
+  // correctness.
+  mach::RealMachine m(topo::mini16(), 16);
+  coll::Tuning tuning;
+  tuning.chunk_bytes = {512, 2048, 8192};
+  XhcComponent comp(m, tuning, "xhc-chunks");
+  EXPECT_EQ(tuning.chunk_for_level(0), 512u);
+  EXPECT_EQ(tuning.chunk_for_level(2), 8192u);
+  EXPECT_EQ(tuning.chunk_for_level(9), 8192u);  // last repeats
+  constexpr std::size_t kBytes = 60000;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 16; ++r) bufs.emplace_back(m, r, kBytes);
+  util::fill_pattern(bufs[0].get(), kBytes, 77);
+  m.run([&](mach::Ctx& ctx) {
+    comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes,
+               0);
+  });
+  std::vector<std::byte> expect(kBytes);
+  util::fill_pattern(expect.data(), kBytes, 77);
+  for (int r = 0; r < 16; ++r) {
+    ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                          expect.data(), kBytes),
+              0);
+  }
+}
+
+TEST(XhcTuning, CicoThresholdIsRespected) {
+  // Below the threshold no XPMEM attach happens (registration cache stays
+  // empty); above it, attaches occur (paper §III-D).
+  for (const std::size_t bytes : {std::size_t{512}, std::size_t{8192}}) {
+    mach::RealMachine m(topo::mini8(), 8);
+    coll::Tuning tuning;
+    tuning.cico_threshold = 1024;
+    XhcComponent comp(m, tuning, "xhc");
+    std::vector<mach::Buffer> bufs;
+    for (int r = 0; r < 8; ++r) bufs.emplace_back(m, r, bytes);
+    m.run([&](mach::Ctx& ctx) {
+      comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), bytes,
+                 0);
+    });
+    const auto stats = comp.reg_cache_stats();
+    ASSERT_TRUE(stats.has_value());
+    if (bytes <= 1024) {
+      EXPECT_EQ(stats->hits + stats->misses, 0u) << "CICO path attached";
+    } else {
+      EXPECT_GT(stats->hits + stats->misses, 0u) << "single-copy path idle";
+    }
+  }
+}
+
+TEST(XhcTraffic, TreePatternMatchesPaperTableII) {
+  sim::SimMachine m(topo::epyc2p(), 64);
+  coll::Tuning tuning;
+  XhcComponent comp(m, tuning, "xhc");
+  p2p::TrafficCounter counter(&m.topology(), &m.map());
+  comp.set_traffic_counter(&counter);
+  constexpr std::size_t kBytes = 1 << 16;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 64; ++r) bufs.emplace_back(m, r, kBytes);
+  m.run([&](mach::Ctx& ctx) {
+    comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes,
+               0);
+  });
+  // Paper Table II, XHC row: 1 inter-socket, 6 inter-NUMA, 56 intra-NUMA.
+  EXPECT_EQ(counter.inter_socket(), 1u);
+  EXPECT_EQ(counter.inter_numa(), 6u);
+  EXPECT_EQ(counter.intra_numa(), 56u);
+}
+
+TEST(XhcTraffic, PatternInvariantUnderRootAndMapping) {
+  for (const topo::MapPolicy policy :
+       {topo::MapPolicy::kCore, topo::MapPolicy::kNuma}) {
+    for (const int root : {0, 10, 37}) {
+      sim::SimMachine m(topo::epyc2p(), 64, policy);
+      XhcComponent comp(m, {}, "xhc");
+      p2p::TrafficCounter counter(&m.topology(), &m.map());
+      comp.set_traffic_counter(&counter);
+      std::vector<mach::Buffer> bufs;
+      for (int r = 0; r < 64; ++r) bufs.emplace_back(m, r, 4096);
+      m.run([&](mach::Ctx& ctx) {
+        comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                   4096, root);
+      });
+      EXPECT_EQ(counter.inter_socket(), 1u)
+          << to_string(policy) << " root " << root;
+      EXPECT_EQ(counter.inter_numa(), 6u);
+      EXPECT_EQ(counter.intra_numa(), 56u);
+    }
+  }
+}
+
+TEST(XhcComponentApi, RegCacheAccumulatesHitsAcrossCalls) {
+  mach::RealMachine m(topo::mini8(), 8);
+  XhcComponent comp(m, {}, "xhc");
+  constexpr std::size_t kBytes = 32768;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 8; ++r) bufs.emplace_back(m, r, kBytes);
+  m.run([&](mach::Ctx& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.barrier();
+      comp.bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                 kBytes, 0);
+    }
+  });
+  const auto stats = comp.reg_cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  // Same buffers every call: the steady state is all hits (paper §V-D3).
+  EXPECT_GT(stats->hit_ratio(), 0.85);
+}
+
+}  // namespace
+}  // namespace xhc::core
