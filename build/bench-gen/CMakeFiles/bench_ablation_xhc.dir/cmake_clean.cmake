@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_xhc"
+  "../bench/bench_ablation_xhc.pdb"
+  "CMakeFiles/bench_ablation_xhc.dir/bench_ablation_xhc.cpp.o"
+  "CMakeFiles/bench_ablation_xhc.dir/bench_ablation_xhc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

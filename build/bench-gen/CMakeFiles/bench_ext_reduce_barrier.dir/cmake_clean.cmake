@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_reduce_barrier"
+  "../bench/bench_ext_reduce_barrier.pdb"
+  "CMakeFiles/bench_ext_reduce_barrier.dir/bench_ext_reduce_barrier.cpp.o"
+  "CMakeFiles/bench_ext_reduce_barrier.dir/bench_ext_reduce_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reduce_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

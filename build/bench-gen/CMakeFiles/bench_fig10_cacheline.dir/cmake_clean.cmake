@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_cacheline"
+  "../bench/bench_fig10_cacheline.pdb"
+  "CMakeFiles/bench_fig10_cacheline.dir/bench_fig10_cacheline.cpp.o"
+  "CMakeFiles/bench_fig10_cacheline.dir/bench_fig10_cacheline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cacheline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_allreduce"
+  "../bench/bench_fig11_allreduce.pdb"
+  "CMakeFiles/bench_fig11_allreduce.dir/bench_fig11_allreduce.cpp.o"
+  "CMakeFiles/bench_fig11_allreduce.dir/bench_fig11_allreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

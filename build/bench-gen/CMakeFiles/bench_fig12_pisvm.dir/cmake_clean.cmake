@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_pisvm"
+  "../bench/bench_fig12_pisvm.pdb"
+  "CMakeFiles/bench_fig12_pisvm.dir/bench_fig12_pisvm.cpp.o"
+  "CMakeFiles/bench_fig12_pisvm.dir/bench_fig12_pisvm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pisvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

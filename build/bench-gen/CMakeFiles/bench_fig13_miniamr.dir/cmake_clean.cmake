@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_miniamr"
+  "../bench/bench_fig13_miniamr.pdb"
+  "CMakeFiles/bench_fig13_miniamr.dir/bench_fig13_miniamr.cpp.o"
+  "CMakeFiles/bench_fig13_miniamr.dir/bench_fig13_miniamr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_miniamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_cntk"
+  "../bench/bench_fig14_cntk.pdb"
+  "CMakeFiles/bench_fig14_cntk.dir/bench_fig14_cntk.cpp.o"
+  "CMakeFiles/bench_fig14_cntk.dir/bench_fig14_cntk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cntk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1a_domains"
+  "../bench/bench_fig1a_domains.pdb"
+  "CMakeFiles/bench_fig1a_domains.dir/bench_fig1a_domains.cpp.o"
+  "CMakeFiles/bench_fig1a_domains.dir/bench_fig1a_domains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

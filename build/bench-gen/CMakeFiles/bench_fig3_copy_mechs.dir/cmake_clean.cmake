@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_copy_mechs"
+  "../bench/bench_fig3_copy_mechs.pdb"
+  "CMakeFiles/bench_fig3_copy_mechs.dir/bench_fig3_copy_mechs.cpp.o"
+  "CMakeFiles/bench_fig3_copy_mechs.dir/bench_fig3_copy_mechs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_copy_mechs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

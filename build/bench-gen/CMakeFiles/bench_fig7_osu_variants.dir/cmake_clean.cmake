@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_osu_variants"
+  "../bench/bench_fig7_osu_variants.pdb"
+  "CMakeFiles/bench_fig7_osu_variants.dir/bench_fig7_osu_variants.cpp.o"
+  "CMakeFiles/bench_fig7_osu_variants.dir/bench_fig7_osu_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_osu_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_bcast"
+  "../bench/bench_fig8_bcast.pdb"
+  "CMakeFiles/bench_fig8_bcast.dir/bench_fig8_bcast.cpp.o"
+  "CMakeFiles/bench_fig8_bcast.dir/bench_fig8_bcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_mapping_root"
+  "../bench/bench_fig9_mapping_root.pdb"
+  "CMakeFiles/bench_fig9_mapping_root.dir/bench_fig9_mapping_root.cpp.o"
+  "CMakeFiles/bench_fig9_mapping_root.dir/bench_fig9_mapping_root.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mapping_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

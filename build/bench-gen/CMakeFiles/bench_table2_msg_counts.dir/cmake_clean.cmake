@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_msg_counts"
+  "../bench/bench_table2_msg_counts.pdb"
+  "CMakeFiles/bench_table2_msg_counts.dir/bench_table2_msg_counts.cpp.o"
+  "CMakeFiles/bench_table2_msg_counts.dir/bench_table2_msg_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_msg_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

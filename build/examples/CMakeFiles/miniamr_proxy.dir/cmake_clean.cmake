@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniamr_proxy.dir/miniamr_proxy.cpp.o"
+  "CMakeFiles/miniamr_proxy.dir/miniamr_proxy.cpp.o.d"
+  "miniamr_proxy"
+  "miniamr_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniamr_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

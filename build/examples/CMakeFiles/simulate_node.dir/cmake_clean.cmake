@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_node.dir/simulate_node.cpp.o"
+  "CMakeFiles/simulate_node.dir/simulate_node.cpp.o.d"
+  "simulate_node"
+  "simulate_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_common.cpp" "src/CMakeFiles/xhc.dir/apps/app_common.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/apps/app_common.cpp.o.d"
+  "/root/repo/src/apps/cntk.cpp" "src/CMakeFiles/xhc.dir/apps/cntk.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/apps/cntk.cpp.o.d"
+  "/root/repo/src/apps/miniamr.cpp" "src/CMakeFiles/xhc.dir/apps/miniamr.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/apps/miniamr.cpp.o.d"
+  "/root/repo/src/apps/pisvm.cpp" "src/CMakeFiles/xhc.dir/apps/pisvm.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/apps/pisvm.cpp.o.d"
+  "/root/repo/src/base/shm_component.cpp" "src/CMakeFiles/xhc.dir/base/shm_component.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/base/shm_component.cpp.o.d"
+  "/root/repo/src/base/tuned.cpp" "src/CMakeFiles/xhc.dir/base/tuned.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/base/tuned.cpp.o.d"
+  "/root/repo/src/base/ucc.cpp" "src/CMakeFiles/xhc.dir/base/ucc.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/base/ucc.cpp.o.d"
+  "/root/repo/src/base/xbrc.cpp" "src/CMakeFiles/xhc.dir/base/xbrc.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/base/xbrc.cpp.o.d"
+  "/root/repo/src/coll/registry.cpp" "src/CMakeFiles/xhc.dir/coll/registry.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/coll/registry.cpp.o.d"
+  "/root/repo/src/coll/tuning.cpp" "src/CMakeFiles/xhc.dir/coll/tuning.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/coll/tuning.cpp.o.d"
+  "/root/repo/src/core/allreduce.cpp" "src/CMakeFiles/xhc.dir/core/allreduce.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/core/allreduce.cpp.o.d"
+  "/root/repo/src/core/bcast.cpp" "src/CMakeFiles/xhc.dir/core/bcast.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/core/bcast.cpp.o.d"
+  "/root/repo/src/core/comm_tree.cpp" "src/CMakeFiles/xhc.dir/core/comm_tree.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/core/comm_tree.cpp.o.d"
+  "/root/repo/src/core/ctl.cpp" "src/CMakeFiles/xhc.dir/core/ctl.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/core/ctl.cpp.o.d"
+  "/root/repo/src/core/xhc_component.cpp" "src/CMakeFiles/xhc.dir/core/xhc_component.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/core/xhc_component.cpp.o.d"
+  "/root/repo/src/mach/machine.cpp" "src/CMakeFiles/xhc.dir/mach/machine.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/mach/machine.cpp.o.d"
+  "/root/repo/src/mach/real_machine.cpp" "src/CMakeFiles/xhc.dir/mach/real_machine.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/mach/real_machine.cpp.o.d"
+  "/root/repo/src/osu/harness.cpp" "src/CMakeFiles/xhc.dir/osu/harness.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/osu/harness.cpp.o.d"
+  "/root/repo/src/p2p/fabric.cpp" "src/CMakeFiles/xhc.dir/p2p/fabric.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/p2p/fabric.cpp.o.d"
+  "/root/repo/src/sim/cache_model.cpp" "src/CMakeFiles/xhc.dir/sim/cache_model.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/cache_model.cpp.o.d"
+  "/root/repo/src/sim/line_model.cpp" "src/CMakeFiles/xhc.dir/sim/line_model.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/line_model.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/CMakeFiles/xhc.dir/sim/params.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/params.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/CMakeFiles/xhc.dir/sim/resources.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/resources.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/xhc.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/sim_machine.cpp" "src/CMakeFiles/xhc.dir/sim/sim_machine.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/sim/sim_machine.cpp.o.d"
+  "/root/repo/src/smsc/endpoint.cpp" "src/CMakeFiles/xhc.dir/smsc/endpoint.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/smsc/endpoint.cpp.o.d"
+  "/root/repo/src/smsc/mechanism.cpp" "src/CMakeFiles/xhc.dir/smsc/mechanism.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/smsc/mechanism.cpp.o.d"
+  "/root/repo/src/smsc/reg_cache.cpp" "src/CMakeFiles/xhc.dir/smsc/reg_cache.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/smsc/reg_cache.cpp.o.d"
+  "/root/repo/src/topo/hierarchy.cpp" "src/CMakeFiles/xhc.dir/topo/hierarchy.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/topo/hierarchy.cpp.o.d"
+  "/root/repo/src/topo/mapping.cpp" "src/CMakeFiles/xhc.dir/topo/mapping.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/topo/mapping.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/CMakeFiles/xhc.dir/topo/presets.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/topo/presets.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/xhc.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/xhc.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/xhc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/str.cpp" "src/CMakeFiles/xhc.dir/util/str.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/util/str.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/xhc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/xhc.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

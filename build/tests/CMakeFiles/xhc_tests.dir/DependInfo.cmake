@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps_osu.cpp" "tests/CMakeFiles/xhc_tests.dir/test_apps_osu.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_apps_osu.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/xhc_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_machines.cpp" "tests/CMakeFiles/xhc_tests.dir/test_machines.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_machines.cpp.o.d"
+  "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/xhc_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/test_reduce_barrier.cpp" "tests/CMakeFiles/xhc_tests.dir/test_reduce_barrier.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_reduce_barrier.cpp.o.d"
+  "/root/repo/tests/test_sim_behavior.cpp" "tests/CMakeFiles/xhc_tests.dir/test_sim_behavior.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_sim_behavior.cpp.o.d"
+  "/root/repo/tests/test_sim_core.cpp" "tests/CMakeFiles/xhc_tests.dir/test_sim_core.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_sim_core.cpp.o.d"
+  "/root/repo/tests/test_sim_properties.cpp" "tests/CMakeFiles/xhc_tests.dir/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/xhc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_smsc.cpp" "tests/CMakeFiles/xhc_tests.dir/test_smsc.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_smsc.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/xhc_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/xhc_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/xhc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_xhc_internals.cpp" "tests/CMakeFiles/xhc_tests.dir/test_xhc_internals.cpp.o" "gcc" "tests/CMakeFiles/xhc_tests.dir/test_xhc_internals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xhc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xhc_tests.dir/test_apps_osu.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_apps_osu.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_collectives.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_machines.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_machines.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_p2p.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_p2p.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_reduce_barrier.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_reduce_barrier.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_sim_behavior.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_sim_behavior.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_sim_core.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_sim_core.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_sim_properties.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_sim_properties.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_smoke.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_smoke.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_smsc.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_smsc.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_stress.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_stress.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_topo.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_topo.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_util.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_util.cpp.o.d"
+  "CMakeFiles/xhc_tests.dir/test_xhc_internals.cpp.o"
+  "CMakeFiles/xhc_tests.dir/test_xhc_internals.cpp.o.d"
+  "xhc_tests"
+  "xhc_tests.pdb"
+  "xhc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xhc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
