@@ -10,6 +10,8 @@
 #include <string>
 
 #include "coll/registry.h"
+#include "obs/export.h"
+#include "obs/observer.h"
 #include "osu/harness.h"
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
@@ -21,14 +23,21 @@ namespace xhc::bench {
 struct BenchArgs {
   bool quick = false;
   bool csv = false;
+  bool metrics = false;    ///< --metrics: print span/counter summary tables
+  std::string trace_out;   ///< --trace-out=<file>: Chrome trace JSON path
 
   static BenchArgs parse(int argc, char** argv) {
     util::Args args(argc, argv);
     BenchArgs b;
     b.quick = args.has("quick");
     b.csv = args.has("csv");
+    b.metrics = args.has("metrics");
+    b.trace_out = args.get("trace-out", "");
     return b;
   }
+
+  /// Observability requested at all (either output form)?
+  bool observe() const { return metrics || !trace_out.empty(); }
 };
 
 inline void emit(const BenchArgs& args, const util::Table& table,
@@ -63,5 +72,41 @@ inline std::vector<std::size_t> figure_sizes(bool quick) {
 }
 
 inline std::string us(double v) { return util::Table::fmt_double(v, 2); }
+
+/// "fig8.json" + "armn1" -> "fig8.armn1.json" (benches loop over systems and
+/// must not overwrite one system's trace with the next one's).
+inline std::string trace_path_for(const std::string& base,
+                                  std::string_view label) {
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  std::string ins = ".";
+  ins += label;
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && slash > dot)) {
+    return base + ins;  // no extension: plain suffix
+  }
+  std::string out = base;
+  out.insert(dot, ins);
+  return out;
+}
+
+/// Writes the Chrome trace (when --trace-out) and prints the span/metrics
+/// summary tables (when --metrics) for one finished system run.
+inline void emit_observability(const BenchArgs& args, const obs::Observer& o,
+                               const std::string& label) {
+  if (!args.trace_out.empty()) {
+    const std::string path = trace_path_for(args.trace_out, label);
+    obs::write_chrome_trace_file(path, o.trace(), label);
+    std::cout << "trace written: " << path << " (" << o.trace().recorded()
+              << " spans, " << o.trace().dropped() << " dropped)\n";
+  }
+  if (args.metrics) {
+    std::cout << "\n== Spans, " << label << " ==\n";
+    o.span_table().print(std::cout);
+    std::cout << "\n== Metrics, " << label << " ==\n";
+    o.metrics_table().print(std::cout);
+  }
+  std::cout.flush();
+}
 
 }  // namespace xhc::bench

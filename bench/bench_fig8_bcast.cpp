@@ -24,12 +24,21 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
     }
+    std::unique_ptr<obs::Observer> observer;
     for (const auto comp_name : comps) {
       auto machine = bench::make_system(system);
-      auto comp = coll::make_component(comp_name, *machine);
+      coll::Tuning tuning;
+      tuning.trace = args.observe();
+      auto comp = coll::make_component(comp_name, *machine, tuning);
       osu::Config cfg;
       cfg.warmup = 1;
       cfg.iters = args.quick ? 1 : 2;
+      if (args.observe()) {
+        if (!observer) {
+          observer = std::make_unique<obs::Observer>(machine->n_ranks());
+        }
+        cfg.observer = observer.get();
+      }
       const auto res = osu::bcast_sweep(*machine, *comp, sizes, cfg);
       for (std::size_t i = 0; i < res.size(); ++i) {
         rows[i].push_back(bench::us(res[i].avg_us));
@@ -39,6 +48,9 @@ int main(int argc, char** argv) {
     std::string title = "Fig. 8: MPI_Bcast latency (us), ";
     title += system;
     bench::emit(args, table, title);
+    if (observer) {
+      bench::emit_observability(args, *observer, std::string(system));
+    }
   }
   return 0;
 }

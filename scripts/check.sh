@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite — optionally
+# under a sanitizer (each sanitizer gets its own build directory).
+#
+#   scripts/check.sh            # plain tier-1 build + ctest (build/)
+#   scripts/check.sh thread     # ThreadSanitizer       (build-tsan/)
+#   scripts/check.sh address    # Address+UB sanitizer  (build-asan/)
+#
+# Extra arguments after the mode are forwarded to ctest, e.g.
+#   scripts/check.sh thread -R Obs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+[ $# -gt 0 ] && shift
+
+case "$mode" in
+  "")
+    build_dir=build
+    cmake_args=()
+    ;;
+  thread)
+    build_dir=build-tsan
+    cmake_args=(-DXHC_SANITIZE=thread)
+    ;;
+  address)
+    build_dir=build-asan
+    cmake_args=(-DXHC_SANITIZE=address)
+    ;;
+  *)
+    echo "usage: $0 [thread|address] [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j
+cd "$build_dir"
+ctest --output-on-failure -j "$(nproc)" "$@"

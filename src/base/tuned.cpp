@@ -173,6 +173,7 @@ void TunedComponent::bcast_binary(mach::Ctx& ctx, void* buf,
 void TunedComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
                            int root) {
   if (bytes == 0 || ctx.size() == 1) return;
+  XHC_TRACE(trace_sink(), ctx, "collective", "tuned.bcast", bytes);
   const int tag0 = static_cast<int>(
       ++op_seq_[static_cast<std::size_t>(ctx.rank())] * 65536);
   // Size-based decision rules in the style of coll/tuned: binomial for
@@ -211,7 +212,11 @@ void TunedComponent::allreduce_recursive_doubling(mach::Ctx& ctx, void* rbuf,
       newrank = -1;
     } else {
       fabric_.recv(ctx, r - 1, tag0, tmp, bytes);
-      ctx.reduce(rbuf, tmp, count, dtype, op);
+      {
+        XHC_TRACE(trace_sink(), ctx, "reduce", "tuned.rd_reduce", bytes);
+        ctx.reduce(rbuf, tmp, count, dtype, op);
+      }
+      book(ctx, obs::Counter::kReduceBytes, bytes);
       newrank = r / 2;
     }
   } else {
@@ -225,7 +230,11 @@ void TunedComponent::allreduce_recursive_doubling(mach::Ctx& ctx, void* rbuf,
           newpartner < rem ? newpartner * 2 + 1 : newpartner + rem;
       fabric_.sendrecv(ctx, partner, rbuf, bytes, partner, tmp, bytes,
                        tag0 + 1 + mask);
-      ctx.reduce(rbuf, tmp, count, dtype, op);
+      {
+        XHC_TRACE(trace_sink(), ctx, "reduce", "tuned.rd_reduce", bytes);
+        ctx.reduce(rbuf, tmp, count, dtype, op);
+      }
+      book(ctx, obs::Counter::kReduceBytes, bytes);
     }
   }
 
@@ -264,7 +273,12 @@ void TunedComponent::allreduce_ring(mach::Ctx& ctx, void* rbuf,
     const auto [rlo, rhi] = ring_part(count, n, recv_part);
     fabric_.sendrecv(ctx, next, p + slo * elem, (shi - slo) * elem, prev, tmp,
                      (rhi - rlo) * elem, tag0 + step);
-    ctx.reduce(p + rlo * elem, tmp, rhi - rlo, dtype, op);
+    {
+      XHC_TRACE(trace_sink(), ctx, "reduce", "tuned.ring_reduce",
+                (rhi - rlo) * elem);
+      ctx.reduce(p + rlo * elem, tmp, rhi - rlo, dtype, op);
+    }
+    book(ctx, obs::Counter::kReduceBytes, (rhi - rlo) * elem);
   }
   // Allgather: circulate the finished parts.
   for (int step = 0; step < n - 1; ++step) {
@@ -285,6 +299,7 @@ void TunedComponent::reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
   const std::size_t bytes = count * mach::dtype_size(dtype);
   if (sbuf != rbuf && sbuf != nullptr) ctx.copy(rbuf, sbuf, bytes);
   if (ctx.size() == 1) return;
+  XHC_TRACE(trace_sink(), ctx, "collective", "tuned.reduce", bytes);
   const int n = ctx.size();
   const int vr = (ctx.rank() - root + n) % n;
   const int tag0 = static_cast<int>(
@@ -302,7 +317,11 @@ void TunedComponent::reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     const int child = vr + mask;
     if (child < n) {
       fabric_.recv(ctx, (child + root) % n, tag0 + mask, tmp, bytes);
-      ctx.reduce(rbuf, tmp, count, dtype, op);
+      {
+        XHC_TRACE(trace_sink(), ctx, "reduce", "tuned.reduce_fold", bytes);
+        ctx.reduce(rbuf, tmp, count, dtype, op);
+      }
+      book(ctx, obs::Counter::kReduceBytes, bytes);
     }
     mask <<= 1;
   }
@@ -311,6 +330,7 @@ void TunedComponent::reduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
 void TunedComponent::barrier(mach::Ctx& ctx) {
   const int n = ctx.size();
   if (n == 1) return;
+  XHC_TRACE(trace_sink(), ctx, "collective", "tuned.barrier");
   const int r = ctx.rank();
   const int tag0 = static_cast<int>(
       ++op_seq_[static_cast<std::size_t>(r)] * 65536);
@@ -335,6 +355,7 @@ void TunedComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     ctx.copy(rbuf, sbuf, bytes);
   }
   if (ctx.size() == 1) return;
+  XHC_TRACE(trace_sink(), ctx, "collective", "tuned.allreduce", bytes);
   const int tag0 = static_cast<int>(
       ++op_seq_[static_cast<std::size_t>(ctx.rank())] * 65536);
   if (bytes <= 16 * 1024 ||

@@ -34,6 +34,12 @@ class TunedComponent final : public coll::Component {
   /// Dissemination barrier (log2(n) rounds of one-byte exchanges).
   void barrier(mach::Ctx& ctx) override;
 
+  /// Observability sink, gated by Tuning::trace like the XHC component so
+  /// side-by-side traces of both components use one switch.
+  void set_observer(obs::Observer* observer) noexcept override {
+    coll::Component::set_observer(tuning_.trace ? observer : nullptr);
+  }
+
   p2p::Fabric& fabric() noexcept { return fabric_; }
 
  private:

@@ -10,6 +10,7 @@
 
 #include "coll/tuning.h"
 #include "mach/machine.h"
+#include "obs/observer.h"
 #include "p2p/counters.h"
 #include "smsc/reg_cache.h"
 
@@ -65,6 +66,16 @@ class Component {
     return std::nullopt;
   }
 
+  /// Attaches a span/metrics sink. Collection is additionally gated by the
+  /// component's Tuning::trace knob: instrumented components override this
+  /// to drop the pointer when tracing is off, so the default configuration
+  /// pays only a null check per site. Call outside parallel regions;
+  /// `observer` (when kept) must outlive the component or be detached with
+  /// nullptr.
+  virtual void set_observer(obs::Observer* observer) noexcept {
+    observer_ = observer;
+  }
+
   Component() = default;
   Component(const Component&) = delete;
   Component& operator=(const Component&) = delete;
@@ -74,8 +85,21 @@ class Component {
     if (traffic_ != nullptr) traffic_->record(src_rank, dst_rank);
   }
 
+  obs::Observer* observer() const noexcept { return observer_; }
+  /// Recorder for XHC_TRACE sites; null when collection is off.
+  obs::Recorder* trace_sink() const noexcept {
+    return observer_ != nullptr ? &observer_->trace() : nullptr;
+  }
+  /// Books `delta` against counter `c` for the calling rank (no-op when no
+  /// observer is attached). Named to avoid clashing with `count` parameters.
+  void book(const mach::Ctx& ctx, obs::Counter c,
+            std::uint64_t delta) const noexcept {
+    if (observer_ != nullptr) observer_->metrics().add(ctx.rank(), c, delta);
+  }
+
  private:
   p2p::TrafficCounter* traffic_ = nullptr;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace xhc::coll

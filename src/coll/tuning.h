@@ -58,6 +58,12 @@ struct Tuning {
   /// CICO shared-segment size per rank.
   std::size_t cico_segment_bytes = 256 * 1024;
 
+  /// Observability master switch (DESIGN.md § Observability): when false
+  /// (default), components ignore any attached obs::Observer and span /
+  /// counter sites cost one predictable branch — benchmark numbers are
+  /// unaffected. When true, an attached Observer collects spans + metrics.
+  bool trace = false;
+
   std::size_t chunk_for_level(int level) const noexcept {
     if (chunk_bytes.empty()) return 16 * 1024;
     const std::size_t i = static_cast<std::size_t>(level);

@@ -86,6 +86,7 @@ void XhcComponent::pump_own(mach::Ctx& ctx, const CommView& view,
         }
       } else {
         const int red = reducers[ci % n_red];
+        WaitObs obs(*this, ctx, "reduce_done");
         ctx.flag_wait_ge(*ctl.reduce_done[shape.slot_of(red)], base + hi);
       }
       pos = hi;
@@ -139,6 +140,8 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
   }
   if (in_place) sbuf = rbuf;
 
+  XHC_TRACE(trace_sink(), ctx, "collective",
+            deliver_all ? "xhc.allreduce" : "xhc.reduce", bytes);
   const int r = ctx.rank();
   RankState& rs = state(r);
   const std::uint64_t s = ++rs.op_seq;
@@ -157,7 +160,9 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
   plan.scanned.assign(ms.size(), 0);
   if (cico) {
     // Copy-in (paper §IV-C): stage the contribution in the CICO segment.
+    XHC_TRACE(trace_sink(), ctx, "copy", "allreduce.cico_copy_in", bytes);
     ctx.copy(my_seg.contrib, sbuf, bytes);
+    book(ctx, obs::Counter::kCicoBytes, bytes);
     plan.contrib0 = my_seg.contrib;
     plan.result = my_seg.result;
   } else {
@@ -193,7 +198,10 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     for (const auto& m : ms) {
       wait_acks(ctx, m, s);
     }
-    if (cico) ctx.copy(rbuf, my_seg.result, bytes);
+    if (cico) {
+      XHC_TRACE(trace_sink(), ctx, "copy", "allreduce.cico_copy_out", bytes);
+      ctx.copy(rbuf, my_seg.result, bytes);
+    }
   } else {
     // Step 2a (intra-group reduction) at this rank's member level,
     // interleaved with its leader duties below.
@@ -252,6 +260,9 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
       // peers reducing other chunks depend on it.
       pump_own(ctx, view, plan, hi);
       if (active && ci % n_red == my_idx) {
+        XHC_TRACE(trace_sink(), ctx, "reduce", "allreduce.reduce_chunk",
+                  hi - lo);
+        count_chunk(ctx, top.level);
         if (top.level == 0) {
           // In-place at the internal root: dst may alias the leader's own
           // contribution, which is then already in place.
@@ -270,6 +281,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
           }
           rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
           ctx.reduce(dst + lo, src[i] + lo, n_elems, dtype, op);
+          book(ctx, obs::Counter::kReduceBytes, hi - lo);
         }
         ctx.flag_store(*ctl.reduce_done[top.my_slot], base + hi);
         record_traffic(r, top.leader);

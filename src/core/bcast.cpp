@@ -52,7 +52,14 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
     const std::size_t hi = std::min(bytes, lo + chunk);
     announce_wait(ctx, top, base + hi);
     rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
-    ctx.copy(dst + lo, static_cast<const std::byte*>(src) + lo, hi - lo);
+    {
+      XHC_TRACE(trace_sink(), ctx, "copy", "bcast.pull_chunk", hi - lo);
+      ctx.copy(dst + lo, static_cast<const std::byte*>(src) + lo, hi - lo);
+    }
+    count_chunk(ctx, top.level);
+    book(ctx, cico ? obs::Counter::kCicoBytes
+                    : obs::Counter::kSingleCopyBytes,
+          hi - lo);
     // Republish to led groups (pipelining across levels, §III-B).
     for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
       const std::uint64_t led_base =
@@ -65,6 +72,7 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
 
   if (cico && leads_any) {
     // Copy-out from the staged result into the user buffer.
+    XHC_TRACE(trace_sink(), ctx, "copy", "bcast.cico_copy_out", bytes);
     ctx.copy(user_buf, dst, bytes);
   }
 
@@ -80,6 +88,7 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
   if (bytes == 0 || ctx.size() == 1) return;
   XHC_REQUIRE(root >= 0 && root < ctx.size(), "bad root ", root);
 
+  XHC_TRACE(trace_sink(), ctx, "collective", "xhc.bcast", bytes);
   const int r = ctx.rank();
   RankState& rs = state(r);
   const std::uint64_t s = ++rs.op_seq;
@@ -93,7 +102,9 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
     const void* src = buf;
     if (cico) {
       // Copy-in: stage the payload in the root's CICO result area.
+      XHC_TRACE(trace_sink(), ctx, "copy", "bcast.cico_copy_in", bytes);
       ctx.copy(cico_[static_cast<std::size_t>(r)].result, buf, bytes);
+      book(ctx, obs::Counter::kCicoBytes, bytes);
       src = cico_[static_cast<std::size_t>(r)].result;
     } else {
       rs.endpoint->expose(ctx, buf, bytes);

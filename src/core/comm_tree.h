@@ -79,6 +79,9 @@ class CommTree {
   /// Per-root view; built on first use (thread-safe, deterministic).
   const CommView& view(int root);
 
+  /// Arena accounting (observability gauges).
+  const CtlArena& arena() const noexcept { return arena_; }
+
  private:
   void build_shapes();
   std::unique_ptr<CommView> build_view(int root) const;

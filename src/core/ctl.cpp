@@ -48,6 +48,7 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
 
   void* raw = m.alloc(home_rank, bytes, kLine);
   allocations_.push_back({&m, raw});
+  total_bytes_ += bytes;
   auto* base = static_cast<std::byte*>(raw);
   std::size_t offset = 0;
 

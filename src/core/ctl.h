@@ -77,12 +77,17 @@ class CtlArena {
   /// allocation is owned by `home_rank` (placed on its NUMA node).
   GroupCtl add_group(mach::Machine& m, int home_rank, int slots);
 
+  /// Observability accessors (obs::Gauge::kCtlBytes / kCtlGroups).
+  std::size_t total_bytes() const noexcept { return total_bytes_; }
+  std::size_t n_groups() const noexcept { return allocations_.size(); }
+
  private:
   struct Allocation {
     mach::Machine* machine = nullptr;
     void* p = nullptr;
   };
   std::vector<Allocation> allocations_;
+  std::size_t total_bytes_ = 0;
 };
 
 /// Per-rank copy-in-copy-out segment (paper §IV-C): the first half stages a

@@ -40,6 +40,7 @@ XhcComponent::~XhcComponent() = default;
 
 void XhcComponent::barrier(mach::Ctx& ctx) {
   if (ctx.size() == 1) return;
+  XHC_TRACE(trace_sink(), ctx, "collective", "xhc.barrier");
   const int r = ctx.rank();
   RankState& rs = state(r);
   const std::uint64_t s = ++rs.op_seq;
@@ -81,6 +82,23 @@ void XhcComponent::barrier(mach::Ctx& ctx) {
   for (auto& b : rs.bcast_base) b += 1;
 }
 
+void XhcComponent::set_observer(obs::Observer* observer) noexcept {
+  // Tuning::trace gates all collection: without it the pointer is dropped
+  // and every span/counter site stays a null check.
+  coll::Component::set_observer(tuning_.trace ? observer : nullptr);
+  obs::Observer* effective = coll::Component::observer();
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r]->endpoint->set_observer(effective, static_cast<int>(r));
+  }
+  if (effective != nullptr) {
+    obs::Metrics& m = effective->metrics();
+    m.set_gauge(obs::Gauge::kCtlBytes, tree_.arena().total_bytes());
+    m.set_gauge(obs::Gauge::kCtlGroups,
+                static_cast<std::uint64_t>(tree_.n_groups()));
+    m.set_gauge(obs::Gauge::kCicoSegmentBytes, tuning_.cico_segment_bytes);
+  }
+}
+
 std::optional<smsc::RegCache::Stats> XhcComponent::reg_cache_stats() const {
   smsc::RegCache::Stats total;
   for (const auto& rs : ranks_) {
@@ -117,6 +135,7 @@ void XhcComponent::announce_publish(mach::Ctx& ctx,
 void XhcComponent::announce_wait(mach::Ctx& ctx,
                                  const CommView::Membership& m,
                                  std::uint64_t value) {
+  WaitObs obs(*this, ctx, "announce_wait");
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   switch (tuning_.flag_layout) {
     case coll::FlagLayout::kSingle:
@@ -143,6 +162,7 @@ void XhcComponent::ack_publish(mach::Ctx& ctx, const CommView::Membership& m,
 
 void XhcComponent::wait_acks(mach::Ctx& ctx, const CommView::Membership& m,
                              std::uint64_t s) {
+  WaitObs obs(*this, ctx, "wait_acks");
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   const GroupShape& shape = tree_.shape(m.ctl_id);
   if (tuning_.sync == coll::SyncMethod::kSingleWriter) {

@@ -50,6 +50,11 @@ class XhcComponent final : public coll::Component {
 
   std::optional<smsc::RegCache::Stats> reg_cache_stats() const override;
 
+  /// Attaches the observability sink (gated by Tuning::trace): plumbs it
+  /// into every rank's smsc endpoint and publishes the control-plane gauges
+  /// (control-block bytes, group count, CICO segment size).
+  void set_observer(obs::Observer* observer) noexcept override;
+
   const coll::Tuning& tuning() const noexcept { return tuning_; }
   CommTree& tree() noexcept { return tree_; }
 
@@ -66,6 +71,51 @@ class XhcComponent final : public coll::Component {
 
   RankState& state(int rank) {
     return *ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  // --- observability helpers -----------------------------------------------
+  /// RAII around a blocking wait site: opens a "wait" span and differences
+  /// the machine's spin counter into kFlagWaits / kFlagSpinIters. Costs two
+  /// branches when no observer is attached.
+  class WaitObs {
+   public:
+    WaitObs(const XhcComponent& c, mach::Ctx& ctx, const char* name) noexcept
+        : o_(c.observer()),
+          ctx_(&ctx),
+          guard_(o_ != nullptr ? &o_->trace() : nullptr, ctx, "wait", name),
+          spins0_(o_ != nullptr ? ctx.wait_spins() : 0) {}
+    ~WaitObs() {
+      if (o_ != nullptr) {
+        o_->metrics().add(ctx_->rank(), obs::Counter::kFlagWaits, 1);
+        o_->metrics().add(ctx_->rank(), obs::Counter::kFlagSpinIters,
+                          ctx_->wait_spins() - spins0_);
+      }
+    }
+    WaitObs(const WaitObs&) = delete;
+    WaitObs& operator=(const WaitObs&) = delete;
+
+   private:
+    obs::Observer* o_;
+    mach::Ctx* ctx_;
+    obs::SpanGuard guard_;
+    std::uint64_t spins0_;
+  };
+
+  /// Books one pipeline chunk against the per-level chunk counters.
+  void count_chunk(mach::Ctx& ctx, int level) const noexcept {
+    switch (level) {
+      case 0:
+        book(ctx, obs::Counter::kChunksLevel0, 1);
+        break;
+      case 1:
+        book(ctx, obs::Counter::kChunksLevel1, 1);
+        break;
+      case 2:
+        book(ctx, obs::Counter::kChunksLevel2, 1);
+        break;
+      default:
+        book(ctx, obs::Counter::kChunksDeeper, 1);
+    }
   }
 
   // --- flag helpers (layout / sync variants) -------------------------------

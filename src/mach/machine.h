@@ -75,9 +75,18 @@ class Ctx {
   /// themselves synchronize exclusively through flags).
   virtual void barrier() = 0;
 
+  /// Cumulative flag-wait progress cost since the start of the run: spin ×
+  /// yield iterations on RealMachine, blocking suspensions on SimMachine.
+  /// The observability layer differences this around waits; only this
+  /// rank's thread may read it mid-run.
+  std::uint64_t wait_spins() const noexcept { return wait_spins_; }
+
   Ctx() = default;
   Ctx(const Ctx&) = delete;
   Ctx& operator=(const Ctx&) = delete;
+
+ protected:
+  std::uint64_t wait_spins_ = 0;  ///< bumped by machine wait loops
 };
 
 /// Result of one parallel region.

@@ -86,6 +86,7 @@ class RealMachine::RealCtx final : public Ctx {
     // The host is oversubscribed (many rank threads per hardware core), so
     // the spin must yield or writers would be starved.
     while (f.v.load(std::memory_order_acquire) < v) {
+      ++wait_spins_;
       std::this_thread::yield();
     }
   }

@@ -1,0 +1,90 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace xhc::obs {
+
+namespace {
+
+/// Minimal JSON string escaping; span names are static literals, but the
+/// caller-supplied label is arbitrary.
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters are illegal raw; drop them.
+          break;
+        }
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  // Chrome expects microseconds; virtual-time spans can be sub-ns apart,
+  // so keep picosecond resolution.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::string& label) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int r = 0; r < rec.n_ranks(); ++r) {
+    // Process-name metadata so Perfetto labels each rank's track.
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << r
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+    write_escaped(os, (label + " rank " + std::to_string(r)).c_str());
+    os << "}}";
+
+    for (const Span& s : rec.spans(r)) {
+      os << ",{\"ph\":\"X\",\"pid\":" << r << ",\"tid\":0,\"cat\":";
+      write_escaped(os, s.cat);
+      os << ",\"name\":";
+      write_escaped(os, s.name);
+      os << ",\"ts\":";
+      write_number(os, s.t0 * 1e6);
+      os << ",\"dur\":";
+      write_number(os, (s.t1 - s.t0) * 1e6);
+      os << ",\"args\":{\"arg\":" << s.arg << "}}";
+    }
+  }
+  os << "]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path, const Recorder& rec,
+                             const std::string& label) {
+  std::ofstream os(path, std::ios::trunc);
+  XHC_CHECK(os.good(), "cannot open trace file ", path);
+  write_chrome_trace(os, rec, label);
+  os.flush();
+  XHC_CHECK(os.good(), "failed writing trace file ", path);
+}
+
+}  // namespace xhc::obs

@@ -1,0 +1,28 @@
+// Trace exporters (observability layer).
+//
+// write_chrome_trace emits the Trace Event Format JSON understood by
+// Perfetto / chrome://tracing: one "process" (pid) per rank, complete ("X")
+// events with microsecond timestamps. SimMachine traces therefore render on
+// the virtual-time axis, RealMachine traces on the wall clock, with no
+// difference in the file format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/observer.h"
+#include "obs/trace.h"
+
+namespace xhc::obs {
+
+/// Writes the full trace (all ranks' retained spans) as Chrome trace-event
+/// JSON. `label` prefixes the per-rank process names ("<label> rank 3").
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::string& label = "xhc");
+
+/// Convenience: opens `path` (truncating) and writes the trace; throws
+/// util::Error when the file cannot be written.
+void write_chrome_trace_file(const std::string& path, const Recorder& rec,
+                             const std::string& label = "xhc");
+
+}  // namespace xhc::obs

@@ -1,0 +1,80 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace xhc::obs {
+
+const char* to_string(Counter c) noexcept {
+  switch (c) {
+    case Counter::kCicoBytes:
+      return "cico_bytes";
+    case Counter::kSingleCopyBytes:
+      return "single_copy_bytes";
+    case Counter::kReduceBytes:
+      return "reduce_bytes";
+    case Counter::kChunksLevel0:
+      return "chunks_level0";
+    case Counter::kChunksLevel1:
+      return "chunks_level1";
+    case Counter::kChunksLevel2:
+      return "chunks_level2";
+    case Counter::kChunksDeeper:
+      return "chunks_deeper";
+    case Counter::kFlagWaits:
+      return "flag_waits";
+    case Counter::kFlagSpinIters:
+      return "flag_spin_iters";
+    case Counter::kRegCacheHits:
+      return "reg_cache_hits";
+    case Counter::kRegCacheMisses:
+      return "reg_cache_misses";
+    case Counter::kRegCacheEvictions:
+      return "reg_cache_evictions";
+    case Counter::kAttachBytes:
+      return "attach_bytes";
+    case Counter::kMsgIntraNuma:
+      return "msg_intra_numa";
+    case Counter::kMsgInterNuma:
+      return "msg_inter_numa";
+    case Counter::kMsgInterSocket:
+      return "msg_inter_socket";
+    case Counter::kCount_:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(Gauge g) noexcept {
+  switch (g) {
+    case Gauge::kCtlBytes:
+      return "ctl_bytes";
+    case Gauge::kCtlGroups:
+      return "ctl_groups";
+    case Gauge::kCicoSegmentBytes:
+      return "cico_segment_bytes";
+    case Gauge::kTraceCapacity:
+      return "trace_capacity";
+    case Gauge::kCount_:
+      break;
+  }
+  return "?";
+}
+
+Metrics::Metrics(int n_ranks) {
+  XHC_REQUIRE(n_ranks > 0, "metrics need at least one rank");
+  rows_ = std::vector<Row>(static_cast<std::size_t>(n_ranks));
+}
+
+std::uint64_t Metrics::total(Counter c) const noexcept {
+  std::uint64_t sum = 0;
+  for (const Row& row : rows_) sum += row.v[static_cast<int>(c)];
+  return sum;
+}
+
+void Metrics::reset_counters() {
+  for (Row& row : rows_) {
+    for (auto& v : row.v) v = 0;
+  }
+}
+
+}  // namespace xhc::obs

@@ -1,0 +1,104 @@
+// Typed counter / gauge registry (observability layer).
+//
+// Counters are per-rank cumulative event counts, written only by the owning
+// rank's thread (line-padded rows, no atomics needed) and aggregated after
+// the parallel region ends. They generalize the ad-hoc statistics that grew
+// inside individual layers — p2p::TrafficCounter's message-distance classes
+// and smsc::RegCache::Stats' hit/miss counts — into one registry every
+// layer can feed. Gauges are set-once configuration facts (control-block
+// bytes, group counts) recorded from the constructing thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/cacheline.h"
+
+namespace xhc::obs {
+
+/// Cumulative per-rank event counters. Keep to_string in metrics.cpp in
+/// sync when extending.
+enum class Counter : int {
+  // Data movement.
+  kCicoBytes = 0,     ///< bytes moved through the copy-in-copy-out path
+  kSingleCopyBytes,   ///< bytes moved through the single-copy (XPMEM) path
+  kReduceBytes,       ///< bytes read-modify-written by reduction kernels
+  kChunksLevel0,      ///< pipeline chunks processed at hierarchy level 0
+  kChunksLevel1,      ///< ... level 1
+  kChunksLevel2,      ///< ... level 2
+  kChunksDeeper,      ///< ... level 3 and beyond
+  // Synchronization.
+  kFlagWaits,         ///< blocking flag waits entered
+  kFlagSpinIters,     ///< spin/yield iterations (Real) or suspensions (Sim)
+  // Registration cache (absorbs smsc::RegCache::Stats).
+  kRegCacheHits,
+  kRegCacheMisses,
+  kRegCacheEvictions,
+  kAttachBytes,       ///< bytes covered by attach calls (hit or miss)
+  // Message distances (absorbs p2p::TrafficCounter, paper Table II).
+  kMsgIntraNuma,
+  kMsgInterNuma,
+  kMsgInterSocket,
+  kCount_  // sentinel
+};
+
+/// Set-once configuration gauges.
+enum class Gauge : int {
+  kCtlBytes = 0,       ///< shared control-block bytes allocated
+  kCtlGroups,          ///< hierarchy groups built
+  kCicoSegmentBytes,   ///< per-rank CICO segment size
+  kTraceCapacity,      ///< spans retained per rank
+  kCount_  // sentinel
+};
+
+const char* to_string(Counter c) noexcept;
+const char* to_string(Gauge g) noexcept;
+
+constexpr int kNumCounters = static_cast<int>(Counter::kCount_);
+constexpr int kNumGauges = static_cast<int>(Gauge::kCount_);
+
+class Metrics {
+ public:
+  explicit Metrics(int n_ranks);
+
+  int n_ranks() const noexcept { return static_cast<int>(rows_.size()); }
+
+  /// Adds `delta` to `rank`'s counter. Must be called from the thread
+  /// executing `rank` (single-writer rows). Wait-free.
+  void add(int rank, Counter c, std::uint64_t delta) noexcept {
+    rows_[static_cast<std::size_t>(rank)].v[static_cast<int>(c)] += delta;
+  }
+
+  /// `rank`'s cumulative count (read after the parallel region).
+  std::uint64_t value(int rank, Counter c) const noexcept {
+    return rows_[static_cast<std::size_t>(rank)].v[static_cast<int>(c)];
+  }
+
+  /// Sum over ranks (read after the parallel region).
+  std::uint64_t total(Counter c) const noexcept;
+
+  void set_gauge(Gauge g, std::uint64_t v) noexcept {
+    gauges_[static_cast<std::size_t>(g)] = v;
+  }
+  std::uint64_t gauge(Gauge g) const noexcept {
+    return gauges_[static_cast<std::size_t>(g)];
+  }
+
+  /// Zeroes every counter (gauges persist). Call outside parallel regions.
+  void reset_counters();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+ private:
+  /// One rank's counters; alignment keeps writers on distinct lines.
+  struct alignas(util::kCacheLine) Row {
+    std::uint64_t v[kNumCounters] = {};
+  };
+
+  std::vector<Row> rows_;
+  std::uint64_t gauges_[kNumGauges] = {};
+};
+
+}  // namespace xhc::obs

@@ -1,0 +1,51 @@
+// Observer — the unit of observability plumbed through the stack.
+//
+// One Observer pairs a span Recorder with a Metrics registry for one
+// machine's rank set. Components accept it through
+// coll::Component::set_observer (collection additionally gated by the
+// coll::Tuning::trace knob so default configurations pay only a null
+// check), and the endpoint / control layers feed it through the component.
+// After a run, the exporters in obs/export.h turn the recorder into a
+// Chrome trace and summary_tables() into paper-style console tables.
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "p2p/counters.h"
+#include "util/table.h"
+
+namespace xhc::obs {
+
+class Observer {
+ public:
+  /// `span_capacity` is the per-rank ring size (power of two, see Recorder).
+  explicit Observer(int n_ranks, std::size_t span_capacity = 1u << 14);
+
+  Recorder& trace() noexcept { return trace_; }
+  const Recorder& trace() const noexcept { return trace_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  int n_ranks() const noexcept { return metrics_.n_ranks(); }
+
+  /// Folds a pt2pt traffic counter's distance classes into the registry
+  /// (use for layers without live Observer plumbing, e.g. p2p::Fabric).
+  /// Call once per counter, outside parallel regions.
+  void absorb(const p2p::TrafficCounter& traffic);
+
+  /// Per-(cat, name) span aggregation: count, total/avg/max duration.
+  util::Table span_table() const;
+  /// Non-zero counters (total over ranks) followed by set gauges.
+  util::Table metrics_table() const;
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+ private:
+  Recorder trace_;
+  Metrics metrics_;
+};
+
+}  // namespace xhc::obs

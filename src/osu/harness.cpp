@@ -28,6 +28,7 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
                                     const std::vector<std::size_t>& sizes,
                                     const Config& config) {
   const int n = machine.n_ranks();
+  if (config.observer != nullptr) comp.set_observer(config.observer);
   std::vector<SizeResult> results;
   results.reserve(sizes.size());
 
@@ -96,6 +97,7 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
                                         const std::vector<std::size_t>& sizes,
                                         const Config& config) {
   const int n = machine.n_ranks();
+  if (config.observer != nullptr) comp.set_observer(config.observer);
   std::vector<SizeResult> results;
   results.reserve(sizes.size());
 
@@ -159,6 +161,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
                                      const std::vector<std::size_t>& sizes,
                                      const Config& config) {
   const int n = machine.n_ranks();
+  if (config.observer != nullptr) comp.set_observer(config.observer);
   std::vector<SizeResult> results;
   results.reserve(sizes.size());
 
@@ -218,6 +221,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
 double barrier_latency_us(mach::Machine& machine, coll::Component& comp,
                           const Config& config) {
   const int n = machine.n_ranks();
+  if (config.observer != nullptr) comp.set_observer(config.observer);
   std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
   const int total = config.warmup + config.iters;
   machine.run([&](mach::Ctx& ctx) {

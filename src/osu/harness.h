@@ -22,6 +22,9 @@ struct Config {
   bool modify_buffer = true;  ///< the `_mb` variant (default in §V)
   int root = 0;
   bool verify = true;  ///< bcast only: memcmp payload after the sweep
+  /// When non-null, attached to the component before the sweep (the
+  /// component's Tuning::trace must also be set for collection to engage).
+  obs::Observer* observer = nullptr;
 };
 
 struct SizeResult {

@@ -33,17 +33,27 @@ class TrafficCounter {
     }
   }
 
-  std::uint64_t inter_socket() const noexcept { return inter_socket_.load(); }
-  std::uint64_t inter_numa() const noexcept { return inter_numa_.load(); }
-  std::uint64_t intra_numa() const noexcept { return intra_numa_.load(); }
+  // The counters are independent statistics, not synchronization state:
+  // record() already uses relaxed increments, so the readers and reset()
+  // match it — sequentially consistent accesses here would only add fences
+  // for an ordering nothing relies on.
+  std::uint64_t inter_socket() const noexcept {
+    return inter_socket_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t inter_numa() const noexcept {
+    return inter_numa_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t intra_numa() const noexcept {
+    return intra_numa_.load(std::memory_order_relaxed);
+  }
   std::uint64_t total() const noexcept {
     return inter_socket() + inter_numa() + intra_numa();
   }
 
   void reset() {
-    inter_socket_.store(0);
-    inter_numa_.store(0);
-    intra_numa_.store(0);
+    inter_socket_.store(0, std::memory_order_relaxed);
+    inter_numa_.store(0, std::memory_order_relaxed);
+    intra_numa_.store(0, std::memory_order_relaxed);
   }
 
  private:

@@ -145,6 +145,8 @@ class SimMachine::SimCtx final : public mach::Ctx {
       m_->sched_->advance(rank_, done - now);
       return;
     }
+    // One suspension is the virtual-time analogue of a spin phase.
+    ++wait_spins_;
     const double resume = m_->sched_->wait_until(
         rank_, &f, [&hist, v]() { return hist.crossing(v); });
     // Pay for actually fetching the line at the resume time (the line-model

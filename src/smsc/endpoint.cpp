@@ -28,12 +28,23 @@ const void* Endpoint::attach(mach::Ctx& ctx, int owner, const void* buf,
     // CMA/KNEM/CICO have no mapping concept; per-op costs apply instead.
     return buf;
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().add(obs_rank_, obs::Counter::kAttachBytes, len);
+  }
   if (use_reg_cache_) {
     if (cache_.lookup(owner, buf, len)) {
       ctx.charge(costs_.cache_lookup);
+      if (obs_ != nullptr) {
+        obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheHits, 1);
+      }
     } else {
+      XHC_TRACE(obs_ != nullptr ? &obs_->trace() : nullptr, ctx, "smsc",
+                "attach.miss", len);
       charge_attach(ctx, len);
       cache_.insert(owner, buf, len);
+      if (obs_ != nullptr) {
+        obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheMisses, 1);
+      }
     }
   } else {
     // Fig. 3 dashed: the mapping is created and torn down every time.
@@ -61,7 +72,10 @@ void Endpoint::charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks) {
 void Endpoint::detach_all(mach::Ctx& ctx) {
   if (!costs_.mapping) return;
   ctx.charge(static_cast<double>(cache_.size()) * costs_.detach);
-  cache_.clear();
+  const std::size_t evicted = cache_.clear();
+  if (obs_ != nullptr) {
+    obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheEvictions, evicted);
+  }
 }
 
 }  // namespace xhc::smsc

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "mach/machine.h"
+#include "obs/observer.h"
 #include "smsc/mechanism.h"
 #include "smsc/reg_cache.h"
 
@@ -47,6 +48,14 @@ class Endpoint {
   }
   void reset_stats() { cache_.reset_stats(); }
 
+  /// Live observability sink: registration-cache hits / misses / evictions
+  /// and attach traffic are booked against `rank` (the rank this endpoint
+  /// belongs to). Pass nullptr to detach.
+  void set_observer(obs::Observer* observer, int rank) noexcept {
+    obs_ = observer;
+    obs_rank_ = rank;
+  }
+
  private:
   void charge_attach(mach::Ctx& ctx, std::size_t len);
 
@@ -55,6 +64,8 @@ class Endpoint {
   bool use_reg_cache_;
   RegCache cache_;
   std::map<std::pair<int, const void*>, std::size_t> exposed_;
+  obs::Observer* obs_ = nullptr;
+  int obs_rank_ = 0;
 };
 
 }  // namespace xhc::smsc

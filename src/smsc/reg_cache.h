@@ -18,6 +18,7 @@ class RegCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< mappings dropped (clear / teardown)
 
     double hit_ratio() const noexcept {
       const std::uint64_t total = hits + misses;
@@ -32,8 +33,14 @@ class RegCache {
 
   void insert(int owner, const void* buf, std::size_t len);
 
-  /// Drops every cached mapping (communicator teardown).
-  void clear() { ranges_.clear(); }
+  /// Drops every cached mapping (communicator teardown); counted as
+  /// evictions. Returns the number of mappings dropped.
+  std::size_t clear() {
+    const std::size_t n = ranges_.size();
+    stats_.evictions += n;
+    ranges_.clear();
+    return n;
+  }
 
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = Stats{}; }

@@ -1,0 +1,488 @@
+// Observability layer tests: recorder ring semantics, metrics registry,
+// end-to-end tracing of bcast + allreduce on both machines, and the Chrome
+// trace exporter (validated with a minimal JSON parser — no dependencies).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/registry.h"
+#include "mach/real_machine.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/cacheline.h"
+#include "util/prng.h"
+
+namespace xhc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (enough to validate the exporter).
+
+struct JValue {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue& at(const std::string& key) const {
+    static const JValue kMissing;
+    const auto it = obj.find(key);
+    return it == obj.end() ? kMissing : it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  /// Parses the full input; `ok()` reports success.
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) ok_ = false;
+    return v;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JValue value() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return {};
+    }
+    JValue v;
+    const char c = s_[pos_];
+    if (c == '{') {
+      v.kind = JValue::kObj;
+      eat('{');
+      if (!eat('}')) {
+        do {
+          JValue key = string_value();
+          if (!ok_ || !eat(':')) {
+            ok_ = false;
+            return v;
+          }
+          v.obj[key.str] = value();
+        } while (ok_ && eat(','));
+        if (!eat('}')) ok_ = false;
+      }
+    } else if (c == '[') {
+      v.kind = JValue::kArr;
+      eat('[');
+      if (!eat(']')) {
+        do {
+          v.arr.push_back(value());
+        } while (ok_ && eat(','));
+        if (!eat(']')) ok_ = false;
+      }
+    } else if (c == '"') {
+      v = string_value();
+    } else if (c == 't') {
+      v.kind = JValue::kBool;
+      v.b = true;
+      literal("true");
+    } else if (c == 'f') {
+      v.kind = JValue::kBool;
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      v.kind = JValue::kNum;
+      std::size_t used = 0;
+      try {
+        v.num = std::stod(std::string(s_.substr(pos_)), &used);
+      } catch (...) {
+        ok_ = false;
+      }
+      if (used == 0) ok_ = false;
+      pos_ += used;
+    }
+    return v;
+  }
+
+  JValue string_value() {
+    JValue v;
+    v.kind = JValue::kStr;
+    if (!eat('"')) {
+      ok_ = false;
+      return v;
+    }
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          ok_ = false;
+          return v;
+        }
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) {
+              ok_ = false;
+              return v;
+            }
+            pos_ += 4;  // keep a placeholder; exporter only emits ASCII
+            c = '?';
+            break;
+          default:
+            ok_ = false;
+            return v;
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (!eat('"')) ok_ = false;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Recorder / Metrics unit tests (no machine involved).
+
+TEST(Recorder, CapacityRoundsUpToPowerOfTwo) {
+  Recorder rec(2, 100);
+  EXPECT_EQ(rec.capacity(), 128u);
+  EXPECT_EQ(rec.n_ranks(), 2);
+}
+
+TEST(Recorder, OverwritesOldestWhenFull) {
+  Recorder rec(1, 4);
+  for (int i = 0; i < 6; ++i) {
+    rec.record(0, "cat", "name", i, i + 0.5,
+               static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(rec.recorded(0), 6u);
+  EXPECT_EQ(rec.dropped(0), 2u);
+  const auto spans = rec.spans(0);
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first window: spans 2..5 survive.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].arg, i + 2);
+  }
+  rec.clear();
+  EXPECT_EQ(rec.recorded(0), 0u);
+  EXPECT_TRUE(rec.spans(0).empty());
+}
+
+TEST(Recorder, PerRankRingsAreIndependent) {
+  Recorder rec(3, 8);
+  rec.record(0, "a", "x", 0, 1);
+  rec.record(2, "b", "y", 0, 1);
+  rec.record(2, "b", "z", 1, 2);
+  EXPECT_EQ(rec.spans(0).size(), 1u);
+  EXPECT_TRUE(rec.spans(1).empty());
+  EXPECT_EQ(rec.spans(2).size(), 2u);
+  EXPECT_EQ(rec.recorded(), 3u);
+}
+
+TEST(Metrics, PerRankCountersAndGauges) {
+  Metrics m(4);
+  m.add(0, Counter::kCicoBytes, 100);
+  m.add(3, Counter::kCicoBytes, 50);
+  m.add(3, Counter::kFlagWaits, 2);
+  EXPECT_EQ(m.value(0, Counter::kCicoBytes), 100u);
+  EXPECT_EQ(m.value(3, Counter::kCicoBytes), 50u);
+  EXPECT_EQ(m.total(Counter::kCicoBytes), 150u);
+  EXPECT_EQ(m.total(Counter::kFlagWaits), 2u);
+  EXPECT_EQ(m.total(Counter::kReduceBytes), 0u);
+
+  m.set_gauge(Gauge::kCtlBytes, 4096);
+  EXPECT_EQ(m.gauge(Gauge::kCtlBytes), 4096u);
+
+  m.reset_counters();
+  EXPECT_EQ(m.total(Counter::kCicoBytes), 0u);
+  EXPECT_EQ(m.gauge(Gauge::kCtlBytes), 4096u);  // gauges survive reset
+}
+
+TEST(Metrics, CounterNamesAreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    names.insert(std::string(to_string(static_cast<Counter>(i))));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Counter::kCount_));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trace bcast + allreduce, export, parse, validate.
+
+struct PaddedNow {
+  alignas(util::kCacheLine) double value = 0.0;
+};
+
+/// Runs one bcast and one allreduce with tracing on and returns the observer
+/// plus the per-rank Ctx::now() captured right after the collectives.
+void run_traced(mach::Machine& machine, Observer& observer,
+                std::vector<PaddedNow>& now_after) {
+  const int n = machine.n_ranks();
+  coll::Tuning tuning;
+  tuning.trace = true;
+  auto comp = coll::make_component("xhc", machine, tuning);
+  comp->set_observer(&observer);
+
+  // 64 KiB payload: above the CICO threshold, several pipeline chunks.
+  constexpr std::size_t kBytes = 64u << 10;
+  constexpr std::size_t kCount = kBytes / sizeof(float);
+  std::vector<mach::Buffer> bufs;
+  std::vector<mach::Buffer> rbufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.emplace_back(machine, r, kBytes);
+    rbufs.emplace_back(machine, r, kBytes);
+  }
+  util::fill_pattern(bufs[0].get(), kBytes, 1234);
+  now_after.resize(static_cast<std::size_t>(n));
+
+  machine.run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    comp->bcast(ctx, bufs[r].get(), kBytes, /*root=*/0);
+    comp->allreduce(ctx, bufs[r].get(), rbufs[r].get(), kCount,
+                    mach::DType::kF32, mach::ROp::kSum);
+    now_after[r].value = ctx.now();
+  });
+}
+
+void check_trace(const Observer& observer,
+                 const std::vector<PaddedNow>& now_after, bool virtual_time) {
+  const Recorder& rec = observer.trace();
+  const int n = rec.n_ranks();
+
+  // Every rank produced spans, all within [0, now_after].
+  std::set<std::string> cats;
+  for (int r = 0; r < n; ++r) {
+    const auto spans = rec.spans(r);
+    EXPECT_GE(spans.size(), 1u) << "rank " << r << " recorded no spans";
+    for (const Span& sp : spans) {
+      cats.insert(sp.cat);
+      EXPECT_GE(sp.t0, 0.0);
+      EXPECT_LE(sp.t0, sp.t1);
+      EXPECT_LE(sp.t1, now_after[static_cast<std::size_t>(r)].value + 1e-12)
+          << "rank " << r << " span " << sp.cat << "/" << sp.name
+          << " ends after the clock captured at completion";
+    }
+  }
+  EXPECT_TRUE(cats.count("collective")) << "missing collective spans";
+  EXPECT_TRUE(cats.count("copy")) << "missing copy spans";
+  EXPECT_TRUE(cats.count("reduce")) << "missing reduce spans";
+  EXPECT_TRUE(cats.count("wait")) << "missing wait/flag spans";
+
+  // Counters: the byte movement of bcast + allreduce was booked.
+  const Metrics& m = observer.metrics();
+  EXPECT_GT(m.total(Counter::kSingleCopyBytes) + m.total(Counter::kCicoBytes),
+            0u);
+  EXPECT_GT(m.total(Counter::kReduceBytes), 0u);
+  EXPECT_GT(m.total(Counter::kFlagWaits), 0u);
+
+  // Export and re-parse.
+  std::ostringstream os;
+  write_chrome_trace(os, rec, "test");
+  const std::string json = os.str();
+  JsonParser parser(json);
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << "exporter emitted invalid JSON";
+  ASSERT_EQ(root.kind, JValue::kObj);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const JValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JValue::kArr);
+
+  std::size_t meta_events = 0;
+  std::map<int, std::size_t> per_pid;
+  std::map<int, std::vector<double>> pid_ts;
+  for (const JValue& ev : events.arr) {
+    ASSERT_EQ(ev.kind, JValue::kObj);
+    const std::string ph = ev.at("ph").str;
+    const int pid = static_cast<int>(ev.at("pid").num);
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, n);
+    if (ph == "M") {
+      ++meta_events;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++per_pid[pid];
+    EXPECT_FALSE(ev.at("cat").str.empty());
+    EXPECT_FALSE(ev.at("name").str.empty());
+    EXPECT_GE(ev.at("dur").num, 0.0);
+    pid_ts[pid].push_back(ev.at("ts").num);
+  }
+  EXPECT_EQ(meta_events, static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(per_pid[r], 1u) << "no X events for rank " << r;
+    ASSERT_EQ(per_pid[r], rec.spans(r).size());
+  }
+
+  // Exported timestamps are the recorder's clocks in microseconds; on the
+  // simulated machine that is exactly the deterministic virtual clock.
+  for (int r = 0; r < n; ++r) {
+    const auto spans = rec.spans(r);
+    const auto& ts = pid_ts[r];
+    ASSERT_EQ(ts.size(), spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_NEAR(ts[i], spans[i].t0 * 1e6, 1e-5);
+    }
+    if (virtual_time && !ts.empty()) {
+      EXPECT_LE(ts.back(),
+                now_after[static_cast<std::size_t>(r)].value * 1e6 + 1e-5);
+    }
+  }
+}
+
+TEST(ObsEndToEnd, SimMachineVirtualTimeTrace) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  Observer observer(8);
+  std::vector<PaddedNow> now_after;
+  run_traced(machine, observer, now_after);
+  check_trace(observer, now_after, /*virtual_time=*/true);
+}
+
+TEST(ObsEndToEnd, RealMachineWallClockTrace) {
+  mach::RealMachine machine(topo::mini8(), 8);
+  Observer observer(8);
+  std::vector<PaddedNow> now_after;
+  run_traced(machine, observer, now_after);
+  check_trace(observer, now_after, /*virtual_time=*/false);
+}
+
+TEST(ObsEndToEnd, SimTraceIsDeterministic) {
+  auto collect = [] {
+    sim::SimMachine machine(topo::mini8(), 8);
+    Observer observer(8);
+    std::vector<PaddedNow> now_after;
+    run_traced(machine, observer, now_after);
+    std::ostringstream os;
+    write_chrome_trace(os, observer.trace(), "det");
+    return os.str();
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ObsEndToEnd, DisabledTuningRecordsNothing) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  auto comp = coll::make_component("xhc", machine);  // Tuning::trace = false
+  Observer observer(8);
+  comp->set_observer(&observer);
+
+  constexpr std::size_t kBytes = 16u << 10;
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 8; ++r) bufs.emplace_back(machine, r, kBytes);
+  machine.run([&](mach::Ctx& ctx) {
+    comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes,
+                0);
+  });
+
+  EXPECT_EQ(observer.trace().recorded(), 0u);
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    EXPECT_EQ(observer.metrics().total(static_cast<Counter>(i)), 0u);
+  }
+}
+
+TEST(ObsEndToEnd, TunedBaselineTraces) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  coll::Tuning tuning;
+  tuning.trace = true;
+  auto comp = coll::make_component("tuned", machine, tuning);
+  Observer observer(8);
+  comp->set_observer(&observer);
+
+  constexpr std::size_t kCount = 4096;
+  std::vector<mach::Buffer> sbufs;
+  std::vector<mach::Buffer> rbufs;
+  for (int r = 0; r < 8; ++r) {
+    sbufs.emplace_back(machine, r, kCount * sizeof(float));
+    rbufs.emplace_back(machine, r, kCount * sizeof(float));
+  }
+  machine.run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    auto* s = static_cast<float*>(sbufs[r].get());
+    for (std::size_t i = 0; i < kCount; ++i) s[i] = 1.0f;
+    comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                    mach::DType::kF32, mach::ROp::kSum);
+  });
+
+  std::set<std::string> cats;
+  for (int r = 0; r < 8; ++r) {
+    for (const Span& sp : observer.trace().spans(r)) cats.insert(sp.cat);
+  }
+  EXPECT_TRUE(cats.count("collective"));
+  EXPECT_TRUE(cats.count("reduce"));
+  EXPECT_GT(observer.metrics().total(Counter::kReduceBytes), 0u);
+}
+
+TEST(ObsExport, EscapesSpecialCharacters) {
+  Recorder rec(1, 8);
+  static const char kName[] = "we\"ird\\name\n";
+  rec.record(0, "cat", kName, 0.0, 1.0);
+  std::ostringstream os;
+  write_chrome_trace(os, rec, "esc");
+  const std::string json = os.str();
+  JsonParser parser(json);
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  bool found = false;
+  for (const JValue& ev : root.at("traceEvents").arr) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == kName) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsObserver, AbsorbTrafficCounter) {
+  topo::Topology topo = topo::epyc2p();
+  topo::RankMap map(topo, topo.n_cores(), topo::MapPolicy::kCore);
+  p2p::TrafficCounter traffic(&topo, &map);
+  traffic.record(0, 1);   // intra-NUMA neighbours
+  traffic.record(0, 32);  // socket 0 -> socket 1 (64-core Epyc halves)
+  Observer observer(topo.n_cores());
+  observer.absorb(traffic);
+  EXPECT_EQ(observer.metrics().total(Counter::kMsgIntraNuma), 1u);
+  EXPECT_EQ(observer.metrics().total(Counter::kMsgInterSocket), 1u);
+}
+
+}  // namespace
+}  // namespace xhc::obs

@@ -240,5 +240,40 @@ TEST(Fabric, RendezvousUsesRegistrationCache) {
   EXPECT_LT(durations[1], durations[0]);
 }
 
+TEST(TrafficCounter, ClassifiesRecordsByDistanceAndResets) {
+  // epyc2p: 2 sockets x 4 NUMA x 8 cores; kCore maps rank r to core r, so
+  // ranks 0/1 share a NUMA node, 0/8 share only the socket, and 0/32 sit on
+  // different sockets — one pair per topo::Distance class.
+  topo::Topology topo = topo::epyc2p();
+  topo::RankMap map(topo, topo.n_cores(), topo::MapPolicy::kCore);
+  TrafficCounter counter(&topo, &map);
+
+  ASSERT_EQ(map.distance(topo, 0, 1), topo::Distance::kLlcLocal);
+  ASSERT_EQ(map.distance(topo, 0, 4), topo::Distance::kIntraNuma);
+  ASSERT_EQ(map.distance(topo, 0, 8), topo::Distance::kCrossNuma);
+  ASSERT_EQ(map.distance(topo, 0, 32), topo::Distance::kCrossSocket);
+
+  counter.record(0, 1);  // LLC-local and intra-NUMA share one bucket
+  counter.record(4, 0);  // direction must not matter
+  counter.record(0, 8);
+  counter.record(0, 32);
+  counter.record(32, 0);
+  counter.record(63, 0);
+  EXPECT_EQ(counter.intra_numa(), 2u);
+  EXPECT_EQ(counter.inter_numa(), 1u);
+  EXPECT_EQ(counter.inter_socket(), 3u);
+  EXPECT_EQ(counter.total(), 6u);
+
+  counter.reset();
+  EXPECT_EQ(counter.intra_numa(), 0u);
+  EXPECT_EQ(counter.inter_numa(), 0u);
+  EXPECT_EQ(counter.inter_socket(), 0u);
+  EXPECT_EQ(counter.total(), 0u);
+
+  counter.record(0, 8);  // counting resumes cleanly after a reset
+  EXPECT_EQ(counter.inter_numa(), 1u);
+  EXPECT_EQ(counter.total(), 1u);
+}
+
 }  // namespace
 }  // namespace xhc::p2p

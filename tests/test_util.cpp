@@ -65,6 +65,40 @@ TEST(Stats, PercentileRejectsBadInput) {
   EXPECT_THROW(percentile({1.0}, 1.5), Error);
 }
 
+TEST(Stats, PercentileEmptyThrowsForEveryQ) {
+  EXPECT_THROW(percentile({}, 0.0), Error);
+  EXPECT_THROW(percentile({}, 1.0), Error);
+}
+
+TEST(Stats, PercentileRejectsNegativeQ) {
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.1), Error);
+}
+
+TEST(Stats, PercentileSingleSampleIsConstant) {
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(Stats, PercentileSortsUnorderedInput) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 1.0), 9.0);
+}
+
+TEST(Stats, VarianceUndefinedBelowTwoSamples) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.variance(), 0.0);  // n-1 denominator would divide by zero
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  s.add(42.0);  // two identical samples: defined, and exactly zero
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
 TEST(Table, AlignsAndCounts) {
   Table t({"A", "Bee"});
   t.add_row({"x", "1"});
