@@ -5,6 +5,10 @@
 // shrinks sweeps for smoke runs; `--csv` emits machine-readable output.
 #pragma once
 
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#endif
+
 #include <iostream>
 #include <memory>
 #include <string>
@@ -15,6 +19,7 @@
 #include "osu/harness.h"
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
+#include "util/check.h"
 #include "util/str.h"
 #include "util/table.h"
 
@@ -25,19 +30,63 @@ struct BenchArgs {
   bool csv = false;
   bool metrics = false;    ///< --metrics: print span/counter summary tables
   std::string trace_out;   ///< --trace-out=<file>: Chrome trace JSON path
+  std::string preset;      ///< --preset=<name>: run only this paper system
+  int jobs = 1;            ///< --jobs=<n>: host workers for the sim sweep
+                           ///  (0 = one per host core)
+  /// --verify: re-check payload contents after each sweep. Off by default
+  /// in the latency benches — correctness is pinned by the test suite, and
+  /// the re-read of every rank's buffer costs more wall-clock than the
+  /// simulations themselves at large sizes.
+  bool verify = false;
 
   static BenchArgs parse(int argc, char** argv) {
+    tune_allocator();
     util::Args args(argc, argv);
     BenchArgs b;
     b.quick = args.has("quick");
     b.csv = args.has("csv");
     b.metrics = args.has("metrics");
     b.trace_out = args.get("trace-out", "");
+    b.preset = args.get("preset", "");
+    b.jobs = static_cast<int>(args.get_long("jobs", 1));
+    b.verify = args.has("verify");
+    XHC_REQUIRE(b.jobs >= 0, "--jobs must be >= 0, got ", b.jobs);
     return b;
   }
 
   /// Observability requested at all (either output form)?
   bool observe() const { return metrics || !trace_out.empty(); }
+
+  /// The sweeps allocate and free hundreds of multi-megabyte payload
+  /// buffers. glibc's default serves those straight from mmap, so every
+  /// simulation run pays a fresh page-fault storm and gives the pages
+  /// right back; keeping them in the arena lets freed memory be reused
+  /// warm and cuts the suite's kernel time substantially.
+  static void tune_allocator() {
+#if defined(M_MMAP_THRESHOLD) && defined(M_TRIM_THRESHOLD)
+    mallopt(M_MMAP_THRESHOLD, 256 << 20);
+    mallopt(M_TRIM_THRESHOLD, 256 << 20);
+#endif
+  }
+
+  /// Effective sweep parallelism. The shared Observer is not thread-safe
+  /// across machines, so observability forces the sequential path.
+  int effective_jobs() const { return observe() ? 1 : jobs; }
+
+  /// Paper systems honoring --preset (all three when unset; an unknown
+  /// preset name fails fast via topo::by_name).
+  std::vector<std::string_view> systems() const {
+    auto all = topo::paper_systems();
+    if (preset.empty()) return all;
+    (void)topo::by_name(preset);  // validate, throws on unknown names
+    for (const auto s : all) {
+      if (s == preset) return {s};
+    }
+    // Valid topology but not a paper evaluation system (e.g. mini8):
+    // still honor it so smoke runs can use the tiny presets. The view
+    // points into this BenchArgs, which outlives the sweep.
+    return {std::string_view(preset)};
+  }
 };
 
 inline void emit(const BenchArgs& args, const util::Table& table,

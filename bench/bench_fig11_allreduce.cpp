@@ -12,31 +12,41 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
   const auto comps = coll::allreduce_component_names();
+  const auto systems = args.systems();
 
-  for (const auto system : topo::paper_systems()) {
+  // Independent (system, component) sim points dispatched over the worker
+  // pool; tables are assembled by index so output matches sequential runs.
+  std::vector<std::vector<std::vector<osu::SizeResult>>> results(
+      systems.size(), std::vector<std::vector<osu::SizeResult>>(comps.size()));
+
+  osu::run_points(
+      systems.size() * comps.size(), args.effective_jobs(),
+      [&](std::size_t i) {
+        const std::size_t si = i / comps.size();
+        const std::size_t ci = i % comps.size();
+        auto machine = bench::make_system(systems[si]);
+        auto comp = coll::make_component(comps[ci], *machine);
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        results[si][ci] = osu::allreduce_sweep(*machine, *comp, sizes, cfg);
+      });
+
+  for (std::size_t si = 0; si < systems.size(); ++si) {
     util::Table table([&] {
       std::vector<std::string> header{"Size"};
       for (const auto c : comps) header.emplace_back(c);
       return header;
     }());
-    std::vector<std::vector<std::string>> rows(sizes.size());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
-    }
-    for (const auto comp_name : comps) {
-      auto machine = bench::make_system(system);
-      auto comp = coll::make_component(comp_name, *machine);
-      osu::Config cfg;
-      cfg.warmup = 1;
-      cfg.iters = args.quick ? 1 : 2;
-      const auto res = osu::allreduce_sweep(*machine, *comp, sizes, cfg);
-      for (std::size_t i = 0; i < res.size(); ++i) {
-        rows[i].push_back(bench::us(res[i].avg_us));
+      std::vector<std::string> row{util::Table::fmt_bytes(sizes[i])};
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        row.push_back(bench::us(results[si][ci][i].avg_us));
       }
+      table.add_row(std::move(row));
     }
-    for (auto& row : rows) table.add_row(std::move(row));
     std::string title = "Fig. 11: MPI_Allreduce latency (us), ";
-    title += system;
+    title += systems[si];
     bench::emit(args, table, title);
   }
   return 0;

@@ -13,43 +13,59 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
   const auto comps = coll::bcast_component_names();
+  const auto systems = args.systems();
 
-  for (const auto system : topo::paper_systems()) {
+  // One independent sim point per (system, component) pair. Each point owns
+  // a private SimMachine, so the worker pool may run them on any host
+  // thread in any order while the tables, assembled by point index below,
+  // stay byte-identical to a sequential sweep.
+  std::vector<std::vector<std::vector<osu::SizeResult>>> results(
+      systems.size(), std::vector<std::vector<osu::SizeResult>>(comps.size()));
+  std::vector<std::unique_ptr<obs::Observer>> observers(systems.size());
+
+  osu::run_points(
+      systems.size() * comps.size(), args.effective_jobs(),
+      [&](std::size_t i) {
+        const std::size_t si = i / comps.size();
+        const std::size_t ci = i % comps.size();
+        auto machine = bench::make_system(systems[si]);
+        coll::Tuning tuning;
+        tuning.trace = args.observe();
+        auto comp = coll::make_component(comps[ci], *machine, tuning);
+        osu::Config cfg;
+        cfg.warmup = 1;
+        cfg.iters = args.quick ? 1 : 2;
+        cfg.verify = args.verify;
+        if (args.observe()) {
+          // Observability forces effective_jobs()==1, so sharing one
+          // Observer across a system's components stays race-free.
+          if (!observers[si]) {
+            observers[si] = std::make_unique<obs::Observer>(machine->n_ranks());
+          }
+          cfg.observer = observers[si].get();
+        }
+        results[si][ci] = osu::bcast_sweep(*machine, *comp, sizes, cfg);
+      });
+
+  for (std::size_t si = 0; si < systems.size(); ++si) {
     util::Table table([&] {
       std::vector<std::string> header{"Size"};
       for (const auto c : comps) header.emplace_back(c);
       return header;
     }());
-    std::vector<std::vector<std::string>> rows(sizes.size());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      rows[i].push_back(util::Table::fmt_bytes(sizes[i]));
-    }
-    std::unique_ptr<obs::Observer> observer;
-    for (const auto comp_name : comps) {
-      auto machine = bench::make_system(system);
-      coll::Tuning tuning;
-      tuning.trace = args.observe();
-      auto comp = coll::make_component(comp_name, *machine, tuning);
-      osu::Config cfg;
-      cfg.warmup = 1;
-      cfg.iters = args.quick ? 1 : 2;
-      if (args.observe()) {
-        if (!observer) {
-          observer = std::make_unique<obs::Observer>(machine->n_ranks());
-        }
-        cfg.observer = observer.get();
+      std::vector<std::string> row{util::Table::fmt_bytes(sizes[i])};
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        row.push_back(bench::us(results[si][ci][i].avg_us));
       }
-      const auto res = osu::bcast_sweep(*machine, *comp, sizes, cfg);
-      for (std::size_t i = 0; i < res.size(); ++i) {
-        rows[i].push_back(bench::us(res[i].avg_us));
-      }
+      table.add_row(std::move(row));
     }
-    for (auto& row : rows) table.add_row(std::move(row));
     std::string title = "Fig. 8: MPI_Bcast latency (us), ";
-    title += system;
+    title += systems[si];
     bench::emit(args, table, title);
-    if (observer) {
-      bench::emit_observability(args, *observer, std::string(system));
+    if (observers[si]) {
+      bench::emit_observability(args, *observers[si],
+                                std::string(systems[si]));
     }
   }
   return 0;

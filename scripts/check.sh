@@ -37,3 +37,13 @@ cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j
 cd "$build_dir"
 ctest --output-on-failure -j "$(nproc)" "$@"
+
+# The virtual-time engine has two backends (fiber default; threads is the
+# TSan-friendly reference — sanitizer builds already force it at compile
+# time). In the plain build, re-run the simulation tests under the thread
+# backend so both handoff mechanisms stay covered by every check run.
+if [ "$mode" = "" ]; then
+  echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
+  XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
+    -R 'Sim|Backend|Sched|Collectives' "$@"
+fi

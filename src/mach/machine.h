@@ -130,8 +130,12 @@ class Machine {
 
   /// Allocates `bytes` owned by `owner_rank` (first-touch on that rank's
   /// NUMA node). Alignment is at least one cache line. Valid across runs.
+  /// `zero=false` skips the deterministic zero-fill — only for buffers the
+  /// caller provably writes in full before any read (e.g. bcast payload
+  /// destinations); the sweep harness uses it to avoid touching gigabytes
+  /// of pages that are about to be overwritten anyway.
   virtual void* alloc(int owner_rank, std::size_t bytes,
-                      std::size_t align = 64) = 0;
+                      std::size_t align = 64, bool zero = true) = 0;
   virtual void free(void* p) = 0;
 
   /// Runs `fn(ctx)` once per rank, concurrently, and joins.
@@ -153,8 +157,8 @@ T* alloc_array(Machine& m, int owner_rank, std::size_t count) {
 class Buffer {
  public:
   Buffer() = default;
-  Buffer(Machine& m, int owner_rank, std::size_t bytes)
-      : machine_(&m), p_(m.alloc(owner_rank, bytes)), bytes_(bytes) {}
+  Buffer(Machine& m, int owner_rank, std::size_t bytes, bool zero = true)
+      : machine_(&m), p_(m.alloc(owner_rank, bytes, 64, zero)), bytes_(bytes) {}
   ~Buffer() { reset(); }
 
   Buffer(Buffer&& o) noexcept { *this = std::move(o); }

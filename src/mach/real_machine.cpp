@@ -111,14 +111,15 @@ RealMachine::RealMachine(topo::Topology topo, int n_ranks,
 
 RealMachine::~RealMachine() = default;
 
-void* RealMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align) {
+void* RealMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align,
+                         bool zero) {
   XHC_REQUIRE(owner_rank >= 0 && owner_rank < n_ranks(), "owner rank ",
               owner_rank, " out of range");
   if (align < 64) align = 64;
   const std::size_t rounded = (bytes + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded ? rounded : align);
   XHC_CHECK(p != nullptr, "allocation of ", bytes, " bytes failed");
-  std::memset(p, 0, rounded ? rounded : align);
+  if (zero) std::memset(p, 0, rounded ? rounded : align);
   registry_.insert(p, rounded ? rounded : align, owner_rank);
   return p;
 }

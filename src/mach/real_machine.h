@@ -24,8 +24,8 @@ class RealMachine final : public Machine {
   const topo::Topology& topology() const noexcept override { return topo_; }
   const topo::RankMap& map() const noexcept override { return map_; }
 
-  void* alloc(int owner_rank, std::size_t bytes,
-              std::size_t align = 64) override;
+  void* alloc(int owner_rank, std::size_t bytes, std::size_t align = 64,
+              bool zero = true) override;
   void free(void* p) override;
 
   RunResult run(const std::function<void(Ctx&)>& fn) override;

@@ -1,6 +1,9 @@
 #include "osu/harness.h"
 
+#include <atomic>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "util/check.h"
 #include "util/prng.h"
@@ -12,6 +15,42 @@ std::vector<std::size_t> default_sizes(std::size_t min_bytes,
   std::vector<std::size_t> sizes;
   for (std::size_t s = min_bytes; s <= max_bytes; s *= 2) sizes.push_back(s);
   return sizes;
+}
+
+void run_points(std::size_t n, int jobs,
+                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs == 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs == 0) jobs = 1;
+  }
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs > 1 ? jobs : 1), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+  for (auto& t : pool) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 namespace {
@@ -33,10 +72,14 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
   results.reserve(sizes.size());
 
   for (const std::size_t bytes : sizes) {
-    // One buffer per rank, owned (first-touch) by that rank.
+    // One buffer per rank, owned (first-touch) by that rank. No zero-fill:
+    // the root writes the full payload before iteration 0 and every other
+    // rank receives all `bytes` from the collective before any read.
     std::vector<mach::Buffer> bufs;
     bufs.reserve(static_cast<std::size_t>(n));
-    for (int r = 0; r < n; ++r) bufs.emplace_back(machine, r, bytes);
+    for (int r = 0; r < n; ++r) {
+      bufs.emplace_back(machine, r, bytes, /*zero=*/false);
+    }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
 
     const int total = config.warmup + config.iters;
@@ -107,7 +150,9 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
     std::vector<mach::Buffer> sbufs;
     std::vector<mach::Buffer> rbufs;
     for (int r = 0; r < n; ++r) {
-      sbufs.emplace_back(machine, r, real_bytes);
+      // Send operands are fully rewritten before iteration 0; receive
+      // operands may be read-modify-written by components, so stay zeroed.
+      sbufs.emplace_back(machine, r, real_bytes, /*zero=*/false);
       rbufs.emplace_back(machine, r, real_bytes);
     }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
@@ -171,7 +216,9 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
     std::vector<mach::Buffer> sbufs;
     std::vector<mach::Buffer> rbufs;
     for (int r = 0; r < n; ++r) {
-      sbufs.emplace_back(machine, r, real_bytes);
+      // Send operands are fully rewritten before iteration 0; receive
+      // operands may be read-modify-written by components, so stay zeroed.
+      sbufs.emplace_back(machine, r, real_bytes, /*zero=*/false);
       rbufs.emplace_back(machine, r, real_bytes);
     }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));

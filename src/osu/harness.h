@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "coll/component.h"
@@ -37,6 +38,17 @@ struct SizeResult {
 /// Power-of-two sizes in [min_bytes, max_bytes].
 std::vector<std::size_t> default_sizes(std::size_t min_bytes,
                                        std::size_t max_bytes);
+
+/// Executes fn(i) for every i in [0, n) over a pool of `jobs` host worker
+/// threads (`jobs <= 1` runs inline on the caller, in index order;
+/// `jobs == 0` means one per host core). Points must be independent — in
+/// the bench binaries each one owns a private SimMachine, so the
+/// simulations stay internally sequential and deterministic and a parallel
+/// sweep produces byte-identical results to a sequential one; only the
+/// dispatch order varies. If points throw, the lowest-index exception is
+/// rethrown after the pool drains.
+void run_points(std::size_t n, int jobs,
+                const std::function<void(std::size_t)>& fn);
 
 /// osu_bcast / osu_bcast_mb over one component.
 std::vector<SizeResult> bcast_sweep(mach::Machine& machine,

@@ -1,0 +1,399 @@
+// Fiber-backed virtual-time scheduler (SimBackend::kFiber, the default).
+//
+// Every rank is a stackful coroutine and all of them multiplex onto the
+// host thread that called run(). A virtual-time handoff is a user-space
+// stack switch — save callee-saved registers, swap stack pointers, restore
+// — with no mutex, no condition variable and no kernel involvement, which
+// is what makes 160-rank simulations run at model speed instead of
+// host-scheduler speed. All scheduling decisions come from the shared
+// SchedState, so event order and every virtual timestamp are bit-identical
+// to the thread backend.
+//
+// Switch primitive: on x86-64 a ~20-instruction assembly routine
+// (System V: rbx, rbp, r12-r15 are callee-saved; xmm registers are
+// caller-saved and need no save). Elsewhere, POSIX ucontext — slower
+// (swapcontext re-syncs the signal mask via a syscall) but portable.
+// Under TSan/ASan this whole backend is compiled out (sanitizers cannot
+// track foreign stack switches); VirtualScheduler::create falls back to
+// the thread backend.
+//
+// Fiber stacks are mmap'd with a PROT_NONE guard page at the low end, so a
+// rank function overflowing its stack faults loudly instead of corrupting
+// a neighbouring fiber.
+#include "sim/sched_internal.h"
+#include "sim/scheduler.h"
+#include "util/check.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define XHC_FIBERS_AVAILABLE 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define XHC_FIBERS_AVAILABLE 0
+#else
+#define XHC_FIBERS_AVAILABLE 1
+#endif
+#else
+#define XHC_FIBERS_AVAILABLE 1
+#endif
+
+#if XHC_FIBERS_AVAILABLE
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#if defined(__x86_64__)
+#define XHC_FIBER_ASM 1
+#else
+#define XHC_FIBER_ASM 0
+#include <ucontext.h>
+#endif
+
+#if XHC_FIBER_ASM
+// xhc_fiber_switch(save_sp, load_sp): pushes the System V callee-saved
+// registers, parks the current stack pointer in *save_sp, adopts load_sp,
+// restores the saved registers of the target fiber and returns on its
+// stack. A freshly-created fiber's frame is laid out so this "return"
+// lands in xhc_fiber_entry (see make_fiber).
+asm(R"(
+.text
+.globl xhc_fiber_switch
+.hidden xhc_fiber_switch
+.type xhc_fiber_switch, @function
+xhc_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+.size xhc_fiber_switch, .-xhc_fiber_switch
+)");
+extern "C" void xhc_fiber_switch(void** save_sp, void* load_sp);
+#endif
+
+namespace xhc::sim {
+
+namespace {
+
+using detail::SchedState;
+using detail::Status;
+
+constexpr std::size_t kFiberStackBytes = 1u << 20;  // 1 MiB, lazily paged
+
+/// Thread-local cache of fiber stack mappings (guard page included). Bench
+/// sweeps create one scheduler per simulation point, and mapping 160 fresh
+/// stacks per run means an mmap/munmap pair plus a cold page-fault per
+/// touched page, every run — measurably more kernel time than the
+/// simulation itself. Reused mappings keep their warm pages and their
+/// PROT_NONE guard. Thread-local so parallel sweep workers never contend;
+/// each host thread's cache is unmapped when the thread exits.
+class StackPool {
+ public:
+  ~StackPool() {
+    for (char* m : free_) ::munmap(m, map_bytes_);
+  }
+
+  /// Returns the mmap base: [base, base+page) is the guard page, the stack
+  /// is the kFiberStackBytes above it.
+  char* acquire() {
+    if (!free_.empty()) {
+      char* m = free_.back();
+      free_.pop_back();
+      return m;
+    }
+    void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    XHC_CHECK(mem != MAP_FAILED, "fiber stack mmap failed");
+    ::mprotect(mem, page_, PROT_NONE);
+    return static_cast<char*>(mem);
+  }
+
+  void release(char* m) {
+    if (free_.size() >= kMaxCached) {
+      ::munmap(m, map_bytes_);
+      return;
+    }
+    free_.push_back(m);
+  }
+
+  std::size_t page() const { return page_; }
+
+ private:
+  // Covers the largest paper system (160 ranks) with headroom; extra
+  // stacks beyond this are returned to the kernel.
+  static constexpr std::size_t kMaxCached = 192;
+
+  const std::size_t page_ = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t map_bytes_ = kFiberStackBytes + page_;
+  std::vector<char*> free_;
+};
+
+class FiberScheduler;
+thread_local FiberScheduler* tls_current_sched = nullptr;
+thread_local StackPool tls_stack_pool;
+
+class FiberScheduler final : public VirtualScheduler {
+ public:
+  FiberScheduler(int n, double epoch) : state_(n, epoch) {}
+
+  ~FiberScheduler() override { release_stacks(); }
+
+  void run(const std::function<void(int)>& body) override {
+    XHC_CHECK(body_ == nullptr, "scheduler run() re-entered");
+    body_ = &body;
+    fibers_.resize(static_cast<std::size_t>(state_.n()));
+    for (int r = 0; r < state_.n(); ++r) make_fiber(r);
+    for (int r = 0; r < state_.n(); ++r) state_.attach(r);
+
+    // Nested simulations (a rank body driving another SimMachine) stack
+    // fine: the inner scheduler's "main" context is the outer fiber.
+    FiberScheduler* const prev = tls_current_sched;
+    tls_current_sched = this;
+    current_ = state_.begin_first();
+#if XHC_FIBER_ASM
+    xhc_fiber_switch(&main_sp_, fibers_[idx(current_)].sp);
+#else
+    swapcontext(&main_uc_, &fibers_[idx(current_)].uc);
+#endif
+    tls_current_sched = prev;
+
+    body_ = nullptr;
+    release_stacks();
+    if (first_error_) {
+      auto e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  // Single host thread: no locks anywhere on the rank-side hot path.
+  double now(int r) override { return state_.rank(r).vtime; }
+
+  void advance(int r, double dt) override {
+    XHC_REQUIRE(dt >= 0.0, "cannot advance time backwards (dt=", dt, ")");
+    state_.rank(r).vtime += dt;
+    const int next = state_.yield_point(r);
+    if (next != r) switch_from_to(r, next);
+  }
+
+  void lift(int r, double t) override {
+    detail::RankState& self = state_.rank(r);
+    self.vtime = std::max(self.vtime, t);
+    const int next = state_.yield_point(r);
+    if (next != r) switch_from_to(r, next);
+  }
+
+  double wait_until_raw(int r, const void* channel, PredFn fn,
+                        void* ctx) override {
+    detail::RankState& self = state_.rank(r);
+    while (true) {
+      if (const auto resume = fn(ctx)) {
+        self.vtime = std::max(self.vtime, *resume);
+        const int next = state_.yield_point(r);
+        if (next != r) switch_from_to(r, next);
+        return self.vtime;
+      }
+      const int next = state_.block(r, channel, fn, ctx);
+      if (next == SchedState::kDeadlock) {
+        throw util::Error(state_.describe());
+      }
+      switch_from_to(r, next);
+    }
+  }
+
+  void notify(const void* channel) override { state_.notify(channel); }
+
+  void barrier(int r, double extra_cost) override {
+    const auto res = state_.barrier_arrive(r, extra_cost);
+    if (!res.blocked) {
+      if (res.next != r) switch_from_to(r, res.next);
+      return;
+    }
+    if (res.next == SchedState::kDeadlock) {
+      throw util::Error(state_.describe());
+    }
+    switch_from_to(r, res.next);
+    // Resumed: vtime already lifted to the barrier release time.
+  }
+
+  void abort_all() override { aborted_ = true; }
+
+  int n_ranks() const noexcept override { return state_.n(); }
+  SimBackend backend() const noexcept override { return SimBackend::kFiber; }
+
+  /// Body of every fiber; runs on the fiber's own stack and never returns.
+  [[noreturn]] void fiber_main() {
+    const int r = current_;
+    try {
+      check_abort();
+      (*body_)(r);
+    } catch (...) {
+      record_error(std::current_exception());
+      aborted_ = true;
+    }
+    const int next = pick_after_finish(r);
+    if (next == SchedState::kAllDone) {
+#if XHC_FIBER_ASM
+      xhc_fiber_switch(&scratch_sp_, main_sp_);
+#else
+      setcontext(&main_uc_);
+#endif
+    } else {
+      current_ = next;
+#if XHC_FIBER_ASM
+      xhc_fiber_switch(&scratch_sp_, fibers_[idx(next)].sp);
+#else
+      setcontext(&fibers_[idx(next)].uc);
+#endif
+    }
+    __builtin_unreachable();  // a Done fiber is never resumed
+  }
+
+ private:
+  struct Fiber {
+#if XHC_FIBER_ASM
+    void* sp = nullptr;  ///< saved stack pointer while suspended
+#else
+    ucontext_t uc;
+#endif
+    char* map = nullptr;  ///< mmap base (guard page + stack), pool-owned
+  };
+
+  static std::size_t idx(int r) { return static_cast<std::size_t>(r); }
+
+  void make_fiber(int r) {
+    Fiber& f = fibers_[idx(r)];
+    // Guard page at the low end: stacks grow down into it on overflow.
+    f.map = tls_stack_pool.acquire();
+    char* const stack_lo = f.map + tls_stack_pool.page();
+#if XHC_FIBER_ASM
+    // Initial frame, from the 16-aligned stack top downwards:
+    //   [sp+48] entry address — consumed by xhc_fiber_switch's ret
+    //   [sp+0..47] six zeroed callee-saved register slots
+    // After the pops and the ret, rsp ≡ 8 (mod 16): the ABI state at a
+    // normal function entry, so xhc_fiber_entry can be ordinary C++.
+    auto top = reinterpret_cast<std::uintptr_t>(stack_lo + kFiberStackBytes);
+    top &= ~static_cast<std::uintptr_t>(15);
+    void** frame = reinterpret_cast<void**>(top - 64);
+    for (int i = 0; i < 6; ++i) frame[i] = nullptr;
+    frame[6] = reinterpret_cast<void*>(&fiber_entry);
+    f.sp = frame;
+#else
+    XHC_CHECK(getcontext(&f.uc) == 0, "getcontext failed");
+    f.uc.uc_stack.ss_sp = stack_lo;
+    f.uc.uc_stack.ss_size = kFiberStackBytes;
+    f.uc.uc_link = nullptr;  // fibers exit via explicit setcontext
+    makecontext(&f.uc, reinterpret_cast<void (*)()>(&fiber_entry), 0);
+#endif
+  }
+
+  void release_stacks() {
+    for (Fiber& f : fibers_) {
+      if (f.map != nullptr) tls_stack_pool.release(f.map);
+      f.map = nullptr;
+    }
+    fibers_.clear();
+  }
+
+  static void fiber_entry() { tls_current_sched->fiber_main(); }
+
+  /// Suspends rank `self` and resumes `next`; throws on return if the
+  /// simulation was aborted while this rank slept.
+  void switch_from_to(int self, int next) {
+    current_ = next;
+#if XHC_FIBER_ASM
+    xhc_fiber_switch(&fibers_[idx(self)].sp, fibers_[idx(next)].sp);
+#else
+    swapcontext(&fibers_[idx(self)].uc, &fibers_[idx(next)].uc);
+#endif
+    check_abort();
+  }
+
+  void check_abort() const {
+    if (aborted_) {
+      throw util::Error("simulation aborted (a rank threw an exception)");
+    }
+  }
+
+  /// Rank r is finishing (normally or mid-unwind). Returns the next rank
+  /// to resume, or kAllDone when the run is complete. Never throws: a
+  /// deadlock discovered here is recorded and converted into an abort
+  /// unwind of the remaining parked fibers.
+  int pick_after_finish(int r) {
+    if (!aborted_) {
+      const int next = state_.finish(r);
+      if (next != SchedState::kDeadlock) return next;
+      record_error(
+          std::make_exception_ptr(util::Error(state_.describe())));
+      aborted_ = true;
+    } else {
+      state_.mark_done(r);
+    }
+    // Abort unwind: resume parked fibers lowest-rank-first so each can
+    // throw at its suspension point and run its destructors.
+    for (int i = 0; i < state_.n(); ++i) {
+      if (state_.rank(i).status != Status::kDone) return i;
+    }
+    return SchedState::kAllDone;
+  }
+
+  void record_error(std::exception_ptr e) {
+    if (!first_error_) first_error_ = std::move(e);
+  }
+
+  SchedState state_;
+  std::vector<Fiber> fibers_;
+  const std::function<void(int)>* body_ = nullptr;
+  int current_ = -1;
+  bool aborted_ = false;
+  std::exception_ptr first_error_;
+#if XHC_FIBER_ASM
+  void* main_sp_ = nullptr;
+  void* scratch_sp_ = nullptr;  ///< discard slot for terminal switches
+#else
+  ucontext_t main_uc_;
+#endif
+};
+
+}  // namespace
+
+bool fiber_backend_available() noexcept { return true; }
+
+std::unique_ptr<VirtualScheduler> make_fiber_scheduler(int n, double epoch) {
+  return std::make_unique<FiberScheduler>(n, epoch);
+}
+
+}  // namespace xhc::sim
+
+#else  // !XHC_FIBERS_AVAILABLE (sanitized build)
+
+#include <memory>
+
+namespace xhc::sim {
+
+std::unique_ptr<VirtualScheduler> make_thread_scheduler(int n, double epoch);
+
+bool fiber_backend_available() noexcept { return false; }
+
+std::unique_ptr<VirtualScheduler> make_fiber_scheduler(int n, double epoch) {
+  // Sanitizers cannot follow custom stack switches; the thread backend
+  // exhibits identical virtual time, so fall back silently.
+  return make_thread_scheduler(n, epoch);
+}
+
+}  // namespace xhc::sim
+
+#endif  // XHC_FIBERS_AVAILABLE

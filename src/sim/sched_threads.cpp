@@ -1,0 +1,202 @@
+// Thread-backed virtual-time scheduler (SimBackend::kThreads).
+//
+// One host thread per rank; the shared SchedState decides every handoff and
+// this backend realizes it with per-rank condition variables under one
+// mutex. Each handoff costs two kernel context switches, which is why the
+// fiber backend is the default — this backend exists as the reference whose
+// cross-rank interactions are real synchronized memory accesses, checkable
+// under ThreadSanitizer.
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/sched_internal.h"
+#include "sim/scheduler.h"
+#include "util/check.h"
+
+namespace xhc::sim {
+
+namespace {
+
+using detail::SchedState;
+using detail::Status;
+
+class ThreadScheduler final : public VirtualScheduler {
+ public:
+  ThreadScheduler(int n, double epoch) : state_(n, epoch) {
+    cvs_ = std::vector<std::condition_variable>(static_cast<std::size_t>(n));
+  }
+
+  void run(const std::function<void(int)>& body) override {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(state_.n()));
+    for (int r = 0; r < state_.n(); ++r) {
+      threads.emplace_back([this, &body, r] { worker(body, r); });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+  double now(int r) override {
+    // The clock of a running rank is only mutated by that rank, but the
+    // mutex is what publishes earlier cross-thread promotions; keeping it
+    // here is what makes this backend the TSan-clean reference.
+    std::unique_lock<std::mutex> lock(mu_);
+    return state_.rank(r).vtime;
+  }
+
+  void advance(int r, double dt) override {
+    XHC_REQUIRE(dt >= 0.0, "cannot advance time backwards (dt=", dt, ")");
+    std::unique_lock<std::mutex> lock(mu_);
+    state_.rank(r).vtime += dt;
+    switch_if_needed(lock, r, state_.yield_point(r));
+  }
+
+  void lift(int r, double t) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    detail::RankState& self = state_.rank(r);
+    self.vtime = std::max(self.vtime, t);
+    switch_if_needed(lock, r, state_.yield_point(r));
+  }
+
+  double wait_until_raw(int r, const void* channel, PredFn fn,
+                        void* ctx) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    detail::RankState& self = state_.rank(r);
+    while (true) {
+      if (const auto resume = fn(ctx)) {
+        self.vtime = std::max(self.vtime, *resume);
+        switch_if_needed(lock, r, state_.yield_point(r));
+        return self.vtime;
+      }
+      const int next = state_.block(r, channel, fn, ctx);
+      if (next == SchedState::kDeadlock) report_deadlock();
+      suspend(lock, r, next);
+    }
+  }
+
+  void notify(const void* channel) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    state_.notify(channel);
+  }
+
+  void barrier(int r, double extra_cost) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto res = state_.barrier_arrive(r, extra_cost);
+    if (!res.blocked) {
+      switch_if_needed(lock, r, res.next);
+      return;
+    }
+    if (res.next == SchedState::kDeadlock) report_deadlock();
+    suspend(lock, r, res.next);
+    // Resumed: vtime already lifted to the barrier release time.
+  }
+
+  void abort_all() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    aborted_ = true;
+    for (auto& cv : cvs_) cv.notify_all();
+  }
+
+  int n_ranks() const noexcept override { return state_.n(); }
+  SimBackend backend() const noexcept override {
+    return SimBackend::kThreads;
+  }
+
+ private:
+  void worker(const std::function<void(int)>& body, int r) {
+    bool started = false;
+    try {
+      start(r);
+      started = true;
+      body(r);
+    } catch (...) {
+      record_error(std::current_exception());
+      abort_all();
+    }
+    if (!started) return;
+    try {
+      finish(r);
+    } catch (...) {
+      // Deadlock discovered while finishing, or aborted mid-handoff: make
+      // sure the parked ranks unwind too.
+      record_error(std::current_exception());
+      abort_all();
+    }
+  }
+
+  void start(int r) {
+    std::unique_lock<std::mutex> lock(mu_);
+    XHC_CHECK(state_.rank(r).status == Status::kNotStarted, "rank ", r,
+              " started twice");
+    if (state_.attach(r)) {
+      const int first = state_.begin_first();
+      if (first != r) cvs_[static_cast<std::size_t>(first)].notify_one();
+    }
+    wait_for_token(lock, r);
+  }
+
+  void finish(int r) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // When the run is aborting, every parked rank was already woken by
+    // abort_all and is unwinding on its own; don't misreport the drained
+    // ready set as a deadlock.
+    if (aborted_) return;
+    const int next = state_.finish(r);
+    if (next == SchedState::kAllDone) return;
+    if (next == SchedState::kDeadlock) report_deadlock();
+    cvs_[static_cast<std::size_t>(next)].notify_one();
+  }
+
+  /// After a SchedState decision: if the token moved, wake the new runner
+  /// and park until it comes back.
+  void switch_if_needed(std::unique_lock<std::mutex>& lock, int r, int next) {
+    if (next == r) return;
+    suspend(lock, r, next);
+  }
+
+  /// Wakes `next` and parks rank r until it is Running again.
+  void suspend(std::unique_lock<std::mutex>& lock, int r, int next) {
+    cvs_[static_cast<std::size_t>(next)].notify_one();
+    wait_for_token(lock, r);
+  }
+
+  void wait_for_token(std::unique_lock<std::mutex>& lock, int r) {
+    detail::RankState& self = state_.rank(r);
+    if (self.status != Status::kRunning) {
+      cvs_[static_cast<std::size_t>(r)].wait(lock, [&self, this] {
+        return self.status == Status::kRunning || aborted_;
+      });
+    }
+    if (aborted_) {
+      throw util::Error("simulation aborted (a rank threw an exception)");
+    }
+  }
+
+  [[noreturn]] void report_deadlock() const {
+    throw util::Error(state_.describe());
+  }
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    if (!first_error_) first_error_ = std::move(e);
+  }
+
+  std::mutex mu_;
+  SchedState state_;
+  std::vector<std::condition_variable> cvs_;
+  bool aborted_ = false;
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace
+
+std::unique_ptr<VirtualScheduler> make_thread_scheduler(int n, double epoch) {
+  return std::make_unique<ThreadScheduler>(n, epoch);
+}
+
+}  // namespace xhc::sim

@@ -1,266 +1,35 @@
+// Backend selection for the virtual-time scheduler. The actual engines
+// live in sched_fibers.cpp / sched_threads.cpp over the shared state
+// machine in sched_internal.h.
 #include "sim/scheduler.h"
 
-#include <sstream>
+#include <cstdlib>
+#include <string_view>
 
 #include "util/check.h"
 
 namespace xhc::sim {
 
-VirtualScheduler::VirtualScheduler(int n, double epoch) {
-  XHC_REQUIRE(n > 0, "need at least one thread");
-  threads_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    auto t = std::make_unique<ThreadState>();
-    t->vtime = epoch;
-    threads_.push_back(std::move(t));
-  }
+// Defined by the backend translation units.
+std::unique_ptr<VirtualScheduler> make_fiber_scheduler(int n, double epoch);
+std::unique_ptr<VirtualScheduler> make_thread_scheduler(int n, double epoch);
+
+SimBackend backend_from_env() {
+  const char* raw = std::getenv("XHC_SIM_BACKEND");
+  if (raw == nullptr || *raw == '\0') return SimBackend::kFiber;
+  const std::string_view v(raw);
+  if (v == "fiber" || v == "fibers") return SimBackend::kFiber;
+  if (v == "thread" || v == "threads") return SimBackend::kThreads;
+  throw util::Error(util::detail::concat(
+      "XHC_SIM_BACKEND must be 'fiber' or 'threads', got '", v, "'"));
 }
 
-VirtualScheduler::~VirtualScheduler() = default;
-
-bool VirtualScheduler::is_min_ready_locked(int r) const {
-  const ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  for (std::size_t i = 0; i < threads_.size(); ++i) {
-    const ThreadState& t = *threads_[i];
-    if (t.status != Status::kReady) continue;
-    if (t.vtime < self.vtime ||
-        (t.vtime == self.vtime && static_cast<int>(i) < r)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-int VirtualScheduler::pick_locked() const {
-  int best = -1;
-  for (std::size_t i = 0; i < threads_.size(); ++i) {
-    const ThreadState& t = *threads_[i];
-    if (t.status != Status::kReady) continue;
-    if (best < 0 ||
-        t.vtime < threads_[static_cast<std::size_t>(best)]->vtime ||
-        (t.vtime == threads_[static_cast<std::size_t>(best)]->vtime &&
-         static_cast<int>(i) < best)) {
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-void VirtualScheduler::promote_dirty_locked() {
-  for (auto& tp : threads_) {
-    ThreadState& t = *tp;
-    if (t.status != Status::kBlocked || !t.dirty) continue;
-    t.dirty = false;
-    if (!t.pred) continue;
-    if (auto resume = t.pred()) {
-      t.vtime = std::max(t.vtime, *resume);
-      t.status = Status::kReady;
-      t.channel = nullptr;
-      t.pred = nullptr;
-    }
-  }
-}
-
-void VirtualScheduler::report_deadlock_locked() const {
-  std::ostringstream os;
-  os << "virtual-time deadlock; thread states:";
-  for (std::size_t i = 0; i < threads_.size(); ++i) {
-    const ThreadState& t = *threads_[i];
-    os << " [" << i << ":";
-    switch (t.status) {
-      case Status::kNotStarted:
-        os << "unstarted";
-        break;
-      case Status::kReady:
-        os << "ready";
-        break;
-      case Status::kRunning:
-        os << "running";
-        break;
-      case Status::kBlocked:
-        os << "blocked@" << t.channel;
-        break;
-      case Status::kDone:
-        os << "done";
-        break;
-    }
-    os << " t=" << t.vtime << "]";
-  }
-  throw util::Error(os.str());
-}
-
-void VirtualScheduler::handoff_locked(std::unique_lock<std::mutex>& lock,
-                                      int r, Status self_status) {
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  self.status = self_status;
-  promote_dirty_locked();
-  const int pick = pick_locked();
-  if (pick < 0) {
-    bool all_done = true;
-    for (const auto& tp : threads_) {
-      if (tp->status != Status::kDone) all_done = false;
-    }
-    if (all_done) {
-      running_ = -1;
-      return;
-    }
-    report_deadlock_locked();
-  }
-  if (pick == r) {
-    self.status = Status::kRunning;
-    running_ = r;
-    return;
-  }
-  running_ = pick;
-  ThreadState& next = *threads_[static_cast<std::size_t>(pick)];
-  next.status = Status::kRunning;
-  next.cv.notify_one();
-  if (self_status == Status::kDone) return;
-  self.cv.wait(lock, [&self, this] {
-    return self.status == Status::kRunning || aborted_;
-  });
-  check_abort_locked();
-}
-
-void VirtualScheduler::start(int r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  XHC_CHECK(self.status == Status::kNotStarted, "thread ", r,
-            " started twice");
-  self.status = Status::kReady;
-  // The token is granted only once every thread has attached, so the first
-  // runner is deterministic regardless of host thread start order.
-  bool all_attached = true;
-  for (const auto& tp : threads_) {
-    if (tp->status == Status::kNotStarted) all_attached = false;
-  }
-  if (all_attached) {
-    const int pick = pick_locked();
-    XHC_CHECK(pick >= 0, "no ready thread at startup");
-    running_ = pick;
-    ThreadState& first = *threads_[static_cast<std::size_t>(pick)];
-    first.status = Status::kRunning;
-    if (pick != r) first.cv.notify_one();
-  }
-  if (self.status != Status::kRunning) {
-    self.cv.wait(lock, [&self, this] {
-      return self.status == Status::kRunning || aborted_;
-    });
-  }
-  check_abort_locked();
-}
-
-void VirtualScheduler::finish(int r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  handoff_locked(lock, r, Status::kDone);
-}
-
-double VirtualScheduler::now(int r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return threads_[static_cast<std::size_t>(r)]->vtime;
-}
-
-void VirtualScheduler::advance(int r, double dt) {
-  XHC_REQUIRE(dt >= 0.0, "cannot advance time backwards (dt=", dt, ")");
-  std::unique_lock<std::mutex> lock(mu_);
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  self.vtime += dt;
-  promote_dirty_locked();
-  if (!is_min_ready_locked(r)) {
-    handoff_locked(lock, r, Status::kReady);
-  }
-}
-
-void VirtualScheduler::lift(int r, double t) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  self.vtime = std::max(self.vtime, t);
-  promote_dirty_locked();
-  if (!is_min_ready_locked(r)) {
-    handoff_locked(lock, r, Status::kReady);
-  }
-}
-
-double VirtualScheduler::wait_until(
-    int r, const void* channel, std::function<std::optional<double>()> pred) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  while (true) {
-    if (auto resume = pred()) {
-      self.vtime = std::max(self.vtime, *resume);
-      promote_dirty_locked();
-      if (!is_min_ready_locked(r)) {
-        handoff_locked(lock, r, Status::kReady);
-      }
-      return self.vtime;
-    }
-    self.channel = channel;
-    self.pred = pred;
-    self.dirty = false;
-    handoff_locked(lock, r, Status::kBlocked);
-  }
-}
-
-void VirtualScheduler::notify(const void* channel) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (auto& tp : threads_) {
-    if (tp->status == Status::kBlocked && tp->channel == channel) {
-      tp->dirty = true;
-    }
-  }
-}
-
-void VirtualScheduler::abort_all() {
-  std::unique_lock<std::mutex> lock(mu_);
-  aborted_ = true;
-  for (auto& tp : threads_) tp->cv.notify_all();
-}
-
-void VirtualScheduler::check_abort_locked() const {
-  if (aborted_) {
-    throw util::Error("simulation aborted (a rank threw an exception)");
-  }
-}
-
-void VirtualScheduler::barrier(int r, double extra_cost) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ThreadState& self = *threads_[static_cast<std::size_t>(r)];
-  const std::uint64_t gen = barrier_gen_;
-  barrier_max_time_ = std::max(barrier_max_time_, self.vtime);
-  ++barrier_arrived_;
-
-  int live = 0;
-  for (const auto& tp : threads_) {
-    if (tp->status != Status::kDone) ++live;
-  }
-  if (barrier_arrived_ >= live) {
-    barrier_release_ = barrier_max_time_ + extra_cost;
-    barrier_arrived_ = 0;
-    barrier_max_time_ = 0.0;
-    ++barrier_gen_;
-    for (auto& tp : threads_) {
-      if (tp->status == Status::kBlocked && tp->channel == &barrier_gen_) {
-        tp->dirty = true;
-      }
-    }
-    self.vtime = std::max(self.vtime, barrier_release_);
-    promote_dirty_locked();
-    if (!is_min_ready_locked(r)) {
-      handoff_locked(lock, r, Status::kReady);
-    }
-    return;
-  }
-
-  const double release_snapshot_gen = static_cast<double>(gen);
-  (void)release_snapshot_gen;
-  self.channel = &barrier_gen_;
-  self.pred = [this, gen]() -> std::optional<double> {
-    if (barrier_gen_ != gen) return barrier_release_;
-    return std::nullopt;
-  };
-  self.dirty = false;
-  handoff_locked(lock, r, Status::kBlocked);
-  // Resumed: vtime already lifted to barrier_release_ by the promoter.
+std::unique_ptr<VirtualScheduler> VirtualScheduler::create(int n, double epoch,
+                                                           SimBackend backend) {
+  XHC_REQUIRE(n > 0, "need at least one rank");
+  // On sanitized builds make_fiber_scheduler itself degrades to threads.
+  if (backend == SimBackend::kFiber) return make_fiber_scheduler(n, epoch);
+  return make_thread_scheduler(n, epoch);
 }
 
 }  // namespace xhc::sim

@@ -1,106 +1,119 @@
 // Deterministic virtual-time scheduler.
 //
-// Ranks execute on real host threads, but exactly one thread runs at a time:
-// the ready thread with the minimal (virtual time, rank) key. Threads hand
-// the token off whenever their clock advances past another ready thread and
-// park when they block on a condition. Because the running thread is always
-// the unique minimum and all state transitions happen under one mutex, a
-// simulation's event order — and therefore every virtual timestamp — is a
-// pure function of the program, independent of host scheduling.
+// Exactly one rank executes at a time: the ready rank with the minimal
+// (virtual time, rank) key. Ranks hand the token off whenever their clock
+// advances past another ready rank and park when they block on a condition.
+// Because the running rank is always the unique minimum, a simulation's
+// event order — and therefore every virtual timestamp — is a pure function
+// of the program, independent of host scheduling.
 //
-// Conditions are expressed as (channel, predicate) pairs: a blocked thread
-// is re-examined only when somebody calls notify(channel), keeping the
-// wake-up work proportional to actual dependencies.
+// Two execution backends implement the identical scheduling discipline
+// (shared state machine in sched_internal.h, so virtual timestamps are
+// bit-identical between them):
+//
+//   * kFiber (default) — every rank is a stackful fiber multiplexed onto
+//     the calling host thread. A handoff is a user-space stack switch
+//     (tens of ns): no mutex, no condition variables, no kernel arbitration
+//     on the hot path — the host-side analogue of the paper's single-writer
+//     flag philosophy. Unavailable under TSan/ASan builds (sanitizers do
+//     not track custom stack switching); create() then falls back to
+//     threads.
+//   * kThreads — one host thread per rank, handoffs via per-rank condition
+//     variables under one mutex. ~two kernel context switches per handoff,
+//     but every cross-rank interaction is a real synchronized memory
+//     access, making this the TSan-friendly reference backend.
+//
+// Conditions are expressed as (channel, predicate) pairs: a blocked rank is
+// re-examined only when somebody calls notify(channel); a channel→waiters
+// hash map keeps that proportional to actual dependencies, and the ready
+// set is an O(log n) binary min-heap.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <vector>
+#include <type_traits>
 
 namespace xhc::sim {
 
+/// Host execution substrate of the virtual-time engine. Virtual timestamps
+/// are identical between backends; only host-side speed differs.
+enum class SimBackend {
+  kFiber,    ///< all ranks on one host thread; user-space handoffs
+  kThreads,  ///< one host thread per rank; condvar handoffs (TSan reference)
+};
+
+/// Backend selected by the XHC_SIM_BACKEND environment variable
+/// ("fiber" | "threads"); kFiber when unset. Throws util::Error on an
+/// unrecognized value.
+SimBackend backend_from_env();
+
+/// True when this build can run the fiber backend (false under
+/// thread/address sanitizers, where create() silently uses threads).
+bool fiber_backend_available() noexcept;
+
 class VirtualScheduler {
  public:
-  /// `n` worker threads; `epoch` is the starting virtual time of this run.
-  VirtualScheduler(int n, double epoch);
-  ~VirtualScheduler();
+  /// Non-capturing predicate thunk: called with the context pointer given
+  /// to wait_until_raw; returns the resume time when the condition holds.
+  using PredFn = std::optional<double> (*)(void*);
 
-  // -- worker-thread side ---------------------------------------------------
+  static std::unique_ptr<VirtualScheduler> create(int n, double epoch,
+                                                  SimBackend backend);
 
-  /// First call of a worker; blocks until the thread is scheduled.
-  void start(int r);
-  /// Final call of a worker; hands the token to the next thread.
-  void finish(int r);
+  virtual ~VirtualScheduler() = default;
 
-  /// Virtual clock of `r` (callable only by `r` while it runs).
-  double now(int r);
-  /// Advances r's clock by `dt` and yields if another thread became minimal.
-  void advance(int r, double dt);
+  /// Executes body(r) once for every rank r under virtual-time scheduling
+  /// and returns when all ranks have finished or unwound. If any rank
+  /// throws (including a deadlock report), every other rank is aborted and
+  /// the chronologically-first exception is rethrown.
+  virtual void run(const std::function<void(int)>& body) = 0;
+
+  // -- rank side (callable only by rank `r` while it runs) ------------------
+
+  /// Virtual clock of `r`.
+  virtual double now(int r) = 0;
+  /// Advances r's clock by `dt` and yields if another rank became minimal.
+  virtual void advance(int r, double dt) = 0;
   /// Raises r's clock to at least `t` (no-op if already past) and yields.
-  void lift(int r, double t);
+  virtual void lift(int r, double t) = 0;
 
   /// Blocks `r` until `pred()` returns an engaged resume time. `pred` is
-  /// evaluated under the scheduler lock, only by the running thread, and
-  /// only after a notify(channel). Returns r's clock after resumption
-  /// (max of its previous clock and the predicate's resume time).
-  double wait_until(int r, const void* channel,
-                    std::function<std::optional<double>()> pred);
+  /// evaluated only while `r` is the scheduled rank, and re-examined only
+  /// after a notify(channel). Returns r's clock after resumption (max of
+  /// its previous clock and the predicate's resume time). The predicate is
+  /// captured by reference — no allocation — which is safe because the
+  /// caller's frame stays live for the whole (possibly suspended) call.
+  template <typename Pred>
+  double wait_until(int r, const void* channel, Pred&& pred) {
+    using P = std::remove_reference_t<Pred>;
+    return wait_until_raw(
+        r, channel,
+        [](void* p) -> std::optional<double> {
+          return (*static_cast<P*>(p))();
+        },
+        const_cast<std::remove_const_t<P>*>(std::addressof(pred)));
+  }
+  virtual double wait_until_raw(int r, const void* channel, PredFn fn,
+                                void* ctx) = 0;
 
-  /// Marks every thread blocked on `channel` for predicate re-evaluation.
+  /// Marks every rank blocked on `channel` for predicate re-evaluation.
   /// Call after mutating the state the predicates inspect.
-  void notify(const void* channel);
+  virtual void notify(const void* channel) = 0;
 
-  /// Full barrier over all n threads; everyone resumes at
+  /// Full barrier over all live ranks; everyone resumes at
   /// (max arrival time + extra_cost).
-  void barrier(int r, double extra_cost);
+  virtual void barrier(int r, double extra_cost) = 0;
 
-  /// Aborts the simulation: wakes every parked thread and makes all further
-  /// scheduler calls throw. Used when a worker throws, so the remaining
-  /// threads unwind instead of waiting forever on flags that will never be
-  /// stored.
-  void abort_all();
+  /// Aborts the simulation: wakes every parked rank and makes all further
+  /// scheduler calls throw, so the remaining ranks unwind instead of
+  /// waiting forever on flags that will never be stored.
+  virtual void abort_all() = 0;
 
-  // -- observers -------------------------------------------------------------
-  int n_threads() const noexcept { return static_cast<int>(threads_.size()); }
-
- private:
-  enum class Status { kNotStarted, kReady, kRunning, kBlocked, kDone };
-
-  struct ThreadState {
-    double vtime = 0.0;
-    Status status = Status::kNotStarted;
-    const void* channel = nullptr;
-    std::function<std::optional<double>()> pred;
-    bool dirty = false;  ///< channel notified since last predicate check
-    std::condition_variable cv;
-  };
-
-  // All private methods require mu_ held.
-  void promote_dirty_locked();
-  /// Picks and wakes the next thread. `self_status` is the state the caller
-  /// transitions into; if the caller remains the minimum it keeps running.
-  void handoff_locked(std::unique_lock<std::mutex>& lock, int r,
-                      Status self_status);
-  bool is_min_ready_locked(int r) const;
-  int pick_locked() const;
-  [[noreturn]] void report_deadlock_locked() const;
-
-  void check_abort_locked() const;
-
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadState>> threads_;
-  int running_ = -1;
-  bool aborted_ = false;
-
-  // Barrier state.
-  int barrier_arrived_ = 0;
-  double barrier_max_time_ = 0.0;
-  double barrier_release_ = 0.0;
-  std::uint64_t barrier_gen_ = 0;
+  // -- observers ------------------------------------------------------------
+  virtual int n_ranks() const noexcept = 0;
+  virtual SimBackend backend() const noexcept = 0;
 };
 
 }  // namespace xhc::sim

@@ -4,10 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <thread>
 
 #include "util/cacheline.h"
 #include "util/check.h"
+#include "util/memops.h"
 #include "util/prng.h"
 
 namespace xhc::sim {
@@ -85,7 +85,7 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const auto* src_block = m_->registry_.find(src);
     const auto* dst_block = m_->registry_.find(dst);
     const double d = m_->price_read(src_block, core_, n, t, 1.0);
-    std::memcpy(dst, src, n);
+    util::copy_payload(dst, src, n);
     if (dst_block != nullptr) m_->cache_.on_write(dst_block->id, core_);
     m_->sched_->advance(rank_, d);
   }
@@ -221,14 +221,15 @@ void SimMachine::setup_ledger() {
   }
 }
 
-void* SimMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align) {
+void* SimMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align,
+                        bool zero) {
   XHC_REQUIRE(owner_rank >= 0 && owner_rank < n_ranks(), "owner rank ",
               owner_rank, " out of range");
   if (align < 64) align = 64;
   const std::size_t rounded = (bytes + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded ? rounded : align);
   XHC_CHECK(p != nullptr, "allocation of ", bytes, " bytes failed");
-  std::memset(p, 0, rounded ? rounded : align);
+  if (zero) std::memset(p, 0, rounded ? rounded : align);
   const std::uint64_t id =
       registry_.insert(p, rounded ? rounded : align, owner_rank);
   const int home_numa = topo_.core(map_.core_of(owner_rank)).numa;
@@ -293,38 +294,25 @@ double SimMachine::price_read(const mach::AllocRegistry::Block* block,
 mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {
   const int n = n_ranks();
   const double run_epoch = epoch_;
-  sched_ = std::make_unique<VirtualScheduler>(n, run_epoch);
+  sched_ = VirtualScheduler::create(n, run_epoch, backend_);
 
   mach::RunResult result;
   result.rank_time.assign(static_cast<std::size_t>(n), 0.0);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::vector<double> end_time(static_cast<std::size_t>(n), run_epoch);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      bool started = false;
-      try {
-        sched_->start(r);
-        started = true;
-        SimCtx ctx(this, r, run_epoch);
-        fn(ctx);
-        end_time[static_cast<std::size_t>(r)] = sched_->now(r);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        sched_->abort_all();
-      }
-      if (started) {
-        try {
-          sched_->finish(r);
-        } catch (...) {
-          // Aborted while finishing; nothing more to unwind.
-        }
-      }
+  std::exception_ptr error;
+  try {
+    // The scheduler owns the execution substrate (fibers or threads),
+    // aborts the other ranks when one throws, and rethrows the
+    // chronologically-first exception once everyone has unwound.
+    sched_->run([&](int r) {
+      SimCtx ctx(this, r, run_epoch);
+      fn(ctx);
+      end_time[static_cast<std::size_t>(r)] = sched_->now(r);
     });
+  } catch (...) {
+    error = std::current_exception();
   }
-  for (auto& t : threads) t.join();
 
   for (int r = 0; r < n; ++r) {
     result.rank_time[static_cast<std::size_t>(r)] =
@@ -335,9 +323,7 @@ mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {
   }
   sched_.reset();
 
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  if (error) std::rethrow_exception(error);
   return result;
 }
 

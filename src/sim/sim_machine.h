@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "mach/machine.h"
 #include "sim/cache_model.h"
@@ -36,8 +37,8 @@ class SimMachine final : public mach::Machine {
   const topo::RankMap& map() const noexcept override { return map_; }
   const SimParams& params() const noexcept { return params_; }
 
-  void* alloc(int owner_rank, std::size_t bytes,
-              std::size_t align = 64) override;
+  void* alloc(int owner_rank, std::size_t bytes, std::size_t align = 64,
+              bool zero = true) override;
   void free(void* p) override;
 
   mach::RunResult run(const std::function<void(mach::Ctx&)>& fn) override;
@@ -45,6 +46,13 @@ class SimMachine final : public mach::Machine {
   /// Virtual time at which the last run() completed (the clock is
   /// continuous across runs).
   double epoch() const noexcept { return epoch_; }
+
+  /// Host execution backend of the virtual-time engine (fiber vs threads;
+  /// virtual timestamps are identical either way). Defaults to the
+  /// XHC_SIM_BACKEND environment variable, kFiber when unset. May be
+  /// changed between runs, never during one.
+  SimBackend backend() const noexcept { return backend_; }
+  void set_backend(SimBackend b) noexcept { backend_ = b; }
 
   /// Test hooks.
   CacheModel& cache_model() noexcept { return cache_; }
@@ -84,8 +92,12 @@ class SimMachine final : public mach::Machine {
   CacheModel cache_;
   LineModel lines_;
   ResourceLedger ledger_;
-  std::map<const mach::Flag*, FlagHist> flag_hist_;
+  // Hashed on the flag's address; looked up on every simulated flag op
+  // (hot path), never iterated, so unordered lookup cost wins and the
+  // nondeterministic bucket order is irrelevant.
+  std::unordered_map<const mach::Flag*, FlagHist> flag_hist_;
   std::unique_ptr<VirtualScheduler> sched_;  // alive during run()
+  SimBackend backend_ = backend_from_env();
   double epoch_ = 0.0;
 };
 

@@ -2,6 +2,10 @@
 // buffer cache model, the cache-line model, and the virtual-time scheduler.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "sim/cache_model.h"
@@ -211,127 +215,193 @@ TEST(LineModelArm, EveryCoreFetchesFromSlc) {
 }
 
 // ---------------------------------------------------------------------------
-// VirtualScheduler
+// VirtualScheduler — every test runs on both execution backends; the
+// scheduling discipline (and therefore every timestamp) must be identical.
 
-TEST(Scheduler, RunsMinimumTimeFirst) {
-  VirtualScheduler sched(2, 0.0);
+class SchedulerTest : public ::testing::TestWithParam<SimBackend> {
+ protected:
+  std::unique_ptr<VirtualScheduler> make(int n, double epoch = 0.0) {
+    return VirtualScheduler::create(n, epoch, GetParam());
+  }
+};
+
+TEST_P(SchedulerTest, RunsMinimumTimeFirst) {
+  auto sched = make(2);
   std::vector<int> order;
   std::mutex mu;
-  auto worker = [&](int r, double step) {
-    sched.start(r);
+  sched->run([&](int r) {
+    const double step = r == 0 ? 3.0 : 1.0;
     for (int i = 0; i < 3; ++i) {
       {
         std::lock_guard<std::mutex> lock(mu);
         order.push_back(r);
       }
-      sched.advance(r, step);
+      sched->advance(r, step);
     }
-    sched.finish(r);
-  };
-  std::thread t0(worker, 0, 3.0);
-  std::thread t1(worker, 1, 1.0);
-  t0.join();
-  t1.join();
-  // Thread 1 advances in smaller steps, so after thread 0's first step the
-  // scheduler must run thread 1 several times. Event order is deterministic:
+  });
+  // Rank 1 advances in smaller steps, so after rank 0's first step the
+  // scheduler must run rank 1 several times. Event order is deterministic:
   // 0(t=0) 1(0) 1(1) 1(2) then 0(3)...
   ASSERT_EQ(order.size(), 6u);
-  EXPECT_EQ(order[0], 0);  // tie at t=0 broken by rank... rank 0 first
+  EXPECT_EQ(order[0], 0);  // tie at t=0 broken by rank: rank 0 first
   EXPECT_EQ(order[1], 1);
   EXPECT_EQ(order[2], 1);
   EXPECT_EQ(order[3], 1);
 }
 
-TEST(Scheduler, WaitUntilResumesAtPredicateTime) {
-  VirtualScheduler sched(2, 0.0);
+TEST_P(SchedulerTest, WaitUntilResumesAtPredicateTime) {
+  auto sched = make(2);
   std::optional<double> publish_time;
   double resumed_at = -1.0;
-  std::thread t0([&] {
-    sched.start(0);
-    resumed_at = sched.wait_until(0, &publish_time, [&] { return publish_time; });
-    sched.finish(0);
+  sched->run([&](int r) {
+    if (r == 0) {
+      resumed_at =
+          sched->wait_until(0, &publish_time, [&] { return publish_time; });
+    } else {
+      sched->advance(1, 5.0);
+      publish_time = 7.0;
+      sched->notify(&publish_time);
+      sched->advance(1, 1.0);
+    }
   });
-  std::thread t1([&] {
-    sched.start(1);
-    sched.advance(1, 5.0);
-    publish_time = 7.0;
-    sched.notify(&publish_time);
-    sched.advance(1, 1.0);
-    sched.finish(1);
-  });
-  t0.join();
-  t1.join();
   EXPECT_DOUBLE_EQ(resumed_at, 7.0);
 }
 
-TEST(Scheduler, DeadlockIsDetected) {
-  VirtualScheduler sched(2, 0.0);
-  std::atomic<int> errors{0};
-  auto worker = [&](int r) {
-    try {
-      sched.start(r);
+TEST_P(SchedulerTest, DeadlockIsDetected) {
+  auto sched = make(2);
+  try {
+    sched->run([&](int r) {
       int never = 0;
-      sched.wait_until(r, &never, []() -> std::optional<double> {
-        return std::nullopt;
-      });
-    } catch (const util::Error&) {
-      ++errors;
-      // The detecting thread unblocks its peer, as SimMachine::run does.
-      sched.abort_all();
-    }
-    try {
-      sched.finish(r);
-    } catch (...) {
-    }
-  };
-  std::thread t0(worker, 0);
-  std::thread t1(worker, 1);
-  // One thread discovers the deadlock; abort the other so both unwind.
-  t0.join();
-  t1.join();
-  EXPECT_GE(errors.load(), 1);
+      sched->wait_until(r, &never,
+                        []() -> std::optional<double> { return std::nullopt; });
+    });
+    FAIL() << "expected a deadlock report";
+  } catch (const util::Error& e) {
+    // The chronologically-first error is the deadlock report itself, not
+    // the secondary aborts of the unwound peers.
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
 }
 
-TEST(Scheduler, BarrierReleasesAtMaxArrival) {
-  VirtualScheduler sched(3, 0.0);
+TEST_P(SchedulerTest, DeadlockAfterFinishIsDetected) {
+  // Rank 1 finishes while rank 0 is still parked on a never-signaled
+  // channel: the finish-side pick must raise the deadlock report too.
+  auto sched = make(2);
+  try {
+    sched->run([&](int r) {
+      if (r == 0) {
+        int never = 0;
+        sched->wait_until(0, &never, []() -> std::optional<double> {
+          return std::nullopt;
+        });
+      } else {
+        sched->advance(1, 1.0);
+      }
+    });
+    FAIL() << "expected a deadlock report";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(SchedulerTest, BarrierReleasesAtMaxArrival) {
+  auto sched = make(3);
   std::vector<double> after(3);
-  auto worker = [&](int r, double pre) {
-    sched.start(r);
-    sched.advance(r, pre);
-    sched.barrier(r, 0.5);
-    after[static_cast<std::size_t>(r)] = sched.now(r);
-    sched.finish(r);
-  };
-  std::thread t0(worker, 0, 1.0);
-  std::thread t1(worker, 1, 4.0);
-  std::thread t2(worker, 2, 2.0);
-  t0.join();
-  t1.join();
-  t2.join();
+  sched->run([&](int r) {
+    const double pre[] = {1.0, 4.0, 2.0};
+    sched->advance(r, pre[r]);
+    sched->barrier(r, 0.5);
+    after[static_cast<std::size_t>(r)] = sched->now(r);
+  });
   for (const double t : after) EXPECT_DOUBLE_EQ(t, 4.5);
 }
 
-TEST(Scheduler, AbortUnblocksEveryone) {
-  VirtualScheduler sched(2, 0.0);
+TEST_P(SchedulerTest, AbortUnblocksEveryone) {
+  auto sched = make(2);
   std::atomic<int> unwound{0};
-  std::thread t0([&] {
-    try {
-      sched.start(0);
+  EXPECT_THROW(sched->run([&](int r) {
+                 if (r == 0) {
+                   int never = 0;
+                   try {
+                     sched->wait_until(0, &never,
+                                       []() -> std::optional<double> {
+                                         return std::nullopt;
+                                       });
+                   } catch (...) {
+                     ++unwound;
+                     throw;
+                   }
+                 } else {
+                   sched->abort_all();
+                   ++unwound;
+                 }
+               }),
+               util::Error);
+  EXPECT_EQ(unwound.load(), 2);
+}
+
+TEST_P(SchedulerTest, RankExceptionAbortsAndRethrows) {
+  auto sched = make(3);
+  try {
+    sched->run([&](int r) {
+      if (r == 1) throw util::Error("boom from rank 1");
       int never = 0;
-      sched.wait_until(0, &never,
-                       []() -> std::optional<double> { return std::nullopt; });
-    } catch (...) {
-      ++unwound;
+      sched->wait_until(r, &never,
+                        []() -> std::optional<double> { return std::nullopt; });
+    });
+    FAIL() << "expected the rank exception";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(SchedulerTest, ManyRanksHeapOrdering) {
+  // Staggered advances over enough ranks to exercise real heap reshuffles:
+  // rank r repeatedly advances by (r % 7) + 1; the global event sequence
+  // must follow the (vtime, rank) total order.
+  constexpr int kN = 64;
+  auto sched = make(kN);
+  std::vector<std::pair<double, int>> events;
+  std::mutex mu;
+  sched->run([&](int r) {
+    for (int i = 0; i < 8; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        events.emplace_back(sched->now(r), r);
+      }
+      sched->advance(r, static_cast<double>(r % 7 + 1));
     }
   });
-  std::thread t1([&] {
-    sched.start(1);
-    sched.abort_all();
-    ++unwound;
-  });
-  t0.join();
-  t1.join();
-  EXPECT_EQ(unwound.load(), 2);
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kN * 8));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1], events[i])
+        << "out-of-order events at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SchedulerTest,
+                         ::testing::Values(SimBackend::kFiber,
+                                           SimBackend::kThreads),
+                         [](const auto& info) {
+                           return info.param == SimBackend::kFiber
+                                      ? "fiber"
+                                      : "threads";
+                         });
+
+TEST(SchedulerBackend, EnvSelection) {
+  // Unset → fiber.
+  unsetenv("XHC_SIM_BACKEND");
+  EXPECT_EQ(backend_from_env(), SimBackend::kFiber);
+  setenv("XHC_SIM_BACKEND", "threads", 1);
+  EXPECT_EQ(backend_from_env(), SimBackend::kThreads);
+  setenv("XHC_SIM_BACKEND", "fiber", 1);
+  EXPECT_EQ(backend_from_env(), SimBackend::kFiber);
+  setenv("XHC_SIM_BACKEND", "bogus", 1);
+  EXPECT_THROW(backend_from_env(), util::Error);
+  unsetenv("XHC_SIM_BACKEND");
 }
 
 }  // namespace
