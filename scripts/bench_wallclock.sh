@@ -6,6 +6,7 @@
 #
 #   scripts/bench_wallclock.sh [build_dir]   # default: build/
 set -euo pipefail
+shopt -s inherit_errexit
 cd "$(dirname "$0")/.."
 
 build="${1:-build}"

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the test suite — optionally
-# under a sanitizer (each sanitizer gets its own build directory).
+# under a sanitizer or the protocol verifier (each mode gets its own build
+# directory).
 #
 #   scripts/check.sh            # plain tier-1 build + ctest (build/)
 #   scripts/check.sh thread     # ThreadSanitizer       (build-tsan/)
 #   scripts/check.sh address    # Address+UB sanitizer  (build-asan/)
+#   scripts/check.sh undefined  # UBSan alone           (build-ubsan/)
+#   scripts/check.sh verify     # XHC_VERIFY=ON ledger  (build-verify/)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh thread -R Obs
 set -euo pipefail
+shopt -s inherit_errexit
 cd "$(dirname "$0")/.."
 
 mode="${1:-}"
@@ -27,11 +31,23 @@ case "$mode" in
     build_dir=build-asan
     cmake_args=(-DXHC_SANITIZE=address)
     ;;
+  undefined)
+    build_dir=build-ubsan
+    cmake_args=(-DXHC_SANITIZE=undefined)
+    ;;
+  verify)
+    build_dir=build-verify
+    cmake_args=(-DXHC_VERIFY=ON)
+    ;;
   *)
-    echo "usage: $0 [thread|address] [ctest args...]" >&2
+    echo "usage: $0 [thread|address|undefined|verify] [ctest args...]" >&2
     exit 2
     ;;
 esac
+
+# Static pass first: raw atomic accesses on flags outside the mach layer are
+# protocol escapes the runtime ledger can't see.
+scripts/lint_flags.sh
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j
@@ -39,10 +55,12 @@ cd "$build_dir"
 ctest --output-on-failure -j "$(nproc)" "$@"
 
 # The virtual-time engine has two backends (fiber default; threads is the
-# TSan-friendly reference — sanitizer builds already force it at compile
-# time). In the plain build, re-run the simulation tests under the thread
-# backend so both handoff mechanisms stay covered by every check run.
-if [ "$mode" = "" ]; then
+# condvar reference). TSan builds now run the fiber backend natively via
+# annotated switches, so re-run the simulation tests under the thread
+# backend in both the plain and TSan modes to keep both handoff mechanisms
+# covered by every check run. (ASan forces threads at compile time already;
+# UBSan/verify reruns would only repeat identical single-threaded logic.)
+if [ "$mode" = "" ] || [ "$mode" = thread ]; then
   echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
   XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
     -R 'Sim|Backend|Sched|Collectives' "$@"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Static companion to the runtime protocol verifier (src/verify/): the
+# ledger can only judge flag traffic that flows through the Machine flag
+# API, so this pass rejects code that touches mach::Flag's atomic directly
+# or reaches for seq_cst (the paper's protocol is release/acquire plus
+# whitelisted acq_rel RMW — a seq_cst access is always a smell here).
+#
+#   scripts/lint_flags.sh        # grep passes + clang-tidy (if installed)
+#
+# Exits nonzero on any violation.
+set -euo pipefail
+shopt -s inherit_errexit
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Raw atomic accesses on Flag::v are legal only inside the two Machine
+#    implementations (and the Flag definition itself) — everywhere else
+#    they bypass the verifier hooks.
+allow='^src/mach/real_machine\.cpp|^src/mach/flag\.h|^src/sim/sim_machine\.cpp'
+raw=$(grep -RnE '\.v\.(store|load|fetch_add|exchange|compare_exchange)' \
+        src tests bench examples | grep -vE "$allow" || true)
+if [ -n "$raw" ]; then
+  echo "error: raw Flag atomic access outside the mach API (use" >&2
+  echo "Ctx::flag_store/flag_read/flag_wait_ge/fetch_add so the protocol" >&2
+  echo "verifier sees it):" >&2
+  echo "$raw" >&2
+  fail=1
+fi
+
+# 2. seq_cst has no place in the single-writer protocol: stores are
+#    release, loads are acquire, RMW is acq_rel (paper §III-E).
+seq=$(grep -Rn 'memory_order_seq_cst' src tests bench examples || true)
+if [ -n "$seq" ]; then
+  echo "error: memory_order_seq_cst found (the flag protocol is" >&2
+  echo "release/acquire; see DESIGN.md § Verification):" >&2
+  echo "$seq" >&2
+  fail=1
+fi
+
+# 3. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
+#    over the verifier and machine layers, when the tool and a compilation
+#    database are available.
+tidy_db=""
+for d in build build-verify build-tsan; do
+  if [ -f "$d/compile_commands.json" ]; then
+    tidy_db="$d"
+    break
+  fi
+done
+if command -v clang-tidy > /dev/null 2>&1 && [ -n "$tidy_db" ]; then
+  echo "== clang-tidy (db: $tidy_db) =="
+  if ! clang-tidy -p "$tidy_db" --quiet \
+      src/verify/ledger.cpp src/verify/layout.cpp \
+      src/mach/real_machine.cpp src/sim/sim_machine.cpp; then
+    fail=1
+  fi
+elif ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "note: clang-tidy not installed; skipping the .clang-tidy pass" >&2
+else
+  echo "note: no compile_commands.json yet (configure a build first);" >&2
+  echo "skipping the .clang-tidy pass" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint_flags: FAILED" >&2
+  exit 1
+fi
+echo "lint_flags: OK"

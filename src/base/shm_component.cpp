@@ -1,10 +1,12 @@
 #include "base/shm_component.h"
 
 #include <algorithm>
+#include <string>
 
 #include "topo/hierarchy.h"
 #include "util/cacheline.h"
 #include "util/check.h"
+#include "verify/verify.h"
 
 namespace xhc::base {
 
@@ -90,6 +92,29 @@ ShmComponent::ShmComponent(mach::Machine& machine, coll::Tuning tuning,
     shm->allocs.push_back(shm->contrib);
     shm->ready = padded_flags(slots);
     shm->consumed = padded_flags(1);
+
+    // Protocol verifier registration. The streaming flags follow the root
+    // of the operation (kRotating); per-slot acks have a fixed writer; the
+    // slot counters are this baseline's whitelisted multi-writer path.
+    verify::Ledger& led = machine.verify_ledger();
+    const std::string prefix = name_ + ".g" + std::to_string(g);
+    led.register_flag(&*shm->announce[0], prefix + ".announce",
+                      verify::WriterPolicy::kRotating);
+    led.register_flag(&*shm->consumed[0], prefix + ".consumed",
+                      verify::WriterPolicy::kRotating);
+    for (std::size_t i = 0; i < slots; ++i) {
+      led.register_flag(&*shm->ring_ack[i],
+                        prefix + ".ring_ack[" + std::to_string(i) + "]",
+                        verify::WriterPolicy::kFixed);
+      led.register_flag(&*shm->ready[i],
+                        prefix + ".ready[" + std::to_string(i) + "]",
+                        verify::WriterPolicy::kFixed);
+    }
+    for (std::size_t d = 0; d < kDepth; ++d) {
+      led.register_flag(&*shm->slot_ctr[d],
+                        prefix + ".slot_ctr[" + std::to_string(d) + "]",
+                        verify::WriterPolicy::kShared);
+    }
     groups_.push_back(std::move(shm));
   }
   ranks_.reserve(static_cast<std::size_t>(machine.n_ranks()));

@@ -1,8 +1,10 @@
 #include "core/ctl.h"
 
 #include <new>
+#include <string>
 
 #include "util/check.h"
+#include "verify/layout.h"
 
 namespace xhc::core {
 
@@ -70,6 +72,14 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
   ctl.announce_shared = place_array<mach::Flag>(base, offset, n);
   XHC_CHECK(offset <= bytes, "control block layout overflow: ", offset, " > ",
             bytes);
+
+  // Protocol verifier: name every flag, declare its writer policy (the
+  // Fig. 4 atomic_ctr is the whitelisted multi-writer) and lint the layout.
+  // The index keys diagnostics; addresses disambiguate across arenas.
+  verify::register_group_ctl(
+      m.verify_ledger(), ctl,
+      "ctl" + std::to_string(allocations_.size() - 1) + "/h" +
+          std::to_string(home_rank));
   return ctl;
 }
 

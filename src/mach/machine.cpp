@@ -1,5 +1,7 @@
 #include "mach/machine.h"
 
+#include <type_traits>
+
 #include "util/check.h"
 
 namespace xhc::mach {
@@ -36,14 +38,36 @@ const char* to_string(ROp op) noexcept {
 
 namespace {
 
+// Integer sum/prod wrap around (MPI semantics); doing the arithmetic in the
+// unsigned domain keeps that well-defined where the signed form is UB.
+template <typename T>
+T wrap_add(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+
+template <typename T>
+T wrap_mul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
 template <typename T>
 void reduce_typed(T* dst, const T* src, std::size_t count, ROp op) {
   switch (op) {
     case ROp::kSum:
-      for (std::size_t i = 0; i < count; ++i) dst[i] = dst[i] + src[i];
+      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_add(dst[i], src[i]);
       return;
     case ROp::kProd:
-      for (std::size_t i = 0; i < count; ++i) dst[i] = dst[i] * src[i];
+      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_mul(dst[i], src[i]);
       return;
     case ROp::kMin:
       for (std::size_t i = 0; i < count; ++i)

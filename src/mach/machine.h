@@ -27,6 +27,7 @@
 #include "mach/reduce_kernels.h"
 #include "topo/mapping.h"
 #include "topo/topology.h"
+#include "verify/verify.h"
 
 namespace xhc::mach {
 
@@ -141,9 +142,22 @@ class Machine {
   /// Runs `fn(ctx)` once per rank, concurrently, and joins.
   virtual RunResult run(const std::function<void(Ctx&)>& fn) = 0;
 
+  /// Protocol-conformance ledger over this machine's flags (single-writer /
+  /// monotone / publish-order discipline, see src/verify/verify.h). Always
+  /// present so components can register flags and tests can use the direct
+  /// API in any build; the per-operation hooks that feed it from flag_store
+  /// / flag_read are compiled in only under XHC_VERIFY_ENABLED.
+  verify::Ledger& verify_ledger() noexcept { return verify_ledger_; }
+  const verify::Ledger& verify_ledger() const noexcept {
+    return verify_ledger_;
+  }
+
   Machine() = default;
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+
+ private:
+  verify::Ledger verify_ledger_;
 };
 
 /// Typed convenience wrapper around Machine::alloc.

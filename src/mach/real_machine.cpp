@@ -48,8 +48,15 @@ class CentralBarrier {
 class RealMachine::RealCtx final : public Ctx {
  public:
   RealCtx(int rank, int size, int core, Clock::time_point t0,
-          CentralBarrier* barrier)
-      : rank_(rank), size_(size), core_(core), t0_(t0), barrier_(barrier) {}
+          CentralBarrier* barrier, verify::Ledger* ledger)
+      : rank_(rank),
+        size_(size),
+        core_(core),
+        t0_(t0),
+        barrier_(barrier),
+        ledger_(ledger) {
+    (void)ledger_;  // referenced only in XHC_VERIFY_ENABLED builds
+  }
 
   int rank() const noexcept override { return rank_; }
   int size() const noexcept override { return size_; }
@@ -75,6 +82,11 @@ class RealMachine::RealCtx final : public Ctx {
   }
 
   void flag_store(Flag& f, std::uint64_t v) override {
+#if XHC_VERIFY_ENABLED
+    // Checked before the store so a reader can never see a value whose
+    // legality the ledger has not yet judged.
+    ledger_->on_store(&f, rank_, v);
+#endif
     f.v.store(v, std::memory_order_release);
   }
 
@@ -92,7 +104,11 @@ class RealMachine::RealCtx final : public Ctx {
   }
 
   std::uint64_t fetch_add(Flag& f, std::uint64_t delta) override {
-    return f.v.fetch_add(delta, std::memory_order_acq_rel);
+    const std::uint64_t prev = f.v.fetch_add(delta, std::memory_order_acq_rel);
+#if XHC_VERIFY_ENABLED
+    ledger_->on_rmw(&f, rank_, prev + delta);
+#endif
+    return prev;
   }
 
   void barrier() override { barrier_->arrive_and_wait(); }
@@ -103,6 +119,7 @@ class RealMachine::RealCtx final : public Ctx {
   const int core_;
   const Clock::time_point t0_;
   CentralBarrier* const barrier_;
+  verify::Ledger* const ledger_;
 };
 
 RealMachine::RealMachine(topo::Topology topo, int n_ranks,
@@ -126,6 +143,10 @@ void* RealMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align,
 
 void RealMachine::free(void* p) {
   if (p == nullptr) return;
+  if (const auto* block = registry_.find(p); block != nullptr) {
+    // A reused address must start with a clean ledger record.
+    verify_ledger().forget_range(block->base, block->bytes);
+  }
   registry_.erase(p);
   std::free(p);
 }
@@ -142,7 +163,7 @@ RunResult RealMachine::run(const std::function<void(Ctx&)>& fn) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
-      RealCtx ctx(r, n, map_.core_of(r), t0, &barrier);
+      RealCtx ctx(r, n, map_.core_of(r), t0, &barrier, &verify_ledger());
       try {
         fn(ctx);
       } catch (...) {

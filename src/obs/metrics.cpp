@@ -54,6 +54,16 @@ const char* to_string(Gauge g) noexcept {
       return "cico_segment_bytes";
     case Gauge::kTraceCapacity:
       return "trace_capacity";
+    case Gauge::kVerifyFlagsTracked:
+      return "verify_flags_tracked";
+    case Gauge::kVerifyStoresChecked:
+      return "verify_stores_checked";
+    case Gauge::kVerifyLoadsChecked:
+      return "verify_loads_checked";
+    case Gauge::kVerifyViolations:
+      return "verify_violations";
+    case Gauge::kVerifyExpectedFindings:
+      return "verify_expected_findings";
     case Gauge::kCount_:
       break;
   }

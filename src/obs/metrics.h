@@ -49,6 +49,13 @@ enum class Gauge : int {
   kCtlGroups,          ///< hierarchy groups built
   kCicoSegmentBytes,   ///< per-rank CICO segment size
   kTraceCapacity,      ///< spans retained per rank
+  // Protocol verifier summary (src/verify/), published by the OSU harness
+  // from the machine's ledger after each sweep.
+  kVerifyFlagsTracked,     ///< flags registered with the verifier
+  kVerifyStoresChecked,    ///< flag stores routed through the ledger
+  kVerifyLoadsChecked,     ///< flag reads / wait-resumes cross-checked
+  kVerifyViolations,       ///< protocol violations recorded
+  kVerifyExpectedFindings, ///< whitelisted findings (Fig. 10 packed layout)
   kCount_  // sentinel
 };
 

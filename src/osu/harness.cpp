@@ -5,8 +5,10 @@
 #include <exception>
 #include <thread>
 
+#include "obs/observer.h"
 #include "util/check.h"
 #include "util/prng.h"
+#include "verify/verify.h"
 
 namespace xhc::osu {
 
@@ -59,6 +61,20 @@ namespace {
 struct PaddedAcc {
   alignas(64) double value = 0.0;
 };
+
+/// Publishes the protocol verifier's summary (src/verify/) as gauges so
+/// --metrics reports checked-build coverage next to the traffic counters.
+/// Cheap in every build; in plain builds the store/load counts stay zero.
+void publish_verify_summary(const mach::Machine& machine, obs::Observer* obs) {
+  if (obs == nullptr) return;
+  const verify::Summary s = machine.verify_ledger().summary();
+  obs::Metrics& m = obs->metrics();
+  m.set_gauge(obs::Gauge::kVerifyFlagsTracked, s.flags_tracked);
+  m.set_gauge(obs::Gauge::kVerifyStoresChecked, s.stores_checked);
+  m.set_gauge(obs::Gauge::kVerifyLoadsChecked, s.loads_checked);
+  m.set_gauge(obs::Gauge::kVerifyViolations, s.violations);
+  m.set_gauge(obs::Gauge::kVerifyExpectedFindings, s.expected_findings);
+}
 
 }  // namespace
 
@@ -132,6 +148,7 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
     sr.max_us = mx;
     results.push_back(sr);
   }
+  publish_verify_summary(machine, config.observer);
   return results;
 }
 
@@ -198,6 +215,7 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
     sr.max_us = mx;
     results.push_back(sr);
   }
+  publish_verify_summary(machine, config.observer);
   return results;
 }
 
@@ -262,6 +280,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
     sr.max_us = mx;
     results.push_back(sr);
   }
+  publish_verify_summary(machine, config.observer);
   return results;
 }
 
@@ -284,6 +303,7 @@ double barrier_latency_us(mach::Machine& machine, coll::Component& comp,
   });
   double sum = 0.0;
   for (const auto& a : acc) sum += a.value;
+  publish_verify_summary(machine, config.observer);
   return sum / n / config.iters * 1e6;
 }
 

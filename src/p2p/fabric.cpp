@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <new>
+#include <string>
 
 #include "util/cacheline.h"
 #include "util/check.h"
+#include "verify/verify.h"
 
 namespace xhc::p2p {
 
@@ -77,6 +79,16 @@ Fabric::Channel& Fabric::channel(mach::Ctx& ctx, int src, int dst) {
   ch->machine = machine_;
   ch->ctl_alloc = machine_->alloc(dst, sizeof(Channel::Ctl));
   ch->ctl = new (ch->ctl_alloc) Channel::Ctl();
+  // Protocol verifier: each sequence flag has exactly one writer — the
+  // sender bumps send_seq, the receiver bumps recv_seq.
+  const std::string prefix =
+      "p2p.ch" + std::to_string(src) + ">" + std::to_string(dst);
+  machine_->verify_ledger().register_flag(&*ch->ctl->send_seq,
+                                          prefix + ".send_seq",
+                                          verify::WriterPolicy::kFixed);
+  machine_->verify_ledger().register_flag(&*ch->ctl->recv_seq,
+                                          prefix + ".recv_seq",
+                                          verify::WriterPolicy::kFixed);
   ch->ring_alloc =
       machine_->alloc(dst, Channel::kRing * config_.eager_slot);
   ch->ring = static_cast<std::byte*>(ch->ring_alloc);

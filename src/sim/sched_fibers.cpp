@@ -13,9 +13,14 @@
 // (System V: rbx, rbp, r12-r15 are callee-saved; xmm registers are
 // caller-saved and need no save). Elsewhere, POSIX ucontext — slower
 // (swapcontext re-syncs the signal mask via a syscall) but portable.
-// Under TSan/ASan this whole backend is compiled out (sanitizers cannot
-// track foreign stack switches); VirtualScheduler::create falls back to
-// the thread backend.
+//
+// Sanitizers: under TSan the backend stays available — every stack switch
+// is announced through the sanitizer's fiber API (__tsan_create_fiber /
+// __tsan_switch_to_fiber), so TSan models each simulated rank as its own
+// thread-of-execution and checks the flag protocol's happens-before edges
+// across fibers. Only ASan compiles the backend out (it cannot track
+// foreign stacks without per-switch start/finish bookkeeping); there
+// VirtualScheduler::create falls back to the thread backend.
 //
 // Fiber stacks are mmap'd with a PROT_NONE guard page at the low end, so a
 // rank function overflowing its stack faults loudly instead of corrupting
@@ -24,16 +29,35 @@
 #include "sim/scheduler.h"
 #include "util/check.h"
 
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__)
 #define XHC_FIBERS_AVAILABLE 0
 #elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer)
 #define XHC_FIBERS_AVAILABLE 0
 #else
 #define XHC_FIBERS_AVAILABLE 1
 #endif
 #else
 #define XHC_FIBERS_AVAILABLE 1
+#endif
+
+#if XHC_FIBERS_AVAILABLE
+#if defined(__SANITIZE_THREAD__)
+#define XHC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define XHC_TSAN_FIBERS 1
+#endif
+#endif
+#endif
+#ifndef XHC_TSAN_FIBERS
+#define XHC_TSAN_FIBERS 0
+#endif
+
+#if XHC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+
+#include <cstdio>
 #endif
 
 #if XHC_FIBERS_AVAILABLE
@@ -133,8 +157,11 @@ class StackPool {
 
  private:
   // Covers the largest paper system (160 ranks) with headroom; extra
-  // stacks beyond this are returned to the kernel.
-  static constexpr std::size_t kMaxCached = 192;
+  // stacks beyond this are returned to the kernel. Under TSan the cache is
+  // disabled: a reused stack would carry the dead fiber's shadow state and
+  // report phantom races against the new tenant, while munmap/mmap resets
+  // the shadow (and TSan runs are not wall-clock sensitive anyway).
+  static constexpr std::size_t kMaxCached = XHC_TSAN_FIBERS ? 0 : 192;
 
   const std::size_t page_ = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   const std::size_t map_bytes_ = kFiberStackBytes + page_;
@@ -163,6 +190,13 @@ class FiberScheduler final : public VirtualScheduler {
     FiberScheduler* const prev = tls_current_sched;
     tls_current_sched = this;
     current_ = state_.begin_first();
+#if XHC_TSAN_FIBERS
+    // The calling context (a host thread, or an outer fiber for nested
+    // simulations) is itself a TSan fiber; remember it so the terminal
+    // switch in fiber_main can announce the way back.
+    main_tsan_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(fibers_[idx(current_)].tsan, 0);
+#endif
 #if XHC_FIBER_ASM
     xhc_fiber_switch(&main_sp_, fibers_[idx(current_)].sp);
 #else
@@ -246,6 +280,9 @@ class FiberScheduler final : public VirtualScheduler {
     }
     const int next = pick_after_finish(r);
     if (next == SchedState::kAllDone) {
+#if XHC_TSAN_FIBERS
+      __tsan_switch_to_fiber(main_tsan_, 0);
+#endif
 #if XHC_FIBER_ASM
       xhc_fiber_switch(&scratch_sp_, main_sp_);
 #else
@@ -253,6 +290,9 @@ class FiberScheduler final : public VirtualScheduler {
 #endif
     } else {
       current_ = next;
+#if XHC_TSAN_FIBERS
+      __tsan_switch_to_fiber(fibers_[idx(next)].tsan, 0);
+#endif
 #if XHC_FIBER_ASM
       xhc_fiber_switch(&scratch_sp_, fibers_[idx(next)].sp);
 #else
@@ -270,6 +310,9 @@ class FiberScheduler final : public VirtualScheduler {
     ucontext_t uc;
 #endif
     char* map = nullptr;  ///< mmap base (guard page + stack), pool-owned
+#if XHC_TSAN_FIBERS
+    void* tsan = nullptr;  ///< TSan fiber context for this rank
+#endif
   };
 
   static std::size_t idx(int r) { return static_cast<std::size_t>(r); }
@@ -278,6 +321,12 @@ class FiberScheduler final : public VirtualScheduler {
     Fiber& f = fibers_[idx(r)];
     // Guard page at the low end: stacks grow down into it on overflow.
     f.map = tls_stack_pool.acquire();
+#if XHC_TSAN_FIBERS
+    f.tsan = __tsan_create_fiber(0);
+    char fiber_name[32];
+    std::snprintf(fiber_name, sizeof(fiber_name), "sim-rank-%d", r);
+    __tsan_set_fiber_name(f.tsan, fiber_name);
+#endif
     char* const stack_lo = f.map + tls_stack_pool.page();
 #if XHC_FIBER_ASM
     // Initial frame, from the 16-aligned stack top downwards:
@@ -301,9 +350,15 @@ class FiberScheduler final : public VirtualScheduler {
   }
 
   void release_stacks() {
+    // Runs on the main context, after every fiber has finished or unwound —
+    // never while a fiber is current.
     for (Fiber& f : fibers_) {
       if (f.map != nullptr) tls_stack_pool.release(f.map);
       f.map = nullptr;
+#if XHC_TSAN_FIBERS
+      if (f.tsan != nullptr) __tsan_destroy_fiber(f.tsan);
+      f.tsan = nullptr;
+#endif
     }
     fibers_.clear();
   }
@@ -314,6 +369,9 @@ class FiberScheduler final : public VirtualScheduler {
   /// simulation was aborted while this rank slept.
   void switch_from_to(int self, int next) {
     current_ = next;
+#if XHC_TSAN_FIBERS
+    __tsan_switch_to_fiber(fibers_[idx(next)].tsan, 0);
+#endif
 #if XHC_FIBER_ASM
     xhc_fiber_switch(&fibers_[idx(self)].sp, fibers_[idx(next)].sp);
 #else
@@ -366,6 +424,9 @@ class FiberScheduler final : public VirtualScheduler {
 #else
   ucontext_t main_uc_;
 #endif
+#if XHC_TSAN_FIBERS
+  void* main_tsan_ = nullptr;  ///< TSan context of the run() caller
+#endif
 };
 
 }  // namespace
@@ -378,7 +439,7 @@ std::unique_ptr<VirtualScheduler> make_fiber_scheduler(int n, double epoch) {
 
 }  // namespace xhc::sim
 
-#else  // !XHC_FIBERS_AVAILABLE (sanitized build)
+#else  // !XHC_FIBERS_AVAILABLE (AddressSanitizer build)
 
 #include <memory>
 
@@ -389,8 +450,9 @@ std::unique_ptr<VirtualScheduler> make_thread_scheduler(int n, double epoch);
 bool fiber_backend_available() noexcept { return false; }
 
 std::unique_ptr<VirtualScheduler> make_fiber_scheduler(int n, double epoch) {
-  // Sanitizers cannot follow custom stack switches; the thread backend
-  // exhibits identical virtual time, so fall back silently.
+  // ASan cannot follow custom stack switches; the thread backend exhibits
+  // identical virtual time, so fall back silently. (TSan builds keep the
+  // fiber backend — see the annotation block above.)
   return make_thread_scheduler(n, epoch);
 }
 

@@ -15,9 +15,10 @@
 //     the calling host thread. A handoff is a user-space stack switch
 //     (tens of ns): no mutex, no condition variables, no kernel arbitration
 //     on the hot path — the host-side analogue of the paper's single-writer
-//     flag philosophy. Unavailable under TSan/ASan builds (sanitizers do
-//     not track custom stack switching); create() then falls back to
-//     threads.
+//     flag philosophy. TSan builds keep this backend: every switch is
+//     announced through the sanitizer fiber API, so races between simulated
+//     ranks are checked on the default backend too. Only ASan builds fall
+//     back to threads (create() does so silently).
 //   * kThreads — one host thread per rank, handoffs via per-rank condition
 //     variables under one mutex. ~two kernel context switches per handoff,
 //     but every cross-rank interaction is a real synchronized memory
@@ -49,8 +50,9 @@ enum class SimBackend {
 /// unrecognized value.
 SimBackend backend_from_env();
 
-/// True when this build can run the fiber backend (false under
-/// thread/address sanitizers, where create() silently uses threads).
+/// True when this build can run the fiber backend. False only under
+/// AddressSanitizer, where create() silently uses threads; TSan builds run
+/// fibers with sanitizer-visible (annotated) switches.
 bool fiber_backend_available() noexcept;
 
 class VirtualScheduler {

@@ -120,6 +120,11 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const double done = m_->lines_.write(util::line_of(&f), core_, t);
     f.v.store(v, std::memory_order_release);
     m_->flag_hist_[&f].append(v, done);
+#if XHC_VERIFY_ENABLED
+    // The ledger records the same publish time the model uses, so the
+    // read-side cross-check compares like with like.
+    m_->verify_ledger().on_store(&f, rank_, v, done);
+#endif
     m_->sched_->notify(&f);
     m_->sched_->advance(rank_, done - t);
   }
@@ -128,6 +133,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const double t = m_->sched_->now(rank_);
     const double done = m_->lines_.read(util::line_of(&f), core_, t);
     const std::uint64_t value = m_->flag_hist_[&f].value_at(done);
+#if XHC_VERIFY_ENABLED
+    m_->verify_ledger().on_observe(&f, rank_, value, done);
+#endif
     m_->sched_->advance(rank_, done - t);
     return value;
   }
@@ -142,6 +150,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
         crossing.has_value() && *crossing <= now) {
       const double done =
           m_->lines_.read(util::line_of(&f), core_, now, /*pipelined=*/true);
+#if XHC_VERIFY_ENABLED
+      m_->verify_ledger().on_wait_resume(&f, rank_, v, done);
+#endif
       m_->sched_->advance(rank_, done - now);
       return;
     }
@@ -152,6 +163,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     // Pay for actually fetching the line at the resume time (the line-model
     // serializes concurrent fetchers — the fan-in effect).
     const double done = m_->lines_.read(util::line_of(&f), core_, resume);
+#if XHC_VERIFY_ENABLED
+    m_->verify_ledger().on_wait_resume(&f, rank_, v, done);
+#endif
     m_->sched_->advance(rank_, done - resume);
   }
 
@@ -163,6 +177,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const std::uint64_t next = prev + delta;
     f.v.store(next, std::memory_order_release);
     hist.append(next, done);
+#if XHC_VERIFY_ENABLED
+    m_->verify_ledger().on_rmw(&f, rank_, next, done);
+#endif
     m_->sched_->notify(&f);
     m_->sched_->advance(rank_, done - t);
     return prev;
@@ -240,7 +257,23 @@ void* SimMachine::alloc(int owner_rank, std::size_t bytes, std::size_t align,
 void SimMachine::free(void* p) {
   if (p == nullptr) return;
   const auto* block = registry_.find(p);
-  if (block != nullptr) cache_.remove_block(block->id);
+  if (block != nullptr) {
+    cache_.remove_block(block->id);
+    verify_ledger().forget_range(block->base, block->bytes);
+#if XHC_VERIFY_ENABLED
+    // Stale publish history on a reused address would poison the ledger
+    // cross-check, so checked builds scrub it. The plain build keeps the
+    // historical behavior so virtual-time output stays bit-identical.
+    for (auto it = flag_hist_.begin(); it != flag_hist_.end();) {
+      const auto* a = reinterpret_cast<const std::byte*>(it->first);
+      if (a >= block->base && a < block->base + block->bytes) {
+        it = flag_hist_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+#endif
+  }
   registry_.erase(p);
   std::free(p);
 }

@@ -1,0 +1,58 @@
+#include "verify/layout.h"
+
+#include <vector>
+
+#include "core/ctl.h"
+
+namespace xhc::verify {
+
+void register_group_ctl(Ledger& ledger, const core::GroupCtl& ctl,
+                        const std::string& prefix) {
+  const int n = ctl.slots;
+  auto name = [&](const char* field, int i) {
+    return prefix + "." + field + "[" + std::to_string(i) + "]";
+  };
+
+  ledger.register_flag(&*ctl.seq[0], prefix + ".seq", WriterPolicy::kRotating);
+  ledger.register_flag(&*ctl.announce[0], prefix + ".announce",
+                       WriterPolicy::kRotating);
+  ledger.register_flag(&*ctl.atomic_ctr[0], prefix + ".atomic_ctr",
+                       WriterPolicy::kShared);
+  for (int i = 0; i < n; ++i) {
+    ledger.register_flag(&*ctl.ack[i], name("ack", i), WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.member_seq[i], name("member_seq", i),
+                         WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.reduce_ready[i], name("reduce_ready", i),
+                         WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.reduce_done[i], name("reduce_done", i),
+                         WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.announce_sep[i], name("announce_sep", i),
+                         WriterPolicy::kRotating);
+    ledger.register_flag(&ctl.announce_shared[i], name("announce_shared", i),
+                         WriterPolicy::kRotating);
+  }
+
+  // Layout lint: one item per flag, with the writer/spinner identity the
+  // protocol assigns. Distinct writers (or distinct spinning readers) on
+  // one cache line is false sharing — except the packed announce_shared
+  // array, which exists to measure exactly that (Fig. 10).
+  std::vector<LintItem> items;
+  items.reserve(static_cast<std::size_t>(3 + 6 * n));
+  items.push_back({&*ctl.seq[0], kLeader, kAny, "seq", false});
+  items.push_back({&*ctl.announce[0], kLeader, kAny, "announce", false});
+  items.push_back({&*ctl.atomic_ctr[0], kNone, kAny, "atomic_ctr", false});
+  // Field names for slot arrays stay stable strings (LintItem keeps a
+  // pointer); the slot index is recoverable from the reported addresses.
+  for (int i = 0; i < n; ++i) {
+    items.push_back({&*ctl.ack[i], i, kLeader, "ack", false});
+    items.push_back({&*ctl.member_seq[i], i, kLeader, "member_seq", false});
+    items.push_back({&*ctl.reduce_ready[i], i, kLeader, "reduce_ready", false});
+    items.push_back({&*ctl.reduce_done[i], i, kAny, "reduce_done", false});
+    items.push_back({&*ctl.announce_sep[i], kLeader, i, "announce_sep", false});
+    items.push_back(
+        {&ctl.announce_shared[i], kLeader, i, "announce_shared", true});
+  }
+  ledger.lint_group(prefix, items);
+}
+
+}  // namespace xhc::verify

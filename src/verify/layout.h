@@ -1,0 +1,25 @@
+// Registration + layout lint of the core control block (GroupCtl).
+//
+// Kept out of core/ctl.h so the ledger API does not leak into every control
+// block user; CtlArena::add_group calls this for each group it builds.
+#pragma once
+
+#include <string>
+
+#include "verify/verify.h"
+
+namespace xhc::core {
+struct GroupCtl;
+}  // namespace xhc::core
+
+namespace xhc::verify {
+
+/// Registers every flag of `ctl` under `prefix` (policies per paper §III-E:
+/// leader flags rotate with the root, member-slot flags are fixed-writer,
+/// `atomic_ctr` is the whitelisted Fig. 4 multi-writer) and runs the layout
+/// lint, flagging the deliberately packed `announce_shared` array (Fig. 10)
+/// as an expected finding.
+void register_group_ctl(Ledger& ledger, const core::GroupCtl& ctl,
+                        const std::string& prefix);
+
+}  // namespace xhc::verify

@@ -1,0 +1,331 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "util/cacheline.h"
+#include "util/check.h"
+
+namespace xhc::verify {
+
+namespace {
+
+// Keep at least as much history as SimMachine::FlagHist (4096-entry window)
+// so the cross-check is never less informed than the model it checks.
+constexpr std::size_t kMaxHist = 8192;
+constexpr std::size_t kHistDrop = 4096;
+
+std::string addr_str(const void* p) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return buf;
+}
+
+std::string flag_id(const std::string& name, const void* addr) {
+  if (name.empty()) return "<unnamed " + addr_str(addr) + ">";
+  return "'" + name + "' (" + addr_str(addr) + ")";
+}
+
+std::string time_str(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9f", t);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::kSecondWriter:
+      return "second-writer";
+    case Kind::kNonMonotonic:
+      return "non-monotonic";
+    case Kind::kRmwOnSingleWriter:
+      return "rmw-on-single-writer";
+    case Kind::kStalePublish:
+      return "stale-publish";
+    case Kind::kSharedLine:
+      return "shared-line";
+  }
+  return "?";
+}
+
+std::string Violation::describe() const {
+  const std::string id = flag_id(flag_name, flag);
+  std::string s = "verify[";
+  s += to_string(kind);
+  s += "]: ";
+  switch (kind) {
+    case Kind::kSecondWriter:
+      s += "rank " + std::to_string(rank) + " stored " +
+           std::to_string(value) + " to flag " + id + " owned by rank " +
+           std::to_string(other_rank) +
+           " (single-writer discipline, paper §III-E)";
+      break;
+    case Kind::kNonMonotonic:
+      s += "rank " + std::to_string(rank) + " stored " +
+           std::to_string(value) + " < prior " + std::to_string(prior) +
+           " on flag " + id + " (cumulative counters never decrease)";
+      break;
+    case Kind::kRmwOnSingleWriter:
+      s += "rank " + std::to_string(rank) + " fetch_add on flag " + id +
+           " not whitelisted as WriterPolicy::kShared (RMW is reserved for "
+           "the Fig. 4 atomics baselines)";
+      break;
+    case Kind::kStalePublish:
+      if (publish_vtime < 0.0) {
+        s += "rank " + std::to_string(rank) + " observed " +
+             std::to_string(value) + " on flag " + id + " at t=" +
+             time_str(vtime) + " but that value was never published";
+      } else {
+        s += "rank " + std::to_string(rank) + " observed " +
+             std::to_string(value) + " on flag " + id + " at t=" +
+             time_str(vtime) + " before its publish at t=" +
+             time_str(publish_vtime);
+      }
+      break;
+    case Kind::kSharedLine:
+      s += flag_name;  // lint pre-formats the pairwise description
+      break;
+  }
+  return s;
+}
+
+void Ledger::register_flag(const mach::Flag* f, std::string name,
+                           WriterPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Record& rec = records_[f];
+  rec = Record{};
+  rec.name = std::move(name);
+  rec.policy = policy;
+}
+
+Ledger::Record& Ledger::touch(const mach::Flag* f) { return records_[f]; }
+
+void Ledger::report(Violation v) {
+  violations_.push_back(v);
+  if (abort_) throw util::Error(v.describe());
+}
+
+void Ledger::check_store(Record& rec, const mach::Flag* f, int rank,
+                         std::uint64_t value, double vtime, bool is_rmw) {
+  ++stores_;
+  if (is_rmw && rec.policy != WriterPolicy::kShared) {
+    Violation v;
+    v.kind = Kind::kRmwOnSingleWriter;
+    v.flag = f;
+    v.flag_name = rec.name;
+    v.rank = rank;
+    v.value = value;
+    if (vtime != kNoTime) v.vtime = vtime;
+    report(v);
+  }
+  if (rec.policy != WriterPolicy::kShared) {
+    if (!rec.stored) {
+      rec.writer = rank;
+    } else if (rank != rec.writer) {
+      // kRotating: a new leader may take over, but only at an operation
+      // boundary — visible as a strictly increasing value.
+      const bool legal_handoff =
+          rec.policy == WriterPolicy::kRotating && value > rec.last_value;
+      if (!legal_handoff) {
+        Violation v;
+        v.kind = Kind::kSecondWriter;
+        v.flag = f;
+        v.flag_name = rec.name;
+        v.rank = rank;
+        v.other_rank = rec.writer;
+        v.value = value;
+        v.prior = rec.last_value;
+        if (vtime != kNoTime) v.vtime = vtime;
+        report(v);
+      }
+      rec.writer = rank;  // follow the flag even in record-only mode
+    }
+    if (rec.stored && value < rec.last_value) {
+      Violation v;
+      v.kind = Kind::kNonMonotonic;
+      v.flag = f;
+      v.flag_name = rec.name;
+      v.rank = rank;
+      v.value = value;
+      v.prior = rec.last_value;
+      if (vtime != kNoTime) v.vtime = vtime;
+      report(v);
+    }
+    rec.last_value = value;
+  } else {
+    // Concurrent fetch-adds reach the ledger out of order; track the max.
+    rec.last_value = std::max(rec.last_value, value);
+  }
+  rec.stored = true;
+  if (vtime != kNoTime) {
+    rec.hist.emplace_back(value, vtime);
+    if (rec.hist.size() > kMaxHist) {
+      rec.floor_value = rec.hist[kHistDrop - 1].first;
+      rec.floor_time = rec.hist[kHistDrop - 1].second;
+      rec.hist.erase(rec.hist.begin(),
+                     rec.hist.begin() + static_cast<std::ptrdiff_t>(kHistDrop));
+    }
+  }
+}
+
+void Ledger::on_store(const mach::Flag* f, int rank, std::uint64_t value,
+                      double vtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_store(touch(f), f, rank, value, vtime, /*is_rmw=*/false);
+}
+
+void Ledger::on_rmw(const mach::Flag* f, int rank, std::uint64_t result,
+                    double vtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_store(touch(f), f, rank, result, vtime, /*is_rmw=*/true);
+}
+
+void Ledger::check_published(Record& rec, const mach::Flag* f, int rank,
+                             std::uint64_t value, double vtime, bool exact) {
+  if (value == 0) return;  // the initial value is visible at any time
+  if (value <= rec.floor_value) return;  // pruned prefix: assume legal
+  // Values are monotone per flag, so the first entry reaching `value` is
+  // also the earliest in time.
+  auto it = std::lower_bound(
+      rec.hist.begin(), rec.hist.end(), value,
+      [](const std::pair<std::uint64_t, double>& e, std::uint64_t v) {
+        return e.first < v;
+      });
+  const bool found = it != rec.hist.end() && (!exact || it->first == value);
+  if (!found) {
+    Violation v;
+    v.kind = Kind::kStalePublish;
+    v.flag = f;
+    v.flag_name = rec.name;
+    v.rank = rank;
+    v.other_rank = rec.writer;
+    v.value = value;
+    v.vtime = vtime;
+    v.publish_vtime = -1.0;  // never published
+    report(v);
+    return;
+  }
+  if (it->second > vtime) {
+    Violation v;
+    v.kind = Kind::kStalePublish;
+    v.flag = f;
+    v.flag_name = rec.name;
+    v.rank = rank;
+    v.other_rank = rec.writer;
+    v.value = value;
+    v.vtime = vtime;
+    v.publish_vtime = it->second;
+    report(v);
+  }
+}
+
+void Ledger::on_observe(const mach::Flag* f, int rank, std::uint64_t observed,
+                        double vtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++loads_;
+  // A read must return an exactly-published value at or before `vtime`.
+  check_published(touch(f), f, rank, observed, vtime, /*exact=*/true);
+}
+
+void Ledger::on_wait_resume(const mach::Flag* f, int rank,
+                            std::uint64_t threshold, double vtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++loads_;
+  // A wait-ge may resume on any value >= threshold; require the crossing
+  // publish to exist by the resume time.
+  check_published(touch(f), f, rank, threshold, vtime, /*exact=*/false);
+}
+
+void Ledger::forget_range(const void* base, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.lower_bound(base);
+  const void* end = static_cast<const std::byte*>(base) + bytes;
+  while (it != records_.end() && std::less<const void*>{}(it->first, end)) {
+    it = records_.erase(it);
+  }
+}
+
+void Ledger::lint_group(const std::string& group,
+                        const std::vector<LintItem>& items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::uintptr_t, std::vector<const LintItem*>> by_line;
+  for (const LintItem& item : items) {
+    by_line[util::line_of(item.addr)].push_back(&item);
+  }
+  for (const auto& [line, on_line] : by_line) {
+    (void)line;
+    if (on_line.size() < 2) continue;
+    // Report at most one finding per offending line (the Fig. 10 packed
+    // array would otherwise produce one per pair).
+    for (std::size_t i = 0; i < on_line.size(); ++i) {
+      bool done = false;
+      for (std::size_t j = i + 1; j < on_line.size(); ++j) {
+        const LintItem& a = *on_line[i];
+        const LintItem& b = *on_line[j];
+        const bool writer_clash = a.writer != kNone && b.writer != kNone &&
+                                  a.writer != b.writer;
+        const bool spinner_clash =
+            a.spinner >= 0 && b.spinner >= 0 && a.spinner != b.spinner;
+        if (!writer_clash && !spinner_clash) continue;
+        Violation v;
+        v.kind = Kind::kSharedLine;
+        v.flag = a.addr;
+        v.rank = a.writer;
+        v.other_rank = b.writer;
+        v.flag_name = group + ": '" + a.field + "' (" + addr_str(a.addr) +
+                      ") and '" + b.field + "' (" + addr_str(b.addr) +
+                      ") share a cache line but have distinct " +
+                      (writer_clash ? "writers" : "spinning readers") +
+                      " (false sharing, paper Fig. 10)";
+        if (a.expect_shared && b.expect_shared) {
+          expected_.push_back(std::move(v));
+        } else {
+          report(std::move(v));
+        }
+        done = true;
+        break;
+      }
+      if (done) break;
+    }
+  }
+}
+
+void Ledger::set_abort_on_violation(bool abort_on_violation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_ = abort_on_violation;
+}
+
+std::vector<Violation> Ledger::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+std::vector<Violation> Ledger::expected_findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expected_;
+}
+
+Summary Ledger::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Summary s;
+  s.flags_tracked = records_.size();
+  s.stores_checked = stores_;
+  s.loads_checked = loads_;
+  s.violations = violations_.size();
+  s.expected_findings = expected_.size();
+  return s;
+}
+
+void Ledger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  violations_.clear();
+  expected_.clear();
+  stores_ = 0;
+  loads_ = 0;
+}
+
+}  // namespace xhc::verify

@@ -9,6 +9,7 @@
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
 #include "util/check.h"
+#include "verify/verify.h"
 
 namespace xhc {
 namespace {
@@ -110,6 +111,10 @@ TYPED_TEST(MachineTest, FlagsSignalAcrossRanks) {
 TYPED_TEST(MachineTest, FetchAddReturnsPrevious) {
   auto m = make_machine<TypeParam>(4);
   auto* flag = static_cast<mach::Flag*>(m->alloc(0, sizeof(mach::Flag)));
+  // Every rank fetch-adds this flag, so whitelist it for the protocol
+  // verifier the way the Fig. 4 atomic_ctr is (checked builds only).
+  m->verify_ledger().register_flag(flag, "test.fetch_add_ctr",
+                                   verify::WriterPolicy::kShared);
   std::atomic<std::uint64_t> sum_prev{0};
   m->run([&](mach::Ctx& ctx) {
     sum_prev += ctx.fetch_add(*flag, 1);
@@ -117,7 +122,9 @@ TYPED_TEST(MachineTest, FetchAddReturnsPrevious) {
   // Previous values are a permutation of {0,1,2,3}.
   EXPECT_EQ(sum_prev.load(), 6u);
   m->run([&](mach::Ctx& ctx) {
-    if (ctx.rank() == 0) EXPECT_EQ(ctx.flag_read(*flag), 4u);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(ctx.flag_read(*flag), 4u);
+    }
   });
   m->free(flag);
 }

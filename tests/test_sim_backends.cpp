@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "coll/registry.h"
+#include "sim/scheduler.h"
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
 #include "util/prng.h"
@@ -101,6 +102,34 @@ TEST(BackendAgreement, FiberAndThreadTimestampsBitIdentical) {
   for (std::size_t r = 0; r < fiber.size(); ++r) {
     EXPECT_EQ(fiber[r], threads[r]) << "rank " << r;
   }
+}
+
+// Fiber availability is a compile-time fact: only AddressSanitizer builds
+// compile the backend out (shadow-stack bookkeeping); TSan builds keep it,
+// running sanitizer-annotated switches (sched_fibers.cpp).
+TEST(BackendAvailability, FiberCompiledOutOnlyUnderAsan) {
+#if defined(__SANITIZE_ADDRESS__)
+  constexpr bool asan = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  constexpr bool asan = true;
+#else
+  constexpr bool asan = false;
+#endif
+#else
+  constexpr bool asan = false;
+#endif
+  EXPECT_EQ(sim::fiber_backend_available(), !asan);
+}
+
+// When fibers are available, a kFiber request must actually yield the fiber
+// backend — in particular under TSan, which used to silently fall back.
+TEST(BackendAvailability, CreateHonorsFiberRequest) {
+  if (!sim::fiber_backend_available()) {
+    GTEST_SKIP() << "fiber backend compiled out (AddressSanitizer build)";
+  }
+  auto sched = sim::VirtualScheduler::create(4, 0.0, SimBackend::kFiber);
+  EXPECT_EQ(sched->backend(), SimBackend::kFiber);
 }
 
 // 160 fibers on one host thread (armn1, the largest paper system): stacks,

@@ -1,0 +1,307 @@
+// Protocol verifier tests (src/verify/): negative tests seed deliberate
+// violations through the direct ledger API — second writer, decreasing
+// sequence, packed layout — and assert each is reported with the offending
+// rank and flag identity. The e2e section (checked builds only) routes the
+// same violations through real Machine flag traffic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ctl.h"
+#include "mach/flag.h"
+#include "mach/real_machine.h"
+#include "sim/sim_machine.h"
+#include "topo/presets.h"
+#include "util/cacheline.h"
+#include "util/check.h"
+#include "verify/layout.h"
+#include "verify/verify.h"
+
+namespace xhc {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Direct ledger API (every build: the ledger is always compiled).
+
+TEST(VerifyLedger, SecondWriterReportedWithRankAndFlag) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  mach::Flag f;
+  ledger.register_flag(&f, "ctl0.seq");
+  ledger.on_store(&f, /*rank=*/0, 1);
+  ledger.on_store(&f, /*rank=*/1, 2);  // deliberate: not the owner
+  const auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kSecondWriter);
+  EXPECT_EQ(vs[0].rank, 1);
+  EXPECT_EQ(vs[0].other_rank, 0);
+  EXPECT_EQ(vs[0].flag, &f);
+  const std::string d = vs[0].describe();
+  EXPECT_TRUE(contains(d, "rank 1")) << d;
+  EXPECT_TRUE(contains(d, "ctl0.seq")) << d;
+  EXPECT_TRUE(contains(d, "owned by rank 0")) << d;
+}
+
+TEST(VerifyLedger, DecreasingSequenceReported) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  mach::Flag f;
+  ledger.register_flag(&f, "p2p.ch0>1.send_seq");
+  ledger.on_store(&f, 2, 5);
+  ledger.on_store(&f, 2, 3);  // deliberate: cumulative counters never decrease
+  const auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kNonMonotonic);
+  EXPECT_EQ(vs[0].rank, 2);
+  EXPECT_EQ(vs[0].value, 3u);
+  EXPECT_EQ(vs[0].prior, 5u);
+  const std::string d = vs[0].describe();
+  EXPECT_TRUE(contains(d, "rank 2")) << d;
+  EXPECT_TRUE(contains(d, "send_seq")) << d;
+  EXPECT_TRUE(contains(d, "3 < prior 5")) << d;
+}
+
+TEST(VerifyLedger, RmwLegalOnlyOnSharedPolicy) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  mach::Flag fixed;
+  mach::Flag shared;
+  ledger.register_flag(&fixed, "ctl0.seq");
+  ledger.register_flag(&shared, "ctl0.atomic_ctr", verify::WriterPolicy::kShared);
+  ledger.on_rmw(&shared, 0, 1);
+  ledger.on_rmw(&shared, 3, 2);  // multi-writer RMW is the whitelisted case
+  EXPECT_TRUE(ledger.violations().empty());
+  ledger.on_rmw(&fixed, 1, 1);  // deliberate: RMW outside the whitelist
+  const auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kRmwOnSingleWriter);
+  EXPECT_EQ(vs[0].rank, 1);
+  EXPECT_TRUE(contains(vs[0].describe(), "kShared"));
+}
+
+TEST(VerifyLedger, RotatingAllowsHandoffOnlyWithIncreasingValue) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  mach::Flag f;
+  ledger.register_flag(&f, "ctl0.announce", verify::WriterPolicy::kRotating);
+  ledger.on_store(&f, 0, 10);
+  ledger.on_store(&f, 0, 20);
+  ledger.on_store(&f, 3, 30);  // legal: new leader at an operation boundary
+  EXPECT_TRUE(ledger.violations().empty());
+  ledger.on_store(&f, 1, 30);  // deliberate: handoff without progress
+  const auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kSecondWriter);
+  EXPECT_EQ(vs[0].rank, 1);
+  EXPECT_EQ(vs[0].other_rank, 3);
+}
+
+TEST(VerifyLedger, StalePublishCaughtByTimedCrossCheck) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  mach::Flag f;
+  ledger.register_flag(&f, "ctl0.seq");
+  ledger.on_store(&f, 0, 1, /*vtime=*/1.0);
+  ledger.on_observe(&f, 1, 1, /*vtime=*/2.0);  // after publish: fine
+  ledger.on_observe(&f, 1, 0, /*vtime=*/0.1);  // initial value: always fine
+  EXPECT_TRUE(ledger.violations().empty());
+  ledger.on_observe(&f, 1, 1, /*vtime=*/0.5);  // deliberate: reads the future
+  auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kStalePublish);
+  EXPECT_EQ(vs[0].rank, 1);
+  EXPECT_DOUBLE_EQ(vs[0].publish_vtime, 1.0);
+  EXPECT_TRUE(contains(vs[0].describe(), "before its publish"));
+  ledger.on_observe(&f, 1, 7, /*vtime=*/5.0);  // deliberate: never published
+  vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_LT(vs[1].publish_vtime, 0.0);
+  EXPECT_TRUE(contains(vs[1].describe(), "never published"));
+  // wait_ge needs only a crossing publish, but by the resume time.
+  ledger.on_wait_resume(&f, 1, 1, /*vtime=*/0.5);
+  EXPECT_EQ(ledger.violations().size(), 3u);
+  ledger.on_wait_resume(&f, 1, 1, /*vtime=*/1.0);
+  EXPECT_EQ(ledger.violations().size(), 3u);
+}
+
+TEST(VerifyLedger, PackedLayoutLintNamesBothFlags) {
+  verify::Ledger ledger;
+  ledger.set_abort_on_violation(false);
+  // Two flags with distinct writers deliberately packed into one line.
+  struct alignas(util::kCacheLine) Packed {
+    mach::Flag a;
+    mach::Flag b;
+  } packed;
+  static_assert(sizeof(mach::Flag) * 2 <= util::kCacheLine);
+  ledger.lint_group("packed", {{&packed.a, /*writer=*/0, verify::kAny, "ack_a",
+                                false},
+                               {&packed.b, /*writer=*/1, verify::kAny, "ack_b",
+                                false}});
+  const auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kSharedLine);
+  const std::string d = vs[0].describe();
+  EXPECT_TRUE(contains(d, "ack_a")) << d;
+  EXPECT_TRUE(contains(d, "ack_b")) << d;
+  EXPECT_TRUE(contains(d, "share a cache line")) << d;
+}
+
+TEST(VerifyLedger, ExpectSharedBecomesFindingNotViolation) {
+  verify::Ledger ledger;  // abort mode on: an unexpected finding would throw
+  struct alignas(util::kCacheLine) Packed {
+    mach::Flag a;
+    mach::Flag b;
+  } packed;
+  // The Fig. 10 "shared" variant: distinct spinning readers on one line,
+  // flagged as deliberate.
+  ledger.lint_group("fig10",
+                    {{&packed.a, verify::kLeader, 0, "announce_shared", true},
+                     {&packed.b, verify::kLeader, 1, "announce_shared", true}});
+  EXPECT_TRUE(ledger.violations().empty());
+  const auto fs = ledger.expected_findings();
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].kind, verify::Kind::kSharedLine);
+  EXPECT_TRUE(contains(fs[0].describe(), "announce_shared"));
+}
+
+TEST(VerifyLedger, AbortModeThrowsWithDiagnostic) {
+  verify::Ledger ledger;  // abort-on-violation is the default
+  mach::Flag f;
+  ledger.register_flag(&f, "ctl0.ack[2]");
+  ledger.on_store(&f, 2, 1);
+  try {
+    ledger.on_store(&f, 0, 2);  // deliberate second writer
+    FAIL() << "expected the verifier to throw";
+  } catch (const util::Error& e) {
+    EXPECT_TRUE(contains(e.what(), "second-writer")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "rank 0")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "ctl0.ack[2]")) << e.what();
+  }
+  EXPECT_EQ(ledger.summary().violations, 1u);
+}
+
+TEST(VerifyLedger, ForgetRangeResetsReusedAddresses) {
+  verify::Ledger ledger;
+  mach::Flag f;
+  ledger.register_flag(&f, "old.owner");
+  ledger.on_store(&f, 0, 9);
+  ledger.forget_range(&f, sizeof(f));
+  // Address reuse: a different rank may own the "new" flag.
+  ledger.on_store(&f, 1, 1);
+  EXPECT_TRUE(ledger.violations().empty());
+  EXPECT_EQ(ledger.summary().flags_tracked, 1u);
+}
+
+TEST(VerifyLedger, SummaryCountsOperations) {
+  verify::Ledger ledger;
+  mach::Flag f;
+  ledger.register_flag(&f, "s");
+  ledger.on_store(&f, 0, 1, 1.0);
+  ledger.on_store(&f, 0, 2, 2.0);
+  ledger.on_observe(&f, 1, 2, 3.0);
+  const verify::Summary s = ledger.summary();
+  EXPECT_EQ(s.flags_tracked, 1u);
+  EXPECT_EQ(s.stores_checked, 2u);
+  EXPECT_EQ(s.loads_checked, 1u);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Layout registration over a real control block (every build: registration
+// and the lint are not gated).
+
+TEST(VerifyLayout, GroupCtlRegistersCleanWithExpectedFig10Finding) {
+  sim::SimMachine m(topo::mini8(), 8);
+  core::CtlArena arena;
+  (void)arena.add_group(m, /*home_rank=*/0, /*slots=*/8);
+  const verify::Summary s = m.verify_ledger().summary();
+  EXPECT_EQ(s.violations, 0u);           // the proper layout passes the lint
+  EXPECT_GE(s.expected_findings, 1u);    // the packed Fig. 10 array is seen
+  EXPECT_GE(s.flags_tracked, 3u + 6u * 8u);
+  for (const auto& finding : m.verify_ledger().expected_findings()) {
+    EXPECT_TRUE(contains(finding.flag_name, "announce_shared"))
+        << finding.describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through Machine flag traffic (checked builds only: the
+// per-operation hooks are compiled out otherwise).
+
+#if XHC_VERIFY_ENABLED
+
+TEST(VerifyE2E, SimSecondWriterThrowsNamingRank) {
+  sim::SimMachine m(topo::mini8(), 2);
+  auto* f = static_cast<mach::Flag*>(m.alloc(0, sizeof(mach::Flag)));
+  m.verify_ledger().register_flag(f, "e2e.owned");
+  try {
+    m.run([&](mach::Ctx& ctx) {
+      if (ctx.rank() == 0) ctx.flag_store(*f, 1);
+      ctx.barrier();  // makes rank 0 the first (legitimate) writer
+      if (ctx.rank() == 1) ctx.flag_store(*f, 2);  // deliberate violation
+    });
+    FAIL() << "expected the verifier to abort the run";
+  } catch (const util::Error& e) {
+    EXPECT_TRUE(contains(e.what(), "second-writer")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "rank 1")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "e2e.owned")) << e.what();
+  }
+  m.free(f);
+}
+
+TEST(VerifyE2E, RealNonMonotonicThrowsNamingRank) {
+  mach::RealMachine m(topo::mini8(), 1);
+  auto* f = static_cast<mach::Flag*>(m.alloc(0, sizeof(mach::Flag)));
+  m.verify_ledger().register_flag(f, "e2e.seq");
+  try {
+    m.run([&](mach::Ctx& ctx) {
+      ctx.flag_store(*f, 5);
+      ctx.flag_store(*f, 3);  // deliberate violation
+    });
+    FAIL() << "expected the verifier to abort the run";
+  } catch (const util::Error& e) {
+    EXPECT_TRUE(contains(e.what(), "non-monotonic")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "rank 0")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "e2e.seq")) << e.what();
+  }
+  m.free(f);
+}
+
+TEST(VerifyE2E, DisciplinedTrafficIsClean) {
+  sim::SimMachine m(topo::mini8(), 4);
+  const int n = 4;
+  std::vector<mach::Flag*> flags;
+  for (int r = 0; r < n; ++r) {
+    flags.push_back(static_cast<mach::Flag*>(m.alloc(r, sizeof(mach::Flag))));
+    m.verify_ledger().register_flag(flags.back(),
+                                    "e2e.seq[" + std::to_string(r) + "]");
+  }
+  m.run([&](mach::Ctx& ctx) {
+    const int r = ctx.rank();
+    for (std::uint64_t v = 1; v <= 3; ++v) {
+      ctx.flag_store(*flags[static_cast<std::size_t>(r)], v);
+      ctx.flag_wait_ge(*flags[static_cast<std::size_t>((r + 1) % n)], v);
+    }
+  });
+  const verify::Summary s = m.verify_ledger().summary();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_GE(s.stores_checked, 12u);  // 4 ranks x 3 stores
+  EXPECT_GE(s.loads_checked, 12u);   // 4 ranks x 3 waits
+  for (auto* f : flags) m.free(f);
+}
+
+#else  // !XHC_VERIFY_ENABLED
+
+TEST(VerifyE2E, HooksRequireCheckedBuild) {
+  GTEST_SKIP() << "machine hooks are compiled out; configure with "
+                  "-DXHC_VERIFY=ON (scripts/check.sh verify) to run these";
+}
+
+#endif  // XHC_VERIFY_ENABLED
+
+}  // namespace
+}  // namespace xhc
