@@ -9,7 +9,7 @@
 #include "bench/bench_common.h"
 #include "core/xhc_component.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
            {"flat", "numa", "socket", "numa+socket", "l3+numa+socket"}) {
         auto machine = bench::make_system(system);
         coll::Tuning tuning;
+        args.apply_tuning(tuning);
         tuning.sensitivity = sens;
         core::XhcComponent comp(*machine, tuning, "xhc-ablate");
         osu::Config cfg;
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
       for (int which = 0; which < 2; ++which) {
         auto machine = bench::make_system("epyc2p");
         coll::Tuning tuning;
+        args.apply_tuning(tuning);
         tuning.chunk_bytes = {chunk};
         core::XhcComponent comp(*machine, tuning, "xhc-chunk");
         osu::Config cfg;
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
                                         std::size_t{16384}}) {
       auto machine = bench::make_system("epyc1p");
       coll::Tuning tuning;
+      args.apply_tuning(tuning);
       tuning.cico_threshold = threshold;
       core::XhcComponent comp(*machine, tuning, "xhc-cico");
       osu::Config cfg;
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
       for (const bool cache : {true, false}) {
         auto machine = bench::make_system("epyc2p");
         coll::Tuning tuning;
+        args.apply_tuning(tuning);
         tuning.reg_cache = cache;
         core::XhcComponent comp(*machine, tuning, "xhc-rc");
         osu::Config cfg;
@@ -132,4 +136,8 @@ int main(int argc, char** argv) {
                 "Ablation: XHC registration cache on/off, bcast (Epyc-2P)");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "coll/registry.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "obs/observer.h"
 #include "osu/harness.h"
@@ -38,6 +39,10 @@ struct BenchArgs {
   /// the re-read of every rank's buffer costs more wall-clock than the
   /// simulations themselves at large sizes.
   bool verify = false;
+  /// --fault=<spec>: fault-injection plan applied to every component built
+  /// through apply_tuning() (same grammar as the xhc_fault tuning param).
+  std::string faults;
+  std::uint64_t fault_seed = 1;  ///< --fault-seed=<n>
 
   static BenchArgs parse(int argc, char** argv) {
     tune_allocator();
@@ -50,8 +55,23 @@ struct BenchArgs {
     b.preset = args.get("preset", "");
     b.jobs = static_cast<int>(args.get_long("jobs", 1));
     b.verify = args.has("verify");
+    b.faults = args.get("fault", "");
+    b.fault_seed =
+        static_cast<std::uint64_t>(args.get_long("fault-seed", 1));
+    if (!b.faults.empty()) {
+      // Fail fast on malformed specs, before any sweep spins up.
+      (void)fault::Plan::parse(b.faults);
+    }
     XHC_REQUIRE(b.jobs >= 0, "--jobs must be >= 0, got ", b.jobs);
     return b;
+  }
+
+  /// Applies the cross-cutting knobs (trace gate, fault plan) to the
+  /// tuning a bench is about to build a component from.
+  void apply_tuning(coll::Tuning& tuning) const {
+    tuning.trace = observe();
+    tuning.faults = faults;
+    tuning.fault_seed = fault_seed;
   }
 
   /// Observability requested at all (either output form)?

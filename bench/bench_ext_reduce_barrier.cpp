@@ -4,7 +4,7 @@
 // the allreduce-fallback components.
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -60,4 +60,8 @@ int main(int argc, char** argv) {
                 "(ARM-N1)");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

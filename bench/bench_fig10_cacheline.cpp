@@ -10,7 +10,7 @@
 #include "bench/bench_common.h"
 #include "core/xhc_component.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::vector<std::size_t> sizes =
@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
           coll::FlagLayout::kMultiSeparateLines}) {
       auto machine = bench::make_system("epyc1p");
       coll::Tuning tuning;
+      args.apply_tuning(tuning);
       tuning.sensitivity = sensitivity;
       tuning.flag_layout = layout;
       core::XhcComponent comp(*machine, tuning, "xhc-layout");
@@ -47,4 +48,8 @@ int main(int argc, char** argv) {
               "Fig. 10: bcast latency (us) by flag cache-line scheme "
               "(Epyc-1P)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -7,7 +7,7 @@
 // the closest competitor in the 128 KB–1 MB band; sm collapses on ARM-N1.
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
@@ -50,4 +50,8 @@ int main(int argc, char** argv) {
     bench::emit(args, table, title);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -8,7 +8,7 @@
 #include "apps/pisvm.h"
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -35,4 +35,8 @@ int main(int argc, char** argv) {
   }
   bench::emit(args, table, "Fig. 12: PiSvM proxy performance");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

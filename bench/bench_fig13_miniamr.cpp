@@ -7,7 +7,7 @@
 #include "apps/miniamr.h"
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -41,4 +41,8 @@ int main(int argc, char** argv) {
                 std::string("Fig. 13: miniAMR proxy, ") + label);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -9,7 +9,7 @@
 #include "apps/cntk.h"
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -42,4 +42,8 @@ int main(int argc, char** argv) {
   }
   bench::emit(args, table, "Fig. 14: CNTK AlexNet proxy (one scaled epoch)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

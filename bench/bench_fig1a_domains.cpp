@@ -23,7 +23,7 @@ int pair_at(const topo::Topology& topo, const topo::RankMap& map,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -57,4 +57,8 @@ int main(int argc, char** argv) {
                     util::Table::fmt_bytes(bytes) + " messages");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

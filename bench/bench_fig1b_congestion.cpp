@@ -9,7 +9,7 @@
 // node is fully occupied in every scenario.
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   constexpr std::size_t kBytes = 1u << 20;
@@ -76,4 +76,8 @@ int main(int argc, char** argv) {
               "Fig. 1b: singled-out rank 1 MB copy time vs participants "
               "(Epyc-1P)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

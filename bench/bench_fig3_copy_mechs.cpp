@@ -31,7 +31,7 @@ const Mech kMechs[] = {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::vector<std::size_t> sizes =
@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     for (const Mech& m : kMechs) {
       auto machine = bench::make_system("epyc2p");
       coll::Tuning tuning;
+      args.apply_tuning(tuning);
       tuning.mechanism = m.mech;
       tuning.reg_cache = m.reg_cache;
       auto comp = coll::make_component("tuned", *machine, tuning);
@@ -91,4 +92,8 @@ int main(int argc, char** argv) {
                 "Fig. 3b: broadcast latency (us), tuned, 64 ranks, Epyc-2P");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

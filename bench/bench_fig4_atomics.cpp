@@ -10,7 +10,7 @@
 #include "bench/bench_common.h"
 #include "core/xhc_component.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
          {coll::SyncMethod::kSingleWriter, coll::SyncMethod::kAtomicFetchAdd}) {
       sim::SimMachine machine(topo::armn1(), ranks);
       coll::Tuning tuning;
+      args.apply_tuning(tuning);
       tuning.sensitivity = "flat";
       tuning.sync = sync;
       auto comp = std::make_unique<core::XhcComponent>(
@@ -45,4 +46,8 @@ int main(int argc, char** argv) {
               "Fig. 4: 4 B broadcast, atomics vs single-writer sync "
               "(ARM-N1, flat tree)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -9,7 +9,7 @@
 // cache capacity the two benchmarks agree.
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
@@ -39,4 +39,8 @@ int main(int argc, char** argv) {
               "Fig. 7: osu_bcast vs osu_bcast_mb (us), XHC flat/tree, "
               "Epyc-2P");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -8,7 +8,7 @@
 // at large sizes; the XHC-tree advantage grows with node density.
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
         const std::size_t ci = i % comps.size();
         auto machine = bench::make_system(systems[si]);
         coll::Tuning tuning;
-        tuning.trace = args.observe();
+        args.apply_tuning(tuning);
         auto comp = coll::make_component(comps[ci], *machine, tuning);
         osu::Config cfg;
         cfg.warmup = 1;
@@ -69,4 +69,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -8,7 +8,7 @@
 // and root, so its latency stays put (paper §V-D1, Table II).
 #include "bench/bench_common.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto sizes = bench::figure_sizes(args.quick);
@@ -68,4 +68,8 @@ int main(int argc, char** argv) {
                 "Fig. 9b: bcast latency (us) under different roots, Epyc-2P");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -6,7 +6,7 @@
 #include "bench/bench_common.h"
 #include "topo/hierarchy.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
@@ -25,4 +25,8 @@ int main(int argc, char** argv) {
   }
   bench::emit(args, table, "Table I: evaluation systems");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

@@ -23,7 +23,7 @@ struct Scenario {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
   constexpr std::size_t kBytes = 64u << 10;  // binomial-tree regime
@@ -62,4 +62,8 @@ int main(int argc, char** argv) {
   bench::emit(args, table,
               "Table II: messages by distance per 64 KB bcast (Epyc-2P)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
 }

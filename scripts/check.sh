@@ -8,6 +8,8 @@
 #   scripts/check.sh address    # Address+UB sanitizer  (build-asan/)
 #   scripts/check.sh undefined  # UBSan alone           (build-ubsan/)
 #   scripts/check.sh verify     # XHC_VERIFY=ON ledger  (build-verify/)
+#   scripts/check.sh fault      # chaos suite: fixed seed sweep (build/)
+#                               # plus the same under TSan (build-tsan/)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh thread -R Obs
@@ -39,8 +41,31 @@ case "$mode" in
     build_dir=build-verify
     cmake_args=(-DXHC_VERIFY=ON)
     ;;
+  fault)
+    # Chaos mode: the fault/degradation suite in the plain build, a seeded
+    # bench sweep proving every scenario terminates, then the same tests
+    # under TSan (fiber backend, annotated switches) to keep the watchdog
+    # and abort paths race-clean.
+    scripts/lint_flags.sh
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Fault|GuardedMain|RegCache' "$@")
+    echo "== seeded chaos sweep: bench_fig8_bcast --fault =="
+    spec='attach,prob=0.2;regmiss,prob=0.3;straggler,prob=0.2,delay=2e-6;flagdelay,prob=0.1,delay=1e-6'
+    for seed in 1 7 42 1337 12648430; do
+      build/bench/bench_fig8_bcast --quick --preset=mini8 \
+        --fault="$spec" --fault-seed="$seed" > /dev/null
+      echo "seed $seed: ok"
+    done
+    cmake -B build-tsan -S . -DXHC_SANITIZE=thread
+    cmake --build build-tsan -j
+    (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Fault|GuardedMain' "$@")
+    exit 0
+    ;;
   *)
-    echo "usage: $0 [thread|address|undefined|verify] [ctest args...]" >&2
+    echo "usage: $0 [thread|address|undefined|verify|fault] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -63,5 +88,5 @@ ctest --output-on-failure -j "$(nproc)" "$@"
 if [ "$mode" = "" ] || [ "$mode" = thread ]; then
   echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
   XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
-    -R 'Sim|Backend|Sched|Collectives' "$@"
+    -R 'Sim|Backend|Sched|Collectives|Fault' "$@"
 fi

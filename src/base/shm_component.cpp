@@ -22,7 +22,7 @@ std::size_t chunk_end(std::size_t bytes, std::size_t c, std::size_t slot_sz) {
 
 struct ShmComponent::GroupShm {
   // Result stream: leader → members.
-  std::byte* ring = nullptr;  ///< kDepth * kSlot payload bytes
+  std::byte* ring = nullptr;  ///< kDepth * slot payload bytes
   util::CachePadded<mach::Flag>* announce = nullptr;  ///< leader: cumulative
                                                       ///< bytes streamed
   util::CachePadded<mach::Flag>* ring_ack = nullptr;  ///< [slots] member
@@ -30,7 +30,7 @@ struct ShmComponent::GroupShm {
   util::CachePadded<mach::Flag>* slot_ctr = nullptr;  ///< [kDepth] atomic
                                                       ///< ack counters
   // Contribution streams: members → leader (allreduce).
-  std::byte* contrib = nullptr;  ///< [slots][kCDepth][kSlot]
+  std::byte* contrib = nullptr;  ///< [slots][kCDepth][slot]
   util::CachePadded<mach::Flag>* ready = nullptr;     ///< [slots] member:
                                                       ///< bytes staged
   util::CachePadded<mach::Flag>* consumed = nullptr;  ///< leader: bytes
@@ -38,18 +38,19 @@ struct ShmComponent::GroupShm {
 
   std::vector<void*> allocs;
   mach::Machine* machine = nullptr;
+  std::size_t slot_bytes = 0;  ///< ring slot size the group was built with
 
   ~GroupShm() {
     for (void* p : allocs) machine->free(p);
   }
 
   std::byte* ring_slot(std::size_t c) {
-    return ring + (c % ShmComponent::kDepth) * ShmComponent::kSlot;
+    return ring + (c % ShmComponent::kDepth) * slot_bytes;
   }
   std::byte* contrib_slot(int slot, std::size_t c) {
     return contrib + (static_cast<std::size_t>(slot) * kCDepth +
                       c % kCDepth) *
-                         ShmComponent::kSlot;
+                         slot_bytes;
   }
 };
 
@@ -65,12 +66,43 @@ ShmComponent::ShmComponent(mach::Machine& machine, coll::Tuning tuning,
       tuning_(std::move(tuning)),
       name_(std::move(name)),
       tree_(machine, topo::parse_sensitivity(tuning_.sensitivity)) {
+  fault_ = fault::make_injector(tuning_.faults, tuning_.fault_seed,
+                                machine.n_ranks());
+  // Under injected shm exhaustion: retry each segment a bounded number of
+  // times, then rebuild every ring with half-sized slots, down to a one-page
+  // floor (every group must share one slot size — the mirrored base
+  // arithmetic depends on it).
+  constexpr std::size_t kMinSlot = 4096;
+  for (;;) {
+    if (build_groups()) break;
+    XHC_CHECK(slot_ / 2 >= kMinSlot,
+              name_, ": shared ring allocation exhausted (failed even with ",
+              slot_, "-byte slots after ", shm_retries_, " retries)");
+    groups_.clear();
+    slot_ /= 2;
+  }
+  ranks_.reserve(static_cast<std::size_t>(machine.n_ranks()));
+  for (int r = 0; r < machine.n_ranks(); ++r) {
+    auto rs = std::make_unique<RankState>();
+    rs->ring_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
+    rs->contrib_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
+    rs->ctr_base.assign(static_cast<std::size_t>(tree_.n_groups()) * kDepth,
+                        0);
+    ranks_.push_back(std::move(rs));
+  }
+}
+
+ShmComponent::~ShmComponent() = default;
+
+bool ShmComponent::build_groups() {
+  mach::Machine& machine = *machine_;
   groups_.reserve(static_cast<std::size_t>(tree_.n_groups()));
   for (int g = 0; g < tree_.n_groups(); ++g) {
     const core::GroupShape& shape = tree_.shape(g);
     const auto slots = static_cast<std::size_t>(shape.domain_ranks.size());
     auto shm = std::make_unique<GroupShm>();
     shm->machine = machine_;
+    shm->slot_bytes = slot_;
     auto padded_flags = [&](std::size_t count) {
       void* p = machine.alloc(shape.home_rank,
                               sizeof(util::CachePadded<mach::Flag>) * count);
@@ -81,14 +113,22 @@ ShmComponent::ShmComponent(mach::Machine& machine, coll::Tuning tuning,
       }
       return f;
     };
+    // The payload areas are the realistic exhaustion target; the flag
+    // arrays are a few cache lines and allocated directly.
     shm->ring = static_cast<std::byte*>(
-        machine.alloc(shape.home_rank, kDepth * kSlot));
+        fault::alloc_with_retry(machine, fault_.get(), shape.home_rank,
+                                kDepth * slot_, /*zero=*/true,
+                                /*max_attempts=*/3, &shm_retries_));
+    if (shm->ring == nullptr) return false;
     shm->allocs.push_back(shm->ring);
     shm->announce = padded_flags(1);
     shm->ring_ack = padded_flags(slots);
     shm->slot_ctr = padded_flags(kDepth);
     shm->contrib = static_cast<std::byte*>(
-        machine.alloc(shape.home_rank, slots * kCDepth * kSlot));
+        fault::alloc_with_retry(machine, fault_.get(), shape.home_rank,
+                                slots * kCDepth * slot_, /*zero=*/true,
+                                /*max_attempts=*/3, &shm_retries_));
+    if (shm->contrib == nullptr) return false;
     shm->allocs.push_back(shm->contrib);
     shm->ready = padded_flags(slots);
     shm->consumed = padded_flags(1);
@@ -117,26 +157,24 @@ ShmComponent::ShmComponent(mach::Machine& machine, coll::Tuning tuning,
     }
     groups_.push_back(std::move(shm));
   }
-  ranks_.reserve(static_cast<std::size_t>(machine.n_ranks()));
-  for (int r = 0; r < machine.n_ranks(); ++r) {
-    auto rs = std::make_unique<RankState>();
-    rs->ring_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
-    rs->contrib_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
-    rs->ctr_base.assign(static_cast<std::size_t>(tree_.n_groups()) * kDepth,
-                        0);
-    ranks_.push_back(std::move(rs));
-  }
+  return true;
 }
 
-ShmComponent::~ShmComponent() = default;
+void ShmComponent::maybe_stall(mach::Ctx& ctx) {
+  if (fault_ == nullptr) return;
+  const double d = fault_->straggler_delay(ctx.rank(), -1);
+  if (d <= 0.0) return;
+  book(ctx, obs::Counter::kFaultStalls, 1);
+  ctx.stall(d);
+}
 
 void ShmComponent::ring_wait_free(mach::Ctx& ctx, GroupShm& g,
                                   const core::CommView::Membership& m,
                                   std::uint64_t base, std::size_t lo,
                                   std::size_t bytes) {
-  const std::size_t c = lo / kSlot;
+  const std::size_t c = lo / slot_;
   if (c < kDepth) return;  // ring drained between ops; first uses are free
-  const std::size_t prev_end = chunk_end(bytes, c - kDepth, kSlot);
+  const std::size_t prev_end = chunk_end(bytes, c - kDepth, slot_);
   if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
     const core::GroupShape& shape = tree_.shape(m.ctl_id);
     for (const int j : m.members) {
@@ -161,7 +199,7 @@ void ShmComponent::ring_ack(mach::Ctx& ctx, GroupShm& g,
   if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
     ctx.flag_store(*g.ring_ack[m.my_slot], base + hi);
   } else {
-    ctx.fetch_add(*g.slot_ctr[(lo / kSlot) % kDepth], 1);
+    ctx.fetch_add(*g.slot_ctr[(lo / slot_) % kDepth], 1);
   }
 }
 
@@ -186,19 +224,20 @@ void ShmComponent::advance_ctr_base(RankState& rs, const core::CommView& view,
 void ShmComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
                          int root) {
   if (bytes == 0 || ctx.size() == 1) return;
+  maybe_stall(ctx);
   const int r = ctx.rank();
   RankState& rs = state(r);
   const core::CommView& view = tree_.view(root);
   const auto& ms = view.memberships(r);
   auto* p = static_cast<std::byte*>(buf);
-  const std::size_t n_chunks = (bytes + kSlot - 1) / kSlot;
+  const std::size_t n_chunks = (bytes + slot_ - 1) / slot_;
 
   const core::CommView::Membership& top = ms.back();
   if (top.is_leader) {
     // Root: stream the payload into the ring of every led group.
     for (std::size_t c = 0; c < n_chunks; ++c) {
-      const std::size_t lo = c * kSlot;
-      const std::size_t hi = chunk_end(bytes, c, kSlot);
+      const std::size_t lo = c * slot_;
+      const std::size_t hi = chunk_end(bytes, c, slot_);
       for (const auto& m : ms) {
         GroupShm& g = shm(m.ctl_id);
         const std::uint64_t base =
@@ -215,8 +254,8 @@ void ShmComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
     const std::uint64_t base_t =
         rs.ring_base[static_cast<std::size_t>(top.ctl_id)];
     for (std::size_t c = 0; c < n_chunks; ++c) {
-      const std::size_t lo = c * kSlot;
-      const std::size_t hi = chunk_end(bytes, c, kSlot);
+      const std::size_t lo = c * slot_;
+      const std::size_t hi = chunk_end(bytes, c, slot_);
       ctx.flag_wait_ge(*gt.announce[0], base_t + hi);
       ctx.copy(p + lo, gt.ring_slot(c), hi - lo);
       ring_ack(ctx, gt, top, base_t, lo, hi);
@@ -278,13 +317,14 @@ void ShmComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     return;
   }
 
+  maybe_stall(ctx);
   const int r = ctx.rank();
   RankState& rs = state(r);
   const core::CommView& view = tree_.view(0);
   const auto& ms = view.memberships(r);
   const auto* sp = static_cast<const std::byte*>(sbuf);
   auto* rp = static_cast<std::byte*>(rbuf);
-  const std::size_t n_chunks = (bytes + kSlot - 1) / kSlot;
+  const std::size_t n_chunks = (bytes + slot_ - 1) / slot_;
   const core::CommView::Membership& top = ms.back();
 
   // ---- pipelined reduce + broadcast ---------------------------------------
@@ -303,8 +343,8 @@ void ShmComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
   for (std::size_t it = 0; it < n_chunks + kLag; ++it) {
     if (it < n_chunks) {
       const std::size_t c = it;
-      const std::size_t lo = c * kSlot;
-      const std::size_t hi = chunk_end(bytes, c, kSlot);
+      const std::size_t lo = c * slot_;
+      const std::size_t hi = chunk_end(bytes, c, slot_);
       const std::size_t n_elems = (hi - lo) / elem;
       XHC_CHECK(n_elems * elem == hi - lo, "ring slot not element-aligned");
 
@@ -349,7 +389,7 @@ void ShmComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
         const std::byte* src = ms.size() == 1 ? sp : rp;
         if (c >= kCDepth) {
           ctx.flag_wait_ge(*g.consumed[0],
-                           cbase + chunk_end(bytes, c - kCDepth, kSlot));
+                           cbase + chunk_end(bytes, c - kCDepth, slot_));
         }
         ctx.copy(g.contrib_slot(top.my_slot, c), src + lo, hi - lo);
         ctx.flag_store(*g.ready[top.my_slot], cbase + hi);
@@ -359,8 +399,8 @@ void ShmComponent::allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     // Broadcast-side duties for the chunk kLag behind.
     if (!top.is_leader && it >= kLag && it - kLag < n_chunks) {
       const std::size_t c = it - kLag;
-      const std::size_t lo = c * kSlot;
-      const std::size_t hi = chunk_end(bytes, c, kSlot);
+      const std::size_t lo = c * slot_;
+      const std::size_t hi = chunk_end(bytes, c, slot_);
       ctx.flag_wait_ge(*gt->announce[0], base_t + hi);
       ctx.copy(rp + lo, gt->ring_slot(c), hi - lo);
       ring_ack(ctx, *gt, top, base_t, lo, hi);

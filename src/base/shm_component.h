@@ -19,6 +19,7 @@
 
 #include "coll/component.h"
 #include "core/comm_tree.h"
+#include "fault/fault.h"
 
 namespace xhc::base {
 
@@ -35,8 +36,14 @@ class ShmComponent final : public coll::Component {
   void allreduce(mach::Ctx& ctx, const void* sbuf, void* rbuf,
                  std::size_t count, mach::DType dtype, mach::ROp op) override;
 
+  /// Ring slot size actually in use. Equals the 32 KiB default unless
+  /// injected shm exhaustion degraded the rings to smaller slots.
+  std::size_t slot_bytes() const noexcept { return slot_; }
+  /// Shared-segment allocation retries performed during construction.
+  std::uint64_t shm_retries() const noexcept { return shm_retries_; }
+
  private:
-  static constexpr std::size_t kSlot = 32 * 1024;  ///< ring slot bytes
+  static constexpr std::size_t kDefaultSlot = 32 * 1024;  ///< ring slot bytes
   static constexpr std::uint64_t kDepth = 8;      ///< ring slots per stream
 
   /// Shared state of one group's ring streams.
@@ -46,6 +53,14 @@ class ShmComponent final : public coll::Component {
 
   GroupShm& shm(int ctl_id) { return *groups_[static_cast<std::size_t>(ctl_id)]; }
   RankState& state(int rank) { return *ranks_[static_cast<std::size_t>(rank)]; }
+
+  /// Allocates every group's rings at the current slot_ size. Returns false
+  /// when an allocation failed (injected exhaustion) so the caller can
+  /// degrade to smaller slots and rebuild.
+  bool build_groups();
+
+  /// Operation-entry straggler opportunity (fault injection).
+  void maybe_stall(mach::Ctx& ctx);
 
   /// Leader side: wait until ring slot for the chunk ending at `hi` is free.
   void ring_wait_free(mach::Ctx& ctx, GroupShm& g,
@@ -63,6 +78,9 @@ class ShmComponent final : public coll::Component {
   coll::Tuning tuning_;
   std::string name_;
   core::CommTree tree_;
+  std::unique_ptr<fault::Injector> fault_;
+  std::size_t slot_ = kDefaultSlot;
+  std::uint64_t shm_retries_ = 0;
   std::vector<std::unique_ptr<GroupShm>> groups_;
   std::vector<std::unique_ptr<RankState>> ranks_;
 };

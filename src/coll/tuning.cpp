@@ -1,5 +1,10 @@
 #include "coll/tuning.h"
 
+#include <cstdlib>
+
+#include "fault/fault.h"
+#include "util/check.h"
+
 namespace xhc::coll {
 
 const char* to_string(FlagLayout l) {
@@ -22,6 +27,34 @@ const char* to_string(SyncMethod s) {
       return "atomics";
   }
   return "?";
+}
+
+void apply_param(Tuning& t, std::string_view assignment) {
+  const auto eq = assignment.find('=');
+  XHC_CHECK(eq != std::string_view::npos && eq > 0,
+            "tuning parameter must be key=value, got '", assignment, "'");
+  const std::string key(assignment.substr(0, eq));
+  const std::string value(assignment.substr(eq + 1));
+  if (key == "xhc_fault") {
+    // Validate eagerly so a bad spec fails at configuration time, not at
+    // communicator construction.
+    (void)fault::Plan::parse(value);
+    t.faults = value;
+  } else if (key == "xhc_fault_seed") {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    XHC_CHECK(end != nullptr && *end == '\0' && !value.empty(),
+              "xhc_fault_seed: bad integer '", value, "'");
+    t.fault_seed = static_cast<std::uint64_t>(v);
+  } else if (key == "xhc_reg_cache_entries") {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    XHC_CHECK(end != nullptr && *end == '\0' && !value.empty() && v > 0,
+              "xhc_reg_cache_entries: bad capacity '", value, "'");
+    t.reg_cache_entries = static_cast<std::size_t>(v);
+  } else {
+    XHC_CHECK(false, "unknown tuning parameter '", key, "'");
+  }
 }
 
 }  // namespace xhc::coll

@@ -27,6 +27,14 @@ enum class SyncMethod {
 const char* to_string(FlagLayout l);
 const char* to_string(SyncMethod s);
 
+struct Tuning;
+
+/// MCA-style parameter assignment, the configuration path the paper drives
+/// through OpenMPI's `--mca` flags. Applies one `key=value` pair (e.g.
+/// "xhc_fault=attach,rank=1", "xhc_fault_seed=42") to `t`; throws
+/// util::Error on unknown keys or malformed values.
+void apply_param(Tuning& t, std::string_view assignment);
+
 struct Tuning {
   /// Hierarchy sensitivity: "flat", "numa", "socket", "numa+socket",
   /// "l3+numa+socket" (paper §III-A).
@@ -43,6 +51,11 @@ struct Tuning {
   /// Single-copy mechanism and registration caching (paper §III-C).
   smsc::Mechanism mechanism = smsc::Mechanism::kXpmem;
   bool reg_cache = true;
+  /// Registration-cache capacity (mappings per endpoint); least-recently
+  /// used mappings are evicted beyond it. The default is far above any
+  /// communicator's working set, so eviction only engages when a test or
+  /// deployment tightens it.
+  std::size_t reg_cache_entries = 1024;
 
   /// Experiment variants.
   FlagLayout flag_layout = FlagLayout::kSingle;
@@ -63,6 +76,14 @@ struct Tuning {
   /// counter sites cost one predictable branch — benchmark numbers are
   /// unaffected. When true, an attached Observer collects spans + metrics.
   bool trace = false;
+
+  /// Fault-injection plan (DESIGN.md § Fault injection & degradation),
+  /// parsed by fault::Plan::parse. Empty (default) disables injection
+  /// entirely — components hold no injector and fault sites cost one
+  /// pointer test.
+  std::string faults;
+  /// Seed of the per-rank fault decision streams.
+  std::uint64_t fault_seed = 1;
 
   std::size_t chunk_for_level(int level) const noexcept {
     if (chunk_bytes.empty()) return 16 * 1024;

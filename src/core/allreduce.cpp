@@ -142,6 +142,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
 
   XHC_TRACE(trace_sink(), ctx, "collective",
             deliver_all ? "xhc.allreduce" : "xhc.reduce", bytes);
+  maybe_stall(ctx, -1);  // operation-entry straggler opportunity (any level)
   const int r = ctx.rank();
   RankState& rs = state(r);
   const std::uint64_t s = ++rs.op_seq;
@@ -256,6 +257,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     for (std::size_t lo = 0; lo < bytes;) {
       const std::size_t hi = std::min(bytes, lo + chunk);
       const std::size_t ci = lo / chunk;
+      maybe_stall(ctx, top.level);
       // Keep this rank's own subtree partial flowing for the whole range —
       // peers reducing other chunks depend on it.
       pump_own(ctx, view, plan, hi);
@@ -279,7 +281,8 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
             ctx.flag_wait_ge(*ctl.reduce_ready[shape.slot_of(reducers[i])],
                              base + hi);
           }
-          rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
+          rs.endpoint->charge_op(ctx, hi - lo, ctx.size(),
+                                 cico ? -1 : reducers[i]);
           ctx.reduce(dst + lo, src[i] + lo, n_elems, dtype, op);
           book(ctx, obs::Counter::kReduceBytes, hi - lo);
         }

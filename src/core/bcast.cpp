@@ -50,8 +50,9 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
 
   for (std::size_t lo = 0; lo < bytes;) {
     const std::size_t hi = std::min(bytes, lo + chunk);
+    maybe_stall(ctx, top.level);
     announce_wait(ctx, top, base + hi);
-    rs.endpoint->charge_op(ctx, hi - lo, ctx.size());
+    rs.endpoint->charge_op(ctx, hi - lo, ctx.size(), cico ? -1 : top.leader);
     {
       XHC_TRACE(trace_sink(), ctx, "copy", "bcast.pull_chunk", hi - lo);
       ctx.copy(dst + lo, static_cast<const std::byte*>(src) + lo, hi - lo);
@@ -89,6 +90,7 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
   XHC_REQUIRE(root >= 0 && root < ctx.size(), "bad root ", root);
 
   XHC_TRACE(trace_sink(), ctx, "collective", "xhc.bcast", bytes);
+  maybe_stall(ctx, -1);  // operation-entry straggler opportunity (any level)
   const int r = ctx.rank();
   RankState& rs = state(r);
   const std::uint64_t s = ++rs.op_seq;

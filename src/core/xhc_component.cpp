@@ -1,5 +1,7 @@
 #include "core/xhc_component.h"
 
+#include <algorithm>
+
 #include "topo/hierarchy.h"
 #include "util/check.h"
 
@@ -12,26 +14,58 @@ XhcComponent::XhcComponent(mach::Machine& machine, coll::Tuning tuning,
       name_(std::move(name)),
       tree_(machine, topo::parse_sensitivity(tuning_.sensitivity)) {
   const int n = machine.n_ranks();
+  fault_ = fault::make_injector(tuning_.faults, tuning_.fault_seed, n);
   ranks_.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     auto rs = std::make_unique<RankState>();
     rs->bcast_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
     rs->reduce_base.assign(static_cast<std::size_t>(tree_.n_groups()), 0);
-    rs->endpoint = std::make_unique<smsc::Endpoint>(tuning_.mechanism,
-                                                    tuning_.reg_cache);
+    rs->endpoint = std::make_unique<smsc::Endpoint>(
+        tuning_.mechanism, tuning_.reg_cache, tuning_.reg_cache_entries);
+    rs->endpoint->set_fault_injector(fault_.get());
     ranks_.push_back(std::move(rs));
   }
   // Copy-in-copy-out segments (paper §IV-C): one per rank, allocated at
   // communicator creation, attached (cached) for the communicator lifetime.
+  // Under injected shm exhaustion each allocation is retried a bounded
+  // number of times; when a rank's segment still cannot be allocated the
+  // whole pool is rebuilt at half the size (threshold clamped to match),
+  // down to a one-page floor — beyond that the failure is raised as a
+  // diagnostic rather than silently degrading further.
   XHC_REQUIRE(tuning_.cico_segment_bytes >= 2 * tuning_.cico_threshold,
               "CICO segment must hold a contribution and a result area");
-  cico_bufs_.reserve(static_cast<std::size_t>(n));
+  constexpr std::size_t kMinSegment = 4096;
+  std::size_t seg_bytes = tuning_.cico_segment_bytes;
+  for (;;) {
+    cico_bufs_.clear();
+    cico_bufs_.reserve(static_cast<std::size_t>(n));
+    bool ok = true;
+    for (int r = 0; r < n && ok; ++r) {
+      void* p = fault::alloc_with_retry(machine, fault_.get(), r, seg_bytes,
+                                        /*zero=*/true, /*max_attempts=*/3,
+                                        &shm_retries_);
+      if (p == nullptr) {
+        ok = false;
+      } else {
+        cico_bufs_.emplace_back(machine, p, seg_bytes);
+      }
+    }
+    if (ok) break;
+    XHC_CHECK(seg_bytes / 2 >= kMinSegment,
+              name_, ": CICO segment allocation exhausted (failed even at ",
+              seg_bytes, " bytes after ", shm_retries_, " retries)");
+    cico_bufs_.clear();
+    seg_bytes /= 2;
+  }
+  if (seg_bytes != tuning_.cico_segment_bytes) {
+    tuning_.cico_segment_bytes = seg_bytes;
+    tuning_.cico_threshold = std::min(tuning_.cico_threshold, seg_bytes / 2);
+  }
   cico_.resize(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
-    cico_bufs_.emplace_back(machine, r, tuning_.cico_segment_bytes);
     CicoSeg& seg = cico_[static_cast<std::size_t>(r)];
-    seg.half_bytes = tuning_.cico_segment_bytes / 2;
-    seg.contrib = cico_bufs_.back().bytes();
+    seg.half_bytes = seg_bytes / 2;
+    seg.contrib = cico_bufs_[static_cast<std::size_t>(r)].bytes();
     seg.result = seg.contrib + seg.half_bytes;
   }
 }
@@ -96,6 +130,12 @@ void XhcComponent::set_observer(obs::Observer* observer) noexcept {
     m.set_gauge(obs::Gauge::kCtlGroups,
                 static_cast<std::uint64_t>(tree_.n_groups()));
     m.set_gauge(obs::Gauge::kCicoSegmentBytes, tuning_.cico_segment_bytes);
+    if (shm_retries_ != 0) {
+      // Setup-time retries happened before any observer existed; book them
+      // against rank 0 now (called outside the parallel region).
+      m.add(0, obs::Counter::kFaultShmRetries, shm_retries_);
+      shm_retries_ = 0;
+    }
   }
 }
 
@@ -111,6 +151,7 @@ std::optional<smsc::RegCache::Stats> XhcComponent::reg_cache_stats() const {
 void XhcComponent::announce_publish(mach::Ctx& ctx,
                                     const CommView::Membership& m,
                                     std::uint64_t value) {
+  if (!fault_allows_publish(ctx)) return;
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   const GroupShape& shape = tree_.shape(m.ctl_id);
   switch (tuning_.flag_layout) {
@@ -152,6 +193,7 @@ void XhcComponent::announce_wait(mach::Ctx& ctx,
 
 void XhcComponent::ack_publish(mach::Ctx& ctx, const CommView::Membership& m,
                                std::uint64_t s) {
+  if (!fault_allows_publish(ctx)) return;
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
     ctx.flag_store(*ctl.ack[m.my_slot], s);

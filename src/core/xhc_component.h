@@ -17,6 +17,7 @@
 
 #include "coll/component.h"
 #include "core/comm_tree.h"
+#include "fault/fault.h"
 #include "smsc/endpoint.h"
 
 namespace xhc::core {
@@ -118,6 +119,40 @@ class XhcComponent final : public coll::Component {
     }
   }
 
+  // --- fault injection (Tuning::faults; null injector when unconfigured) ---
+  /// Straggler opportunity at a (rank, hierarchy-level) boundary: books the
+  /// stall and loses the injected time (virtual on Sim, real sleep on Real).
+  void maybe_stall(mach::Ctx& ctx, int level) {
+    if (fault_ == nullptr) return;
+    const double d = fault_->straggler_delay(ctx.rank(), level);
+    if (d <= 0.0) return;
+    book(ctx, obs::Counter::kFaultStalls, 1);
+    XHC_TRACE(trace_sink(), ctx, "fault", "straggler");
+    ctx.stall(d);
+  }
+
+  /// Consults the injector before a flag publication. Returns false when the
+  /// publication must be dropped (the caller skips the store); an injected
+  /// delay has already been lost by then. Monotone cumulative counters make
+  /// mid-operation drops survivable — a later, larger publication satisfies
+  /// the same waiters; a dropped final publication leaves readers blocked
+  /// until the watchdog (Real) or deadlock report (Sim) names the flag.
+  bool fault_allows_publish(mach::Ctx& ctx) {
+    if (fault_ == nullptr) return true;
+    const fault::FlagAction a = fault_->on_publish(ctx.rank());
+    if (a.delay > 0.0) {
+      book(ctx, obs::Counter::kFaultFlagDelays, 1);
+      XHC_TRACE(trace_sink(), ctx, "fault", "flag.delay");
+      ctx.stall(a.delay);
+    }
+    if (a.drop) {
+      book(ctx, obs::Counter::kFaultFlagDrops, 1);
+      XHC_TRACE(trace_sink(), ctx, "fault", "flag.drop");
+      return false;
+    }
+    return true;
+  }
+
   // --- flag helpers (layout / sync variants) -------------------------------
   void announce_publish(mach::Ctx& ctx, const CommView::Membership& m,
                         std::uint64_t value);
@@ -149,6 +184,8 @@ class XhcComponent final : public coll::Component {
   coll::Tuning tuning_;
   std::string name_;
   CommTree tree_;
+  std::unique_ptr<fault::Injector> fault_;
+  std::uint64_t shm_retries_ = 0;  ///< CICO pool allocation retries at setup
   std::vector<std::unique_ptr<RankState>> ranks_;
   std::vector<mach::Buffer> cico_bufs_;
   std::vector<CicoSeg> cico_;

@@ -1,0 +1,267 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xhc::fault {
+
+namespace {
+
+/// Decorrelates per-rank streams: two ranks sharing a seed must not mirror
+/// each other's decisions (golden-ratio stride, then splitmix scrambles).
+constexpr std::uint64_t kRankStride = 0x9e3779b97f4a7c15ull;
+
+struct KindName {
+  Kind kind;
+  const char* name;
+};
+
+constexpr KindName kKinds[] = {
+    {Kind::kAttach, "attach"},       {Kind::kExpose, "expose"},
+    {Kind::kRegMiss, "regmiss"},     {Kind::kShm, "shm"},
+    {Kind::kStraggler, "straggler"}, {Kind::kFlagDelay, "flagdelay"},
+    {Kind::kFlagDrop, "flagdrop"},
+};
+
+double parse_double(std::string_view key, const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  XHC_CHECK(end != nullptr && *end == '\0' && !s.empty(),
+            "fault spec: bad number '", s, "' for ", key);
+  return v;
+}
+
+long long parse_int(std::string_view key, const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  XHC_CHECK(end != nullptr && *end == '\0' && !s.empty(),
+            "fault spec: bad integer '", s, "' for ", key);
+  return v;
+}
+
+std::uint64_t parse_u64(std::string_view key, const std::string& s) {
+  const long long v = parse_int(key, s);
+  XHC_CHECK(v >= 0, "fault spec: ", key, " must be >= 0, got ", v);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Kind k) noexcept {
+  for (const auto& kn : kKinds) {
+    if (kn.kind == k) return kn.name;
+  }
+  return "?";
+}
+
+Plan Plan::parse(std::string_view spec) {
+  Plan plan;
+  for (const std::string& raw : util::split(spec, ';')) {
+    // Tolerate stray separators ("a;;b", trailing ';').
+    std::string clause_str;
+    for (const char c : raw) {
+      if (c != ' ' && c != '\t') clause_str += c;
+    }
+    if (clause_str.empty()) continue;
+
+    const std::vector<std::string> fields = util::split(clause_str, ',');
+    Clause c;
+    bool known = false;
+    for (const auto& kn : kKinds) {
+      if (fields[0] == kn.name) {
+        c.kind = kn.kind;
+        known = true;
+        break;
+      }
+    }
+    XHC_CHECK(known, "fault spec: unknown fault kind '", fields[0], "'");
+
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const auto eq = fields[i].find('=');
+      XHC_CHECK(eq != std::string::npos && eq > 0,
+                "fault spec: expected key=value, got '", fields[i], "'");
+      const std::string key = fields[i].substr(0, eq);
+      const std::string val = fields[i].substr(eq + 1);
+      if (key == "rank") {
+        c.rank = static_cast<int>(parse_int(key, val));
+      } else if (key == "owner") {
+        c.owner = static_cast<int>(parse_int(key, val));
+      } else if (key == "level") {
+        c.level = static_cast<int>(parse_int(key, val));
+      } else if (key == "after") {
+        c.after = parse_u64(key, val);
+      } else if (key == "count") {
+        c.count = parse_u64(key, val);
+      } else if (key == "prob") {
+        c.prob = parse_double(key, val);
+        XHC_CHECK(c.prob >= 0.0 && c.prob <= 1.0,
+                  "fault spec: prob must be in [0,1], got ", c.prob);
+      } else if (key == "delay") {
+        c.delay = parse_double(key, val);
+        XHC_CHECK(c.delay >= 0.0, "fault spec: delay must be >= 0, got ",
+                  c.delay);
+      } else if (key == "chain") {
+        c.chain = static_cast<int>(parse_int(key, val));
+        XHC_CHECK(c.chain == 1 || c.chain == 2,
+                  "fault spec: chain must be 1 or 2, got ", c.chain);
+      } else {
+        XHC_CHECK(false, "fault spec: unknown key '", key, "'");
+      }
+    }
+    if ((c.kind == Kind::kStraggler || c.kind == Kind::kFlagDelay) &&
+        c.delay == 0.0) {
+      XHC_CHECK(false, "fault spec: ", fault::to_string(c.kind),
+                " requires delay=<seconds>");
+    }
+    plan.clauses.push_back(c);
+  }
+  return plan;
+}
+
+std::string Plan::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(clauses.size());
+  for (const Clause& c : clauses) {
+    std::string s = fault::to_string(c.kind);
+    if (c.rank >= 0) s += ",rank=" + std::to_string(c.rank);
+    if (c.owner >= 0) s += ",owner=" + std::to_string(c.owner);
+    if (c.level >= 0) s += ",level=" + std::to_string(c.level);
+    if (c.after != 0) s += ",after=" + std::to_string(c.after);
+    if (c.count != std::numeric_limits<std::uint64_t>::max()) {
+      s += ",count=" + std::to_string(c.count);
+    }
+    if (c.prob != 1.0) s += ",prob=" + fmt_double(c.prob);
+    if (c.delay != 0.0) s += ",delay=" + fmt_double(c.delay);
+    if (c.chain != 1) s += ",chain=" + std::to_string(c.chain);
+    parts.push_back(std::move(s));
+  }
+  return util::join(parts, ";");
+}
+
+Injector::Injector(Plan plan, std::uint64_t seed, int n_ranks)
+    : plan_(std::move(plan)), seed_(seed) {
+  XHC_REQUIRE(n_ranks > 0, "injector needs at least one rank");
+  rows_.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    rows_.emplace_back(seed ^
+                       (static_cast<std::uint64_t>(r) + 1) * kRankStride);
+    rows_.back().st.resize(plan_.clauses.size());
+  }
+}
+
+bool Injector::decide(Row& row, std::size_t ci) {
+  const Clause& c = plan_.clauses[ci];
+  ClauseState& st = row.st[ci];
+  ++st.seen;
+  if (st.seen <= c.after) return false;
+  if (st.fired >= c.count) return false;
+  if (c.prob < 1.0 && row.rng.next_double() >= c.prob) return false;
+  ++st.fired;
+  return true;
+}
+
+int Injector::attach_failure_depth(int rank, int owner) {
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kAttach) continue;
+    if (c.rank >= 0 && c.rank != rank) continue;
+    if (c.owner >= 0 && c.owner != owner) continue;
+    if (decide(row, i)) return c.chain;
+  }
+  return 0;
+}
+
+bool Injector::expose_fails(int rank) {
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kExpose) continue;
+    if (c.rank >= 0 && c.rank != rank) continue;
+    if (decide(row, i)) return true;
+  }
+  return false;
+}
+
+bool Injector::force_reg_miss(int rank, int owner) {
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kRegMiss) continue;
+    if (c.rank >= 0 && c.rank != rank) continue;
+    if (c.owner >= 0 && c.owner != owner) continue;
+    if (decide(row, i)) return true;
+  }
+  return false;
+}
+
+bool Injector::shm_alloc_fails(int owner) {
+  Row& row = rows_[static_cast<std::size_t>(owner)];
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kShm) continue;
+    if (c.rank >= 0 && c.rank != owner) continue;
+    if (decide(row, i)) return true;
+  }
+  return false;
+}
+
+double Injector::straggler_delay(int rank, int level) {
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kStraggler) continue;
+    if (c.rank >= 0 && c.rank != rank) continue;
+    if (c.level >= 0 && c.level != level) continue;
+    if (decide(row, i)) return c.delay;
+  }
+  return 0.0;
+}
+
+FlagAction Injector::on_publish(int rank) {
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  FlagAction action;
+  for (std::size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const Clause& c = plan_.clauses[i];
+    if (c.kind != Kind::kFlagDelay && c.kind != Kind::kFlagDrop) continue;
+    if (c.rank >= 0 && c.rank != rank) continue;
+    if (!decide(row, i)) continue;
+    if (c.kind == Kind::kFlagDrop) {
+      action.drop = true;
+    } else {
+      action.delay += c.delay;
+    }
+  }
+  return action;
+}
+
+std::unique_ptr<Injector> make_injector(const std::string& spec,
+                                        std::uint64_t seed, int n_ranks) {
+  Plan plan = Plan::parse(spec);
+  if (plan.empty()) return nullptr;
+  return std::make_unique<Injector>(std::move(plan), seed, n_ranks);
+}
+
+void* alloc_with_retry(mach::Machine& machine, Injector* injector, int owner,
+                       std::size_t bytes, bool zero, int max_attempts,
+                       std::uint64_t* retries) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (injector != nullptr && injector->shm_alloc_fails(owner)) {
+      if (retries != nullptr) ++*retries;
+      continue;
+    }
+    return machine.alloc(owner, bytes, 64, zero);
+  }
+  return nullptr;
+}
+
+}  // namespace xhc::fault

@@ -49,6 +49,12 @@ class Ctx {
   /// compute). No-op on the real machine.
   virtual void charge(double seconds) = 0;
 
+  /// Makes this rank actually lose `seconds` relative to its peers (fault
+  /// injection: stragglers). On the simulator this is virtual-time advance —
+  /// identical to charge() and fully deterministic; the real machine
+  /// overrides it to sleep, so the loss is observable in wall time.
+  virtual void stall(double seconds) { charge(seconds); }
+
   /// Copies `n` bytes. Both machines move the bytes; the simulator also
   /// prices the transfer from the buffers' homes, cache residency and
   /// current congestion.
@@ -173,6 +179,10 @@ class Buffer {
   Buffer() = default;
   Buffer(Machine& m, int owner_rank, std::size_t bytes, bool zero = true)
       : machine_(&m), p_(m.alloc(owner_rank, bytes, 64, zero)), bytes_(bytes) {}
+  /// Adopts an allocation already obtained from `m` (e.g. through
+  /// fault::alloc_with_retry); the Buffer frees it on destruction.
+  Buffer(Machine& m, void* adopted, std::size_t bytes) noexcept
+      : machine_(&m), p_(adopted), bytes_(bytes) {}
   ~Buffer() { reset(); }
 
   Buffer(Buffer&& o) noexcept { *this = std::move(o); }

@@ -4,6 +4,13 @@
 // exactly the load/store accessibility XPMEM gives MPI processes; all data
 // operations execute natively and `now()` is wall-clock time. This machine
 // backs the functional test suite and the host-native benchmarks.
+//
+// Flag waits and barriers run under a watchdog: a rank stalled longer than
+// the wait timeout throws util::Error carrying a dump of every rank's wait
+// state (mirroring the simulator's deadlock report) plus the verifier's
+// record of the blocked flag — so a dropped publication surfaces as a
+// diagnostic naming rank and flag, never as a hang. The first failing rank
+// also aborts its peers' waits, so one exception ends the whole run.
 #pragma once
 
 #include <memory>
@@ -30,12 +37,19 @@ class RealMachine final : public Machine {
 
   RunResult run(const std::function<void(Ctx&)>& fn) override;
 
+  /// Watchdog deadline for flag waits and barriers, in seconds. Defaults to
+  /// 60 s (override at construction with the XHC_WAIT_TIMEOUT environment
+  /// variable); chaos tests tighten it to fail fast.
+  void set_wait_timeout(double seconds) noexcept { wait_timeout_ = seconds; }
+  double wait_timeout() const noexcept { return wait_timeout_; }
+
  private:
   class RealCtx;
 
   topo::Topology topo_;
   topo::RankMap map_;
   AllocRegistry registry_;
+  double wait_timeout_;
 };
 
 /// Convenience factory: flat `n`-core topology, one rank per core.

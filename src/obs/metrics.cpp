@@ -38,6 +38,22 @@ const char* to_string(Counter c) noexcept {
       return "msg_inter_numa";
     case Counter::kMsgInterSocket:
       return "msg_inter_socket";
+    case Counter::kFaultAttachFails:
+      return "fault_attach_fails";
+    case Counter::kFaultExposeFails:
+      return "fault_expose_fails";
+    case Counter::kFaultRegMissForced:
+      return "fault_forced_misses";
+    case Counter::kFaultShmRetries:
+      return "fault_shm_retries";
+    case Counter::kFaultStalls:
+      return "fault_straggler_stalls";
+    case Counter::kFaultFlagDelays:
+      return "fault_flag_delays";
+    case Counter::kFaultFlagDrops:
+      return "fault_flag_drops";
+    case Counter::kFaultFallbacks:
+      return "fault_fallbacks";
     case Counter::kCount_:
       break;
   }

@@ -40,6 +40,15 @@ enum class Counter : int {
   kMsgIntraNuma,
   kMsgInterNuma,
   kMsgInterSocket,
+  // Fault injection & graceful degradation (src/fault/).
+  kFaultAttachFails,    ///< injected attach failures observed
+  kFaultExposeFails,    ///< injected expose failures (retried)
+  kFaultRegMissForced,  ///< registration-cache misses forced by injection
+  kFaultShmRetries,     ///< shm allocation retries before success/degrade
+  kFaultStalls,         ///< straggler stalls injected
+  kFaultFlagDelays,     ///< delayed flag publications
+  kFaultFlagDrops,      ///< dropped flag publications
+  kFaultFallbacks,      ///< owners degraded down the mechanism chain
   kCount_  // sentinel
 };
 

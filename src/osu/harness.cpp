@@ -1,6 +1,7 @@
 #include "osu/harness.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <thread>
@@ -17,6 +18,17 @@ std::vector<std::size_t> default_sizes(std::size_t min_bytes,
   std::vector<std::size_t> sizes;
   for (std::size_t s = min_bytes; s <= max_bytes; s *= 2) sizes.push_back(s);
   return sizes;
+}
+
+int guarded_main(const std::function<int()>& body) noexcept {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
+  }
+  return 1;
 }
 
 void run_points(std::size_t n, int jobs,

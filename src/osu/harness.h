@@ -39,6 +39,12 @@ struct SizeResult {
 std::vector<std::size_t> default_sizes(std::size_t min_bytes,
                                        std::size_t max_bytes);
 
+/// Runs `body` (a benchmark's whole main) and converts any escaping
+/// exception — verification mismatch, watchdog abort, bad flags — into an
+/// error line on stderr and exit code 1, so shell pipelines and CI observe
+/// failures instead of an unwound stack trace with an undefined status.
+int guarded_main(const std::function<int()>& body) noexcept;
+
 /// Executes fn(i) for every i in [0, n) over a pool of `jobs` host worker
 /// threads (`jobs <= 1` runs inline on the caller, in index order;
 /// `jobs == 0` means one per host core). Points must be independent — in

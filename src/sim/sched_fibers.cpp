@@ -265,6 +265,11 @@ class FiberScheduler final : public VirtualScheduler {
 
   void abort_all() override { aborted_ = true; }
 
+  void set_channel_namer(
+      std::function<std::string(const void*)> namer) override {
+    state_.set_channel_namer(std::move(namer));
+  }
+
   int n_ranks() const noexcept override { return state_.n(); }
   SimBackend backend() const noexcept override { return SimBackend::kFiber; }
 

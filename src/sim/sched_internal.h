@@ -242,6 +242,12 @@ class SchedState {
     return {true, pick_or_deadlock()};
   }
 
+  /// Names wait channels in the deadlock report (the machine wires the
+  /// verifier's flag registry in); empty result falls back to the address.
+  void set_channel_namer(std::function<std::string(const void*)> namer) {
+    namer_ = std::move(namer);
+  }
+
   /// Human-readable dump of every rank's state, for the deadlock report.
   std::string describe() const {
     std::string os = "virtual-time deadlock; rank states:";
@@ -259,10 +265,20 @@ class SchedState {
           os += "running";
           break;
         case Status::kBlocked: {
-          char buf[32];
-          std::snprintf(buf, sizeof buf, "%p", t.channel);
-          os += t.channel == barrier_channel() ? "blocked@barrier"
-                                               : std::string("blocked@") + buf;
+          std::string chan;
+          if (t.channel == barrier_channel()) {
+            chan = "barrier";
+          } else {
+            if (namer_) chan = namer_(t.channel);
+            if (!chan.empty()) {
+              chan = "'" + chan + "'";
+            } else {
+              char buf[32];
+              std::snprintf(buf, sizeof buf, "%p", t.channel);
+              chan = buf;
+            }
+          }
+          os += "blocked@" + chan;
           break;
         }
         case Status::kDone:
@@ -325,6 +341,7 @@ class SchedState {
   }
 
   std::vector<RankState> ranks_;
+  std::function<std::string(const void*)> namer_;
   ReadyHeap heap_;
   std::unordered_map<const void*, std::vector<int>> waiters_;
   std::vector<int> dirty_;  ///< notified ranks pending re-evaluation

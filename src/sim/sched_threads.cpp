@@ -105,6 +105,11 @@ class ThreadScheduler final : public VirtualScheduler {
     return SimBackend::kThreads;
   }
 
+  void set_channel_namer(
+      std::function<std::string(const void*)> namer) override {
+    state_.set_channel_namer(std::move(namer));
+  }
+
  private:
   void worker(const std::function<void(int)>& body, int r) {
     bool started = false;

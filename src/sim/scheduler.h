@@ -34,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <type_traits>
 
 namespace xhc::sim {
@@ -112,6 +113,12 @@ class VirtualScheduler {
   /// scheduler calls throw, so the remaining ranks unwind instead of
   /// waiting forever on flags that will never be stored.
   virtual void abort_all() = 0;
+
+  /// Installs a channel→name mapping used by the deadlock report, so a
+  /// blocked rank is described as blocked@'ctl0/h0.announce' instead of a
+  /// raw address. Empty result falls back to the address. Call before run().
+  virtual void set_channel_namer(
+      std::function<std::string(const void*)> namer) = 0;
 
   // -- observers ------------------------------------------------------------
   virtual int n_ranks() const noexcept = 0;

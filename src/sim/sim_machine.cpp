@@ -328,6 +328,10 @@ mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {
   const int n = n_ranks();
   const double run_epoch = epoch_;
   sched_ = VirtualScheduler::create(n, run_epoch, backend_);
+  // Deadlock reports name blocked channels via the verifier's flag
+  // registry (flag waits use the flag's address as the channel).
+  sched_->set_channel_namer(
+      [this](const void* chan) { return verify_ledger().flag_name(chan); });
 
   mach::RunResult result;
   result.rank_time.assign(static_cast<std::size_t>(n), 0.0);

@@ -1,17 +1,42 @@
 #include "smsc/endpoint.h"
 
+#include "fault/fault.h"
 #include "util/check.h"
 
 namespace xhc::smsc {
 
-Endpoint::Endpoint(Mechanism mech, bool use_reg_cache)
-    : mech_(mech), costs_(costs_for(mech)), use_reg_cache_(use_reg_cache) {}
+Endpoint::Endpoint(Mechanism mech, bool use_reg_cache,
+                   std::size_t cache_capacity)
+    : mech_(mech),
+      costs_(costs_for(mech)),
+      use_reg_cache_(use_reg_cache),
+      cache_(cache_capacity) {}
+
+Mechanism Endpoint::effective_mechanism(int owner) const noexcept {
+  auto it = degraded_.find(owner);
+  return it == degraded_.end() ? mech_ : it->second;
+}
+
+void Endpoint::book(obs::Counter c, std::uint64_t n) {
+  if (obs_ != nullptr) obs_->metrics().add(obs_rank_, c, n);
+}
 
 void Endpoint::expose(mach::Ctx& ctx, const void* buf, std::size_t len) {
   if (!costs_.mapping) return;
   const std::pair<int, const void*> key{ctx.rank(), buf};
   auto it = exposed_.find(key);
   if (it != exposed_.end() && it->second >= len) return;
+  if (fault_ != nullptr) {
+    // An xpmem_make failure is transient (resource pressure); retry a
+    // bounded number of times, paying the syscall each attempt. If it keeps
+    // failing, the readers' attaches will fail and degrade the chain there.
+    int tries = 0;
+    while (tries < 3 && fault_->expose_fails(ctx.rank())) {
+      ctx.charge(costs_.expose);
+      book(obs::Counter::kFaultExposeFails, 1);
+      ++tries;
+    }
+  }
   exposed_[key] = len;
   ctx.charge(costs_.expose);
 }
@@ -21,29 +46,64 @@ void Endpoint::charge_attach(mach::Ctx& ctx, std::size_t len) {
              static_cast<double>(pages_of(len)) * costs_.page_fault);
 }
 
+void Endpoint::degrade(mach::Ctx& ctx, int owner, int chain_depth,
+                       std::size_t len) {
+  // The failed attach still cost a syscall, and every cached mapping of
+  // this owner is now invalid.
+  ctx.charge(costs_.attach_syscall);
+  const std::size_t evicted = cache_.erase_owner(owner);
+  book(obs::Counter::kRegCacheEvictions, evicted);
+  Mechanism target = next_mechanism(mech_);
+  if (chain_depth >= 2) target = Mechanism::kCico;
+  degraded_[owner] = target;
+  book(obs::Counter::kFaultAttachFails, 1);
+  book(obs::Counter::kFaultFallbacks, 1);
+  XHC_TRACE(obs_ != nullptr ? &obs_->trace() : nullptr, ctx, "fault",
+            "attach.fallback", len);
+}
+
 const void* Endpoint::attach(mach::Ctx& ctx, int owner, const void* buf,
                              std::size_t len) {
   XHC_REQUIRE(buf != nullptr, "attach of null buffer");
-  if (!costs_.mapping) {
-    // CMA/KNEM/CICO have no mapping concept; per-op costs apply instead.
+  if (!costs_.mapping || degraded_.find(owner) != degraded_.end()) {
+    // CMA/KNEM/CICO (and degraded owners) have no mapping concept; per-op
+    // costs apply instead. Threads share the address space, so the peer
+    // buffer stays directly addressable.
     return buf;
+  }
+  if (fault_ != nullptr) {
+    const int depth = fault_->attach_failure_depth(ctx.rank(), owner);
+    if (depth > 0) {
+      degrade(ctx, owner, depth, len);
+      return buf;
+    }
   }
   if (obs_ != nullptr) {
     obs_->metrics().add(obs_rank_, obs::Counter::kAttachBytes, len);
   }
   if (use_reg_cache_) {
-    if (cache_.lookup(owner, buf, len)) {
+    const bool forced_miss =
+        fault_ != nullptr && fault_->force_reg_miss(ctx.rank(), owner);
+    if (!forced_miss && cache_.lookup(owner, buf, len)) {
       ctx.charge(costs_.cache_lookup);
       if (obs_ != nullptr) {
         obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheHits, 1);
       }
     } else {
+      if (forced_miss) {
+        cache_.count_forced_miss();
+        book(obs::Counter::kFaultRegMissForced, 1);
+      }
       XHC_TRACE(obs_ != nullptr ? &obs_->trace() : nullptr, ctx, "smsc",
                 "attach.miss", len);
       charge_attach(ctx, len);
-      cache_.insert(owner, buf, len);
+      const std::size_t evicted = cache_.insert(owner, buf, len);
       if (obs_ != nullptr) {
         obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheMisses, 1);
+        if (evicted != 0) {
+          obs_->metrics().add(obs_rank_, obs::Counter::kRegCacheEvictions,
+                              evicted);
+        }
       }
     }
   } else {
@@ -60,12 +120,26 @@ void* Endpoint::attach_mut(mach::Ctx& ctx, int owner, void* buf,
       attach(ctx, owner, static_cast<const void*>(buf), len));
 }
 
-void Endpoint::charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks) {
-  if (costs_.op_syscall == 0.0 && costs_.op_per_page == 0.0) return;
+void Endpoint::charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks,
+                         int owner) {
+  MechanismCosts costs = costs_;
+  if (owner >= 0) {
+    auto it = degraded_.find(owner);
+    if (it != degraded_.end()) {
+      if (it->second == Mechanism::kCico) {
+        // Bounce through a shared segment: two copies plus per-op setup.
+        ctx.charge(kCicoBounceBase +
+                   static_cast<double>(bytes) * kCicoBouncePerByte);
+        return;
+      }
+      costs = costs_for(it->second);
+    }
+  }
+  if (costs.op_syscall == 0.0 && costs.op_per_page == 0.0) return;
   const double contention =
-      1.0 + costs_.lock_coef * static_cast<double>(node_ranks - 1);
-  ctx.charge(costs_.op_syscall +
-             static_cast<double>(pages_of(bytes)) * costs_.op_per_page *
+      1.0 + costs.lock_coef * static_cast<double>(node_ranks - 1);
+  ctx.charge(costs.op_syscall +
+             static_cast<double>(pages_of(bytes)) * costs.op_per_page *
                  contention);
 }
 

@@ -6,6 +6,13 @@
 // the per-operation kernel path of CMA/KNEM. On the thread-backed machines
 // the returned pointer is the peer's actual buffer — precisely the
 // load/store visibility XPMEM provides between processes.
+//
+// Fault tolerance: when the fault layer reports a persistent attach failure
+// for an owner, the endpoint degrades that owner along the
+// XPMEM -> CMA -> CICO chain (DESIGN.md § Fault injection & degradation).
+// Degraded owners remain correct — the pointer sharing the thread machines
+// provide never fails — but pay the cheaper mechanism's per-operation costs
+// and lose their cached mappings.
 #pragma once
 
 #include "mach/machine.h"
@@ -13,18 +20,31 @@
 #include "smsc/mechanism.h"
 #include "smsc/reg_cache.h"
 
+namespace xhc::fault {
+class Injector;
+}
+
 namespace xhc::smsc {
 
 class Endpoint {
  public:
   /// `use_reg_cache=false` reproduces the paper's Fig. 3 dashed variant:
-  /// XPMEM pays attach+detach on every operation.
-  explicit Endpoint(Mechanism mech, bool use_reg_cache = true);
+  /// XPMEM pays attach+detach on every operation. `cache_capacity` bounds
+  /// the registration cache (LRU beyond it).
+  explicit Endpoint(Mechanism mech, bool use_reg_cache = true,
+                    std::size_t cache_capacity = RegCache::kDefaultCapacity);
 
   Mechanism mechanism() const noexcept { return mech_; }
   bool single_copy() const noexcept { return mech_ != Mechanism::kCico; }
   /// True when reductions may read the peer buffer in place (XPMEM only).
   bool can_map() const noexcept { return costs_.mapping; }
+
+  /// Mechanism actually in use for `owner`'s buffers, after any fault-driven
+  /// degradation.
+  Mechanism effective_mechanism(int owner) const noexcept;
+  bool degraded(int owner) const noexcept {
+    return degraded_.find(owner) != degraded_.end();
+  }
 
   /// Owner-side: expose [buf, buf+len). Charged once per buffer (the owner
   /// keeps its own bookkeeping of exposed ranges).
@@ -38,7 +58,11 @@ class Endpoint {
 
   /// Per-operation kernel cost for copy-through mechanisms (CMA/KNEM);
   /// no-op for XPMEM/CICO. `node_ranks` scales the mm-lock contention.
-  void charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks);
+  /// Pass the buffer owner's rank so a degraded owner is charged its
+  /// fallback mechanism's per-op costs instead (-1: no owner context, use
+  /// the endpoint's base mechanism).
+  void charge_op(mach::Ctx& ctx, std::size_t bytes, int node_ranks,
+                 int owner = -1);
 
   /// Detaches everything (communicator teardown); charges detach costs.
   void detach_all(mach::Ctx& ctx);
@@ -56,16 +80,26 @@ class Endpoint {
     obs_rank_ = rank;
   }
 
+  /// Fault source consulted on expose/attach. Pass nullptr (the default)
+  /// for the zero-cost healthy path.
+  void set_fault_injector(fault::Injector* injector) noexcept {
+    fault_ = injector;
+  }
+
  private:
   void charge_attach(mach::Ctx& ctx, std::size_t len);
+  void book(obs::Counter c, std::uint64_t n);
+  void degrade(mach::Ctx& ctx, int owner, int chain_depth, std::size_t len);
 
   Mechanism mech_;
   MechanismCosts costs_;
   bool use_reg_cache_;
   RegCache cache_;
   std::map<std::pair<int, const void*>, std::size_t> exposed_;
+  std::map<int, Mechanism> degraded_;
   obs::Observer* obs_ = nullptr;
   int obs_rank_ = 0;
+  fault::Injector* fault_ = nullptr;
 };
 
 }  // namespace xhc::smsc

@@ -27,6 +27,18 @@ Mechanism mechanism_from(std::string_view name) {
   return Mechanism::kCico;
 }
 
+Mechanism next_mechanism(Mechanism m) noexcept {
+  switch (m) {
+    case Mechanism::kXpmem:
+      return Mechanism::kCma;
+    case Mechanism::kCma:
+    case Mechanism::kKnem:
+    case Mechanism::kCico:
+      return Mechanism::kCico;
+  }
+  return Mechanism::kCico;
+}
+
 MechanismCosts costs_for(Mechanism m) {
   constexpr double kUs = 1e-6;
   MechanismCosts c;

@@ -48,6 +48,17 @@ struct MechanismCosts {
 
 MechanismCosts costs_for(Mechanism m);
 
+/// Degradation order on persistent mapping failure (DESIGN.md § Fault
+/// injection & degradation): XPMEM falls back to CMA's per-operation kernel
+/// copies; CMA and KNEM fall back to the CICO bounce; CICO is terminal.
+Mechanism next_mechanism(Mechanism m) noexcept;
+
+/// Cost of bouncing one operation through a shared CICO segment when an
+/// owner has been degraded below every kernel mechanism: two full copies
+/// (in + out) at shared-memory bandwidth plus a per-op constant.
+inline constexpr double kCicoBounceBase = 0.3e-6;
+inline constexpr double kCicoBouncePerByte = 2.0 / 8.0e9;
+
 inline constexpr std::size_t kPageSize = 4096;
 
 inline std::size_t pages_of(std::size_t bytes) {

@@ -10,8 +10,9 @@ bool RegCache::lookup(int owner, const void* buf, std::size_t len) {
     if (it->first.first == owner) {
       const auto* base = static_cast<const char*>(it->first.second);
       const auto* req = static_cast<const char*>(buf);
-      if (req >= base && req + len <= base + it->second) {
+      if (req >= base && req + len <= base + it->second.len) {
         ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
         return true;
       }
     }
@@ -20,8 +21,44 @@ bool RegCache::lookup(int owner, const void* buf, std::size_t len) {
   return false;
 }
 
-void RegCache::insert(int owner, const void* buf, std::size_t len) {
-  ranges_[{owner, buf}] = len;
+std::size_t RegCache::insert(int owner, const void* buf, std::size_t len) {
+  const Key key{owner, buf};
+  auto it = ranges_.find(key);
+  if (it != ranges_.end()) {
+    it->second.len = len;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return 0;
+  }
+  lru_.push_front(key);
+  ranges_[key] = Entry{len, lru_.begin()};
+  std::size_t evicted = 0;
+  while (ranges_.size() > capacity_) {
+    ranges_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::size_t RegCache::erase_owner(int owner) {
+  std::size_t n = 0;
+  auto it = ranges_.lower_bound({owner, nullptr});
+  while (it != ranges_.end() && it->first.first == owner) {
+    lru_.erase(it->second.lru);
+    it = ranges_.erase(it);
+    ++n;
+  }
+  stats_.evictions += n;
+  return n;
+}
+
+std::size_t RegCache::clear() {
+  const std::size_t n = ranges_.size();
+  stats_.evictions += n;
+  ranges_.clear();
+  lru_.clear();
+  return n;
 }
 
 }  // namespace xhc::smsc

@@ -4,10 +4,19 @@
 // once per (owner, buffer) instead of once per operation. The paper shows
 // that disabling it makes XPMEM worse than CMA and KNEM (Fig. 3, dashed),
 // and that real applications enjoy hit ratios above 99% (§V-D3).
+//
+// The cache is bounded: beyond `capacity` mappings the least-recently-used
+// one is evicted (and counted), modeling the kernel resource limits a real
+// registration cache runs against. The default capacity is far above any
+// communicator's working set here, so eviction only engages when a test or
+// deployment tightens it. Evictions also arise from the fault layer's
+// degradation path: when an owner's mechanism falls back below XPMEM, its
+// mappings are invalidated with erase_owner().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <utility>
 
@@ -15,10 +24,16 @@ namespace xhc::smsc {
 
 class RegCache {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit RegCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1) {}
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;  ///< mappings dropped (clear / teardown)
+    std::uint64_t evictions = 0;  ///< mappings dropped (LRU / owner
+                                  ///< invalidation / clear)
 
     double hit_ratio() const noexcept {
       const std::uint64_t total = hits + misses;
@@ -28,28 +43,45 @@ class RegCache {
   };
 
   /// Looks up a mapping of [buf, buf+len) owned by `owner`. Returns true on
-  /// hit. On miss the caller performs the attach and must then insert().
+  /// hit (and refreshes the entry's recency). On miss the caller performs
+  /// the attach and must then insert().
   bool lookup(int owner, const void* buf, std::size_t len);
 
-  void insert(int owner, const void* buf, std::size_t len);
+  /// Caches [buf, buf+len); evicts the least-recently-used mapping when the
+  /// capacity is exceeded. Returns the number of mappings evicted.
+  std::size_t insert(int owner, const void* buf, std::size_t len);
+
+  /// Books a miss that bypassed lookup() (forced by the fault layer), so
+  /// hit_ratio stays truthful.
+  void count_forced_miss() noexcept { ++stats_.misses; }
+
+  /// Drops every mapping of `owner`'s buffers (mechanism degradation: the
+  /// mappings are no longer usable). Counted as evictions; returns how many
+  /// were dropped.
+  std::size_t erase_owner(int owner);
 
   /// Drops every cached mapping (communicator teardown); counted as
   /// evictions. Returns the number of mappings dropped.
-  std::size_t clear() {
-    const std::size_t n = ranges_.size();
-    stats_.evictions += n;
-    ranges_.clear();
-    return n;
-  }
+  std::size_t clear();
 
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
   std::size_t size() const noexcept { return ranges_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   // (owner, base) -> length. A lookup hits when a cached range fully covers
-  // the requested one.
-  std::map<std::pair<int, const void*>, std::size_t> ranges_;
+  // the requested one. An ordered map keeps the greatest-base-below lookup;
+  // the intrusive LRU list orders entries by recency (front = most recent).
+  using Key = std::pair<int, const void*>;
+  struct Entry {
+    std::size_t len = 0;
+    std::list<Key>::iterator lru;
+  };
+
+  std::map<Key, Entry> ranges_;
+  std::list<Key> lru_;
+  std::size_t capacity_;
   Stats stats_;
 };
 

@@ -328,4 +328,36 @@ void Ledger::reset() {
   loads_ = 0;
 }
 
+std::string Ledger::flag_name(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.upper_bound(addr);
+  if (it == records_.begin()) return "";
+  --it;
+  // Flags are registered by base address; the record applies when `addr`
+  // falls inside the flag object itself.
+  const auto* base = static_cast<const char*>(it->first);
+  const auto* p = static_cast<const char*>(addr);
+  if (p < base || p >= base + sizeof(mach::Flag)) return "";
+  return it->second.name;
+}
+
+std::string Ledger::flag_snapshot(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.upper_bound(addr);
+  if (it == records_.begin()) return "";
+  --it;
+  const auto* base = static_cast<const char*>(it->first);
+  const auto* p = static_cast<const char*>(addr);
+  if (p < base || p >= base + sizeof(mach::Flag)) return "";
+  const Record& rec = it->second;
+  std::string s = flag_id(rec.name, it->first);
+  if (rec.stored) {
+    s += " writer=" + std::to_string(rec.writer) +
+         " last_value=" + std::to_string(rec.last_value);
+  } else {
+    s += " (never stored)";
+  }
+  return s;
+}
+
 }  // namespace xhc::verify

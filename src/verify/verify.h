@@ -147,6 +147,14 @@ class Ledger {
   Summary summary() const;
   void reset();
 
+  /// Registered name of the flag at `addr` (the greatest record at or below
+  /// it — flags are registered by base address), or "" when untracked. Used
+  /// by the watchdog / deadlock reports to name blocked channels.
+  std::string flag_name(const void* addr) const;
+  /// One-line dump of the record covering `addr` (name, writer, last value)
+  /// for stall diagnostics; "" when untracked.
+  std::string flag_snapshot(const void* addr) const;
+
   Ledger() = default;
   Ledger(const Ledger&) = delete;
   Ledger& operator=(const Ledger&) = delete;

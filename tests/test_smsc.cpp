@@ -76,9 +76,78 @@ TEST(RegCache, ClearDropsMappings) {
   RegCache cache;
   char buf[64];
   cache.insert(0, buf, 64);
-  cache.clear();
+  EXPECT_EQ(cache.clear(), 1u);
   EXPECT_FALSE(cache.lookup(0, buf, 64));
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(RegCache, CapacityBoundsEnforcedLru) {
+  RegCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  char a[64], b[64], c[64];
+  EXPECT_EQ(cache.insert(0, a, 64), 0u);
+  EXPECT_EQ(cache.insert(0, b, 64), 0u);
+  EXPECT_EQ(cache.insert(0, c, 64), 1u);  // evicts a (oldest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup(0, a, 64));
+  EXPECT_TRUE(cache.lookup(0, b, 64));
+  EXPECT_TRUE(cache.lookup(0, c, 64));
+}
+
+TEST(RegCache, LookupRefreshesRecency) {
+  RegCache cache(2);
+  char a[64], b[64], c[64];
+  cache.insert(0, a, 64);
+  cache.insert(0, b, 64);
+  EXPECT_TRUE(cache.lookup(0, a, 64));  // a becomes most-recent
+  cache.insert(0, c, 64);               // so b is the victim
+  EXPECT_TRUE(cache.lookup(0, a, 64));
+  EXPECT_FALSE(cache.lookup(0, b, 64));
+  EXPECT_TRUE(cache.lookup(0, c, 64));
+}
+
+TEST(RegCache, ReinsertUpdatesLengthWithoutEviction) {
+  RegCache cache(2);
+  char a[256];
+  cache.insert(0, a, 64);
+  EXPECT_FALSE(cache.lookup(0, a, 256));    // cached range too short
+  EXPECT_EQ(cache.insert(0, a, 256), 0u);   // grow in place
+  EXPECT_TRUE(cache.lookup(0, a, 256));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegCache, EraseOwnerInvalidatesOnlyThatOwner) {
+  RegCache cache;
+  char a[64], b[64];
+  cache.insert(1, a, 64);
+  cache.insert(1, b, 64);
+  cache.insert(2, a, 64);
+  EXPECT_EQ(cache.erase_owner(1), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_FALSE(cache.lookup(1, a, 64));
+  EXPECT_TRUE(cache.lookup(2, a, 64));
+  EXPECT_EQ(cache.erase_owner(7), 0u);  // unknown owner: no-op
+}
+
+TEST(RegCache, ForcedMissesCountAgainstHitRatio) {
+  RegCache cache;
+  char a[64];
+  cache.insert(0, a, 64);
+  EXPECT_TRUE(cache.lookup(0, a, 64));
+  cache.count_forced_miss();
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().hit_ratio(), 0.5, 1e-12);
+}
+
+TEST(RegCache, ZeroCapacityClampsToOne) {
+  RegCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  char a[64], b[64];
+  cache.insert(0, a, 64);
+  cache.insert(0, b, 64);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------
