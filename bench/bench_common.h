@@ -12,9 +12,12 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "coll/registry.h"
 #include "fault/fault.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/observer.h"
 #include "osu/harness.h"
@@ -31,6 +34,9 @@ struct BenchArgs {
   bool csv = false;
   bool metrics = false;    ///< --metrics: print span/counter summary tables
   std::string trace_out;   ///< --trace-out=<file>: Chrome trace JSON path
+  bool hist = false;       ///< --hist: print latency histogram tables
+  std::string hist_out;    ///< --hist-out=<file>: histogram JSON path
+  bool critpath = false;   ///< --critpath: print blocking-chain report
   std::string preset;      ///< --preset=<name>: run only this paper system
   int jobs = 1;            ///< --jobs=<n>: host workers for the sim sweep
                            ///  (0 = one per host core)
@@ -52,6 +58,9 @@ struct BenchArgs {
     b.csv = args.has("csv");
     b.metrics = args.has("metrics");
     b.trace_out = args.get("trace-out", "");
+    b.hist = args.has("hist");
+    b.hist_out = args.get("hist-out", "");
+    b.critpath = args.has("critpath");
     b.preset = args.get("preset", "");
     b.jobs = static_cast<int>(args.get_long("jobs", 1));
     b.verify = args.has("verify");
@@ -70,12 +79,18 @@ struct BenchArgs {
   /// tuning a bench is about to build a component from.
   void apply_tuning(coll::Tuning& tuning) const {
     tuning.trace = observe();
+    tuning.hist = hist_on();
     tuning.faults = faults;
     tuning.fault_seed = fault_seed;
   }
 
-  /// Observability requested at all (either output form)?
-  bool observe() const { return metrics || !trace_out.empty(); }
+  /// Observability requested at all (any output form)?
+  bool observe() const {
+    return metrics || !trace_out.empty() || hist_on() || critpath;
+  }
+
+  /// Latency histograms requested (either output form)?
+  bool hist_on() const { return hist || !hist_out.empty(); }
 
   /// The sweeps allocate and free hundreds of multi-megabyte payload
   /// buffers. glibc's default serves those straight from mmap, so every
@@ -175,6 +190,59 @@ inline void emit_observability(const BenchArgs& args, const obs::Observer& o,
     std::cout << "\n== Metrics, " << label << " ==\n";
     o.metrics_table().print(std::cout);
   }
+  std::cout.flush();
+}
+
+/// Attaches the observer's histogram set to the machine's flag-wait hook.
+/// Call before the sweep, outside any parallel region; a null observer or
+/// histograms not requested leaves the hook disabled.
+inline void wire_wait_hist(const BenchArgs& args, mach::Machine& machine,
+                           obs::Observer* o) {
+  if (args.hist_on() && o != nullptr) machine.set_wait_hist(&o->hists());
+}
+
+/// Prints the histogram table (--hist) and writes the JSON (--hist-out) for
+/// one finished system run. `per_comp` holds the per-size op histograms each
+/// component's sweep collected (prefixed "comp/size"); the observer, when
+/// present, contributes the site-level kinds (flag_wait, wait_site, chunk,
+/// op) accumulated across the system's components.
+inline void emit_hists(
+    const BenchArgs& args, const std::string& label,
+    const std::vector<std::pair<std::string, std::vector<obs::NamedHist>>>&
+        per_comp,
+    const obs::Observer* o) {
+  if (!args.hist_on()) return;
+  std::vector<obs::NamedHist> all;
+  for (const auto& [comp, hs] : per_comp) {
+    for (const auto& nh : hs) all.push_back({comp + "/" + nh.name, nh.hist});
+  }
+  if (o != nullptr) {
+    for (auto& nh : obs::named_hists(o->hists())) all.push_back(std::move(nh));
+  }
+  if (args.hist) {
+    std::cout << "\n== Hist, " << label << " ==\n";
+    const util::Table table = obs::hist_table(all);
+    if (args.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+  if (!args.hist_out.empty()) {
+    const std::string path = trace_path_for(args.hist_out, label);
+    obs::write_hist_json_file(path, all, label);
+    std::cout << "hist written: " << path << " (" << all.size()
+              << " histograms)\n";
+  }
+  std::cout.flush();
+}
+
+/// Prints the critical-path report (--critpath) for one finished system run.
+inline void emit_critpath(const BenchArgs& args, const obs::Observer& o,
+                          const std::string& label) {
+  if (!args.critpath) return;
+  std::cout << "\n== Critical path, " << label << " ==\n";
+  obs::write_critpath_report(std::cout, obs::analyze_critical_paths(o.trace()));
   std::cout.flush();
 }
 

@@ -18,6 +18,9 @@ static int run(int argc, char** argv) {
   // pool; tables are assembled by index so output matches sequential runs.
   std::vector<std::vector<std::vector<osu::SizeResult>>> results(
       systems.size(), std::vector<std::vector<osu::SizeResult>>(comps.size()));
+  std::vector<std::unique_ptr<obs::Observer>> observers(systems.size());
+  std::vector<std::vector<obs::NamedHist>> hists(systems.size() *
+                                                 comps.size());
 
   osu::run_points(
       systems.size() * comps.size(), args.effective_jobs(),
@@ -25,10 +28,22 @@ static int run(int argc, char** argv) {
         const std::size_t si = i / comps.size();
         const std::size_t ci = i % comps.size();
         auto machine = bench::make_system(systems[si]);
-        auto comp = coll::make_component(comps[ci], *machine);
+        coll::Tuning tuning;
+        args.apply_tuning(tuning);
+        auto comp = coll::make_component(comps[ci], *machine, tuning);
         osu::Config cfg;
         cfg.warmup = 1;
         cfg.iters = args.quick ? 1 : 2;
+        if (args.observe()) {
+          // Observability forces effective_jobs()==1, so sharing one
+          // Observer across a system's components stays race-free.
+          if (!observers[si]) {
+            observers[si] = std::make_unique<obs::Observer>(machine->n_ranks());
+          }
+          cfg.observer = observers[si].get();
+        }
+        if (args.hist_on()) cfg.size_hists = &hists[i];
+        bench::wire_wait_hist(args, *machine, cfg.observer);
         results[si][ci] = osu::allreduce_sweep(*machine, *comp, sizes, cfg);
       });
 
@@ -48,6 +63,21 @@ static int run(int argc, char** argv) {
     std::string title = "Fig. 11: MPI_Allreduce latency (us), ";
     title += systems[si];
     bench::emit(args, table, title);
+    if (args.hist_on()) {
+      std::vector<std::pair<std::string, std::vector<obs::NamedHist>>>
+          per_comp;
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        per_comp.emplace_back(std::string(comps[ci]),
+                              std::move(hists[si * comps.size() + ci]));
+      }
+      bench::emit_hists(args, std::string(systems[si]), per_comp,
+                        observers[si].get());
+    }
+    if (observers[si]) {
+      bench::emit_observability(args, *observers[si],
+                                std::string(systems[si]));
+      bench::emit_critpath(args, *observers[si], std::string(systems[si]));
+    }
   }
   return 0;
 }

@@ -22,6 +22,8 @@ static int run(int argc, char** argv) {
   std::vector<std::vector<std::vector<osu::SizeResult>>> results(
       systems.size(), std::vector<std::vector<osu::SizeResult>>(comps.size()));
   std::vector<std::unique_ptr<obs::Observer>> observers(systems.size());
+  std::vector<std::vector<obs::NamedHist>> hists(systems.size() *
+                                                 comps.size());
 
   osu::run_points(
       systems.size() * comps.size(), args.effective_jobs(),
@@ -44,6 +46,8 @@ static int run(int argc, char** argv) {
           }
           cfg.observer = observers[si].get();
         }
+        if (args.hist_on()) cfg.size_hists = &hists[i];
+        bench::wire_wait_hist(args, *machine, cfg.observer);
         results[si][ci] = osu::bcast_sweep(*machine, *comp, sizes, cfg);
       });
 
@@ -63,9 +67,20 @@ static int run(int argc, char** argv) {
     std::string title = "Fig. 8: MPI_Bcast latency (us), ";
     title += systems[si];
     bench::emit(args, table, title);
+    if (args.hist_on()) {
+      std::vector<std::pair<std::string, std::vector<obs::NamedHist>>>
+          per_comp;
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        per_comp.emplace_back(std::string(comps[ci]),
+                              std::move(hists[si * comps.size() + ci]));
+      }
+      bench::emit_hists(args, std::string(systems[si]), per_comp,
+                        observers[si].get());
+    }
     if (observers[si]) {
       bench::emit_observability(args, *observers[si],
                                 std::string(systems[si]));
+      bench::emit_critpath(args, *observers[si], std::string(systems[si]));
     }
   }
   return 0;

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Benchmark regression store: records figure sweeps into BENCH_perf.json.
+
+Runs the per-figure bench binaries in CSV mode, parses the section tables,
+reduces k repetitions to per-point medians, and appends one run entry to a
+JSON store (or writes a standalone candidate file for bench_compare).
+
+    scripts/bench_store.py record [options]
+
+Options:
+    --store=FILE     append the run to FILE (default BENCH_perf.json)
+    --out=FILE       write a one-run candidate store to FILE instead
+    --build=DIR      build tree holding bench/ binaries (default build)
+    --targets=LIST   comma list of fig8,fig11 (default both)
+    --presets=LIST   comma list of topology presets ('' = bench defaults)
+    --quick          pass --quick to the benches (default on; --full negates)
+    --k=N            repetitions per target, median per point (default 3)
+    --fault=SPEC     forward a fault-injection spec (self-test lever)
+    --note=TEXT      free-form annotation stored with the run
+
+The store is {"version": 1, "runs": [...]}; each run carries a config
+fingerprint (targets, presets, quick, sim backend) that bench_compare uses
+to pick a comparable baseline, plus the flat point map
+{"fig8/<preset>/<component>/<size>": latency_us}. The sweeps execute on the
+deterministic simulator, so medians are exact and cross-machine stable.
+
+Stdlib only; no third-party imports.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+TARGETS = {
+    "fig8": "bench_fig8_bcast",
+    "fig11": "bench_fig11_allreduce",
+}
+
+
+def fail(msg):
+    print("bench_store: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_args(argv):
+    opts = {
+        "store": "BENCH_perf.json",
+        "out": None,
+        "build": "build",
+        "targets": "fig8,fig11",
+        "presets": "",
+        "quick": True,
+        "k": 3,
+        "fault": "",
+        "note": "",
+    }
+    if not argv or argv[0] != "record":
+        fail("usage: bench_store.py record [--store=F|--out=F] [--build=DIR] "
+             "[--targets=L] [--presets=L] [--quick|--full] [--k=N] "
+             "[--fault=SPEC] [--note=TEXT]")
+    for a in argv[1:]:
+        if a == "--quick":
+            opts["quick"] = True
+        elif a == "--full":
+            opts["quick"] = False
+        elif a.startswith("--") and "=" in a:
+            key, val = a[2:].split("=", 1)
+            if key not in opts:
+                fail("unknown option --%s" % key)
+            opts[key] = int(val) if key == "k" else val
+        else:
+            fail("unrecognized argument %r" % a)
+    if opts["k"] < 1:
+        fail("--k must be >= 1")
+    return opts
+
+
+def parse_csv_sections(text, fig):
+    """Yields (preset, component, size_label, latency_us) from CSV output.
+
+    Sections look like:
+        == Fig. 8: MPI_Bcast latency (us), mini8 ==
+        Size,xhc,xhc-flat,...
+        4,0.82,0.53,...
+    Non-section chatter (trace/hist notices) is skipped.
+    """
+    points = {}
+    preset = None
+    header = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("==") and "," in line:
+            preset = line.rstrip("= ").rsplit(",", 1)[1].strip()
+            header = None
+            continue
+        if preset is None or not line:
+            continue
+        cells = line.split(",")
+        if header is None:
+            if cells[0] != "Size":
+                fail("expected CSV header after section, got %r" % line)
+            header = cells[1:]
+            continue
+        if len(cells) != len(header) + 1:
+            preset = None  # section ended; trailing chatter
+            continue
+        size = cells[0]
+        for comp, val in zip(header, cells[1:]):
+            points["%s/%s/%s/%s" % (fig, preset, comp, size)] = float(val)
+    return points
+
+
+def run_target(fig, opts):
+    binary = os.path.join(opts["build"], "bench", TARGETS[fig])
+    if not os.path.exists(binary):
+        fail("missing bench binary %s (build first)" % binary)
+    presets = [p for p in opts["presets"].split(",") if p]
+    cmds = []
+    if presets:
+        for p in presets:
+            cmds.append([binary, "--csv", "--jobs=0", "--preset=%s" % p])
+    else:
+        cmds.append([binary, "--csv", "--jobs=0"])
+    if opts["quick"]:
+        for c in cmds:
+            c.append("--quick")
+    if opts["fault"]:
+        for c in cmds:
+            c.append("--fault=%s" % opts["fault"])
+
+    reps = []
+    for _ in range(opts["k"]):
+        points = {}
+        for cmd in cmds:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                fail("%s exited %d:\n%s" % (" ".join(cmd), proc.returncode,
+                                            proc.stderr.strip()))
+            points.update(parse_csv_sections(proc.stdout, fig))
+        if not points:
+            fail("no CSV points parsed from %s" % " ".join(cmds[0]))
+        reps.append(points)
+
+    keys = set(reps[0])
+    for r in reps[1:]:
+        if set(r) != keys:
+            fail("repetitions of %s produced different point sets" % fig)
+    return {k: round(statistics.median(r[k] for r in reps), 4)
+            for k in sorted(keys)}
+
+
+def git_commit():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True)
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def load_store(path):
+    if not os.path.exists(path):
+        return {"version": 1, "runs": []}
+    with open(path) as f:
+        store = json.load(f)
+    if store.get("version") != 1 or not isinstance(store.get("runs"), list):
+        fail("%s is not a version-1 bench store" % path)
+    return store
+
+
+def main(argv):
+    opts = parse_args(argv)
+    targets = [t for t in opts["targets"].split(",") if t]
+    for t in targets:
+        if t not in TARGETS:
+            fail("unknown target %r (have: %s)" % (t, ",".join(TARGETS)))
+
+    points = {}
+    for t in targets:
+        points.update(run_target(t, opts))
+
+    run = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": git_commit(),
+        "config": {
+            "targets": targets,
+            "presets": opts["presets"],
+            "quick": opts["quick"],
+            "backend": os.environ.get("XHC_SIM_BACKEND", "fiber"),
+            "k": opts["k"],
+            "fault": opts["fault"],
+        },
+        "note": opts["note"],
+        "points": points,
+    }
+
+    path = opts["out"] if opts["out"] else opts["store"]
+    store = {"version": 1, "runs": []} if opts["out"] else load_store(path)
+    store["runs"].append(run)
+    with open(path, "w") as f:
+        json.dump(store, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print("bench_store: recorded %d points (%s) -> %s"
+          % (len(points), "+".join(targets), path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,6 +10,8 @@
 #   scripts/check.sh verify     # XHC_VERIFY=ON ledger  (build-verify/)
 #   scripts/check.sh fault      # chaos suite: fixed seed sweep (build/)
 #                               # plus the same under TSan (build-tsan/)
+#   scripts/check.sh bench      # perf regression gate: quick fig8+fig11
+#                               # sweep vs BENCH_perf.json + gate self-test
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh thread -R Obs
@@ -19,6 +21,26 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-}"
 [ $# -gt 0 ] && shift
+
+# Quick fig8+fig11 sweep through the regression gate (DESIGN.md §
+# Observatory): first the self-test proving the gate can fail, then the
+# candidate-vs-committed-baseline comparison. The sweeps run on the
+# deterministic simulator, so the 5% default threshold has no flake margin.
+run_bench_gate() {
+  local build_dir="$1"
+  scripts/bench_gate_selftest.sh "$build_dir"
+  if [ -f BENCH_perf.json ]; then
+    local cand
+    cand="$(mktemp)"
+    # shellcheck disable=SC2064
+    trap "rm -f '$cand'" RETURN
+    scripts/bench_store.py record --out="$cand" --build="$build_dir"
+    scripts/bench_compare --store=BENCH_perf.json --candidate="$cand"
+  else
+    echo "no BENCH_perf.json — recording a baseline (commit it)"
+    scripts/bench_store.py record --build="$build_dir"
+  fi
+}
 
 case "$mode" in
   "")
@@ -64,8 +86,15 @@ case "$mode" in
       -R 'Fault|GuardedMain' "$@")
     exit 0
     ;;
+  bench)
+    cmake -B build -S .
+    cmake --build build -j
+    run_bench_gate build
+    exit 0
+    ;;
   *)
-    echo "usage: $0 [thread|address|undefined|verify|fault] [ctest args...]" >&2
+    echo "usage: $0 [thread|address|undefined|verify|fault|bench]" \
+         "[ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -89,4 +118,11 @@ if [ "$mode" = "" ] || [ "$mode" = thread ]; then
   echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
   XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
     -R 'Sim|Backend|Sched|Collectives|Fault' "$@"
+fi
+
+# The default full run also walks the quick sweeps through the perf gate.
+if [ "$mode" = "" ]; then
+  cd ..
+  echo "== bench regression gate =="
+  run_bench_gate "$build_dir"
 fi

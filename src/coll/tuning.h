@@ -77,6 +77,12 @@ struct Tuning {
   /// unaffected. When true, an attached Observer collects spans + metrics.
   bool trace = false;
 
+  /// Latency-histogram switch (DESIGN.md § Observatory): when true (and
+  /// trace is on, so an Observer is attached), wait sites, chunk loops and
+  /// whole ops additionally record into the Observer's per-rank histogram
+  /// set. Off by default; disabled sites cost one null check.
+  bool hist = false;
+
   /// Fault-injection plan (DESIGN.md § Fault injection & degradation),
   /// parsed by fault::Plan::parse. Empty (default) disables injection
   /// entirely — components hold no injector and fault sites cost one

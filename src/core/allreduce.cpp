@@ -86,7 +86,7 @@ void XhcComponent::pump_own(mach::Ctx& ctx, const CommView& view,
         }
       } else {
         const int red = reducers[ci % n_red];
-        WaitObs obs(*this, ctx, "reduce_done");
+        WaitObs obs(*this, ctx, "reduce_done", m.level, red);
         ctx.flag_wait_ge(*ctl.reduce_done[shape.slot_of(red)], base + hi);
       }
       pos = hi;
@@ -142,6 +142,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
 
   XHC_TRACE(trace_sink(), ctx, "collective",
             deliver_all ? "xhc.allreduce" : "xhc.reduce", bytes);
+  HistTimer op_t(hist_sink(), ctx, obs::HistKind::kOp);
   maybe_stall(ctx, -1);  // operation-entry straggler opportunity (any level)
   const int r = ctx.rank();
   RankState& rs = state(r);
@@ -224,7 +225,10 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     const bool active = my_idx < n_red;
 
     // Leader's result buffer (destination of the group partial).
-    ctx.flag_wait_ge(*ctl.seq[0], s);
+    {
+      WaitObs obs(*this, ctx, "seq_wait", top.level, top.leader);
+      ctx.flag_wait_ge(*ctl.seq[0], s);
+    }
     std::byte* dst;
     const std::byte* leader_contrib = nullptr;
     if (cico) {
@@ -241,12 +245,18 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
       for (std::size_t i = 0; i < reducers.size(); ++i) {
         const int j = reducers[i];
         const int slot = shape.slot_of(j);
-        ctx.flag_wait_ge(*ctl.member_seq[slot], s);
+        {
+          WaitObs obs(*this, ctx, "member_seq_wait", top.level, j);
+          ctx.flag_wait_ge(*ctl.member_seq[slot], s);
+        }
         src[i] = static_cast<const std::byte*>(rs.endpoint->attach(
             ctx, j, ctl.minfo[slot]->contrib, bytes));
       }
       if (top.level == 0) {
-        ctx.flag_wait_ge(*ctl.member_seq[top.leader_slot], s);
+        {
+          WaitObs obs(*this, ctx, "member_seq_wait", top.level, top.leader);
+          ctx.flag_wait_ge(*ctl.member_seq[top.leader_slot], s);
+        }
         leader_contrib = static_cast<const std::byte*>(rs.endpoint->attach(
             ctx, top.leader, ctl.minfo[top.leader_slot]->contrib, bytes));
       }
@@ -264,6 +274,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
       if (active && ci % n_red == my_idx) {
         XHC_TRACE(trace_sink(), ctx, "reduce", "allreduce.reduce_chunk",
                   hi - lo);
+        HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
         count_chunk(ctx, top.level);
         if (top.level == 0) {
           // In-place at the internal root: dst may alias the leader's own
@@ -273,11 +284,14 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
           }
         } else {
           // The destination must already hold the leader's subtree partial.
+          WaitObs obs(*this, ctx, "reduce_ready_wait", top.level, top.leader);
           ctx.flag_wait_ge(*ctl.reduce_ready[top.leader_slot], base + hi);
         }
         const std::size_t n_elems = (hi - lo) / elem;
         for (std::size_t i = 0; i < reducers.size(); ++i) {
           if (top.level > 0 && reducers[i] != r) {
+            WaitObs obs(*this, ctx, "reduce_ready_wait", top.level,
+                        reducers[i]);
             ctx.flag_wait_ge(*ctl.reduce_ready[shape.slot_of(reducers[i])],
                              base + hi);
           }

@@ -26,7 +26,10 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
   GroupCtl& top_ctl = tree_.ctl(top.ctl_id);
 
   // Wait for the leader to join this op and publish its buffer.
-  ctx.flag_wait_ge(*top_ctl.seq[0], s);
+  {
+    WaitObs obs(*this, ctx, "seq_wait", top.level, top.leader);
+    ctx.flag_wait_ge(*top_ctl.seq[0], s);
+  }
   const void* src;
   if (cico) {
     src = cico_[static_cast<std::size_t>(top.leader)].result;
@@ -48,8 +51,29 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
   const std::uint64_t base = rs.bcast_base[static_cast<std::size_t>(
       top.ctl_id)];
 
+  // Which counter the pulled bytes belong to: the CICO path is explicit,
+  // and the single-copy path may have degraded per-owner (XPMEM→CMA→CICO,
+  // DESIGN.md § Fault injection & degradation) — attribute CMA/KNEM bytes
+  // to their own counter so the degradation traffic is visible in metrics.
+  obs::Counter copy_ctr = obs::Counter::kCicoBytes;
+  if (!cico) {
+    switch (rs.endpoint->effective_mechanism(top.leader)) {
+      case smsc::Mechanism::kXpmem:
+        copy_ctr = obs::Counter::kSingleCopyBytes;
+        break;
+      case smsc::Mechanism::kCma:
+      case smsc::Mechanism::kKnem:
+        copy_ctr = obs::Counter::kCmaBytes;
+        break;
+      case smsc::Mechanism::kCico:
+        copy_ctr = obs::Counter::kCicoBytes;
+        break;
+    }
+  }
+
   for (std::size_t lo = 0; lo < bytes;) {
     const std::size_t hi = std::min(bytes, lo + chunk);
+    HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
     maybe_stall(ctx, top.level);
     announce_wait(ctx, top, base + hi);
     rs.endpoint->charge_op(ctx, hi - lo, ctx.size(), cico ? -1 : top.leader);
@@ -58,9 +82,7 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
       ctx.copy(dst + lo, static_cast<const std::byte*>(src) + lo, hi - lo);
     }
     count_chunk(ctx, top.level);
-    book(ctx, cico ? obs::Counter::kCicoBytes
-                    : obs::Counter::kSingleCopyBytes,
-          hi - lo);
+    book(ctx, copy_ctr, hi - lo);
     // Republish to led groups (pipelining across levels, §III-B).
     for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
       const std::uint64_t led_base =
@@ -90,6 +112,7 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
   XHC_REQUIRE(root >= 0 && root < ctx.size(), "bad root ", root);
 
   XHC_TRACE(trace_sink(), ctx, "collective", "xhc.bcast", bytes);
+  HistTimer op_t(hist_sink(), ctx, obs::HistKind::kOp);
   maybe_stall(ctx, -1);  // operation-entry straggler opportunity (any level)
   const int r = ctx.rank();
   RankState& rs = state(r);

@@ -89,6 +89,7 @@ void XhcComponent::barrier(mach::Ctx& ctx) {
     if (m.is_leader) {
       for (const int j : m.members) {
         if (j == r) continue;
+        WaitObs obs(*this, ctx, "member_seq_wait", m.level, j);
         ctx.flag_wait_ge(*ctl.member_seq[shape.slot_of(j)], s);
       }
     } else {
@@ -121,6 +122,9 @@ void XhcComponent::set_observer(obs::Observer* observer) noexcept {
   // and every span/counter site stays a null check.
   coll::Component::set_observer(tuning_.trace ? observer : nullptr);
   obs::Observer* effective = coll::Component::observer();
+  // Histograms ride on the same Observer but have their own knob; without
+  // it every HistTimer / WaitObs histogram site stays a null check.
+  hist_ = effective != nullptr && tuning_.hist ? &effective->hists() : nullptr;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     ranks_[r]->endpoint->set_observer(effective, static_cast<int>(r));
   }
@@ -176,7 +180,7 @@ void XhcComponent::announce_publish(mach::Ctx& ctx,
 void XhcComponent::announce_wait(mach::Ctx& ctx,
                                  const CommView::Membership& m,
                                  std::uint64_t value) {
-  WaitObs obs(*this, ctx, "announce_wait");
+  WaitObs obs(*this, ctx, "announce_wait", m.level, m.leader);
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   switch (tuning_.flag_layout) {
     case coll::FlagLayout::kSingle:
@@ -204,15 +208,19 @@ void XhcComponent::ack_publish(mach::Ctx& ctx, const CommView::Membership& m,
 
 void XhcComponent::wait_acks(mach::Ctx& ctx, const CommView::Membership& m,
                              std::uint64_t s) {
-  WaitObs obs(*this, ctx, "wait_acks");
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   const GroupShape& shape = tree_.shape(m.ctl_id);
   if (tuning_.sync == coll::SyncMethod::kSingleWriter) {
+    // One wait span per member so the critical-path analyzer sees which
+    // straggler the leader actually blocked on.
     for (const int j : m.members) {
       if (j == ctx.rank()) continue;
+      WaitObs obs(*this, ctx, "wait_acks", m.level, j);
       ctx.flag_wait_ge(*ctl.ack[shape.slot_of(j)], s);
     }
   } else {
+    // Atomic counter: contributions are anonymous, no single peer to name.
+    WaitObs obs(*this, ctx, "wait_acks", m.level, /*peer=*/-1);
     const std::uint64_t expected =
         static_cast<std::uint64_t>(m.members.size() - 1) * s;
     ctx.flag_wait_ge(*ctl.atomic_ctr[0], expected);

@@ -18,6 +18,8 @@
 #include "coll/component.h"
 #include "core/comm_tree.h"
 #include "fault/fault.h"
+#include "obs/critpath.h"
+#include "obs/hist.h"
 #include "smsc/endpoint.h"
 
 namespace xhc::core {
@@ -76,20 +78,31 @@ class XhcComponent final : public coll::Component {
 
   // --- observability helpers -----------------------------------------------
   /// RAII around a blocking wait site: opens a "wait" span and differences
-  /// the machine's spin counter into kFlagWaits / kFlagSpinIters. Costs two
-  /// branches when no observer is attached.
+  /// the machine's spin counter into kFlagWaits / kFlagSpinIters. The span
+  /// arg packs (level, peer) — which rank's publication is awaited — so the
+  /// critical-path analyzer (obs/critpath.h) can follow the blocking edge;
+  /// when histograms are on, the wait duration is also recorded into the
+  /// kWaitSite histogram. Costs two branches when no observer is attached.
   class WaitObs {
    public:
-    WaitObs(const XhcComponent& c, mach::Ctx& ctx, const char* name) noexcept
+    WaitObs(const XhcComponent& c, mach::Ctx& ctx, const char* name,
+            int level = -1, int peer = -1) noexcept
         : o_(c.observer()),
+          h_(c.hist_),
           ctx_(&ctx),
-          guard_(o_ != nullptr ? &o_->trace() : nullptr, ctx, "wait", name),
-          spins0_(o_ != nullptr ? ctx.wait_spins() : 0) {}
+          guard_(o_ != nullptr ? &o_->trace() : nullptr, ctx, "wait", name,
+                 obs::wait_arg(level, peer)),
+          spins0_(o_ != nullptr ? ctx.wait_spins() : 0),
+          t0_(h_ != nullptr ? ctx.now() : 0.0) {}
     ~WaitObs() {
       if (o_ != nullptr) {
         o_->metrics().add(ctx_->rank(), obs::Counter::kFlagWaits, 1);
         o_->metrics().add(ctx_->rank(), obs::Counter::kFlagSpinIters,
                           ctx_->wait_spins() - spins0_);
+      }
+      if (h_ != nullptr) {
+        h_->record(ctx_->rank(), obs::HistKind::kWaitSite,
+                   ctx_->now() - t0_);
       }
     }
     WaitObs(const WaitObs&) = delete;
@@ -97,10 +110,35 @@ class XhcComponent final : public coll::Component {
 
    private:
     obs::Observer* o_;
+    obs::HistSet* h_;
     mach::Ctx* ctx_;
     obs::SpanGuard guard_;
     std::uint64_t spins0_;
+    double t0_;
   };
+
+  /// RAII latency sample: records scope duration into one histogram kind of
+  /// the attached HistSet. A null set reduces the guard to one branch.
+  class HistTimer {
+   public:
+    HistTimer(obs::HistSet* h, mach::Ctx& ctx, obs::HistKind k) noexcept
+        : h_(h), ctx_(&ctx), k_(k), t0_(h != nullptr ? ctx.now() : 0.0) {}
+    ~HistTimer() {
+      if (h_ != nullptr) h_->record(ctx_->rank(), k_, ctx_->now() - t0_);
+    }
+    HistTimer(const HistTimer&) = delete;
+    HistTimer& operator=(const HistTimer&) = delete;
+
+   private:
+    obs::HistSet* h_;
+    mach::Ctx* ctx_;
+    obs::HistKind k_;
+    double t0_;
+  };
+
+  /// Histogram sink; null unless an Observer is attached AND Tuning::hist
+  /// is set (see set_observer).
+  obs::HistSet* hist_sink() const noexcept { return hist_; }
 
   /// Books one pipeline chunk against the per-level chunk counters.
   void count_chunk(mach::Ctx& ctx, int level) const noexcept {
@@ -184,6 +222,7 @@ class XhcComponent final : public coll::Component {
   coll::Tuning tuning_;
   std::string name_;
   CommTree tree_;
+  obs::HistSet* hist_ = nullptr;  ///< see hist_sink()
   std::unique_ptr<fault::Injector> fault_;
   std::uint64_t shm_retries_ = 0;  ///< CICO pool allocation retries at setup
   std::vector<std::unique_ptr<RankState>> ranks_;

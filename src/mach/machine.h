@@ -25,6 +25,7 @@
 
 #include "mach/flag.h"
 #include "mach/reduce_kernels.h"
+#include "obs/hist.h"
 #include "topo/mapping.h"
 #include "topo/topology.h"
 #include "verify/verify.h"
@@ -158,12 +159,22 @@ class Machine {
     return verify_ledger_;
   }
 
+  /// Attaches per-rank latency histograms for blocking flag waits: both
+  /// machines' flag_wait_ge slow paths record the blocked duration into
+  /// HistKind::kFlagWait (virtual time on the simulator — deterministic and
+  /// charge-free; wall time on the real machine). Null (the default)
+  /// disables recording; the fast path then pays one pointer test. Set only
+  /// outside parallel regions; the set must outlive the runs using it.
+  void set_wait_hist(obs::HistSet* h) noexcept { wait_hist_ = h; }
+  obs::HistSet* wait_hist() const noexcept { return wait_hist_; }
+
   Machine() = default;
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
  private:
   verify::Ledger verify_ledger_;
+  obs::HistSet* wait_hist_ = nullptr;
 };
 
 /// Typed convenience wrapper around Machine::alloc.

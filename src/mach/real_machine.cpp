@@ -95,7 +95,7 @@ class RealMachine::RealCtx final : public Ctx {
  public:
   RealCtx(int rank, int size, int core, Clock::time_point t0,
           CentralBarrier* barrier, verify::Ledger* ledger, WaitShared* wait,
-          double wait_timeout)
+          double wait_timeout, obs::HistSet* wait_hist)
       : rank_(rank),
         size_(size),
         core_(core),
@@ -103,7 +103,8 @@ class RealMachine::RealCtx final : public Ctx {
         barrier_(barrier),
         ledger_(ledger),
         wait_(wait),
-        wait_timeout_(wait_timeout) {}
+        wait_timeout_(wait_timeout),
+        wait_hist_(wait_hist) {}
 
   int rank() const noexcept override { return rank_; }
   int size() const noexcept override { return size_; }
@@ -151,6 +152,10 @@ class RealMachine::RealCtx final : public Ctx {
 
   void flag_wait_ge(const Flag& f, std::uint64_t v) override {
     if (f.v.load(std::memory_order_acquire) >= v) return;
+    // Blocking path: when histograms are attached, the wall-clock blocked
+    // duration lands in the per-rank kFlagWait histogram.
+    const Clock::time_point wait_t0 =
+        wait_hist_ != nullptr ? Clock::now() : Clock::time_point{};
     WaitSlot& slot = wait_->slots[static_cast<std::size_t>(rank_)];
     slot.need.store(v, std::memory_order_relaxed);
     slot.chan.store(&f, std::memory_order_release);
@@ -169,6 +174,10 @@ class RealMachine::RealCtx final : public Ctx {
       if ((iter & kCheckMask) == 0) check_watchdog(&f, v, deadline);
     }
     slot.chan.store(nullptr, std::memory_order_release);
+    if (wait_hist_ != nullptr) {
+      wait_hist_->record(rank_, obs::HistKind::kFlagWait,
+                         seconds_since(wait_t0));
+    }
   }
 
   std::uint64_t fetch_add(Flag& f, std::uint64_t delta) override {
@@ -263,6 +272,7 @@ class RealMachine::RealCtx final : public Ctx {
   verify::Ledger* const ledger_;
   WaitShared* const wait_;
   const double wait_timeout_;
+  obs::HistSet* const wait_hist_;
 };
 
 RealMachine::RealMachine(topo::Topology topo, int n_ranks,
@@ -314,7 +324,7 @@ RunResult RealMachine::run(const std::function<void(Ctx&)>& fn) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       RealCtx ctx(r, n, map_.core_of(r), t0, &barrier, &verify_ledger(), &wait,
-                  wait_timeout_);
+                  wait_timeout_, wait_hist());
       try {
         fn(ctx);
       } catch (...) {

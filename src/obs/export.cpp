@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -41,10 +42,28 @@ void write_escaped(std::ostream& os, const char* s) {
 }
 
 void write_number(std::ostream& os, double v) {
+  // NaN/Inf have no JSON representation ("%.6f" would emit "nan"/"inf" and
+  // corrupt the file); clamp so one bad span can't break the whole trace.
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "0" : (v > 0.0 ? "1e308" : "-1e308"));
+    return;
+  }
   // Chrome expects microseconds; virtual-time spans can be sub-ns apart,
   // so keep picosecond resolution.
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+/// Full-precision variant for values in seconds (histogram bounds go down
+/// to 2^-44 s; fixed-point formatting would flatten them to zero).
+void write_number_exact(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "0" : (v > 0.0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   os << buf;
 }
 
@@ -61,6 +80,9 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec,
     os << "{\"ph\":\"M\",\"pid\":" << r
        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
     write_escaped(os, (label + " rank " + std::to_string(r)).c_str());
+    os << "}},{\"ph\":\"M\",\"pid\":" << r
+       << ",\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_escaped(os, ("rank " + std::to_string(r)).c_str());
     os << "}}";
 
     for (const Span& s : rec.spans(r)) {
@@ -85,6 +107,71 @@ void write_chrome_trace_file(const std::string& path, const Recorder& rec,
   write_chrome_trace(os, rec, label);
   os.flush();
   XHC_CHECK(os.good(), "failed writing trace file ", path);
+}
+
+util::Table hist_table(const std::vector<NamedHist>& hists) {
+  util::Table t({"Hist", "Count", "Mean us", "p50 us", "p90 us", "p99 us",
+                 "Max us"});
+  for (const NamedHist& nh : hists) {
+    const Histogram& h = nh.hist;
+    t.add_row({nh.name, std::to_string(h.count()),
+               util::Table::fmt_double(h.mean() * 1e6, 3),
+               util::Table::fmt_double(h.percentile(0.50) * 1e6, 3),
+               util::Table::fmt_double(h.percentile(0.90) * 1e6, 3),
+               util::Table::fmt_double(h.percentile(0.99) * 1e6, 3),
+               util::Table::fmt_double(h.max() * 1e6, 3)});
+  }
+  return t;
+}
+
+void write_hist_json(std::ostream& os, const std::vector<NamedHist>& hists,
+                     const std::string& label) {
+  os << "{\"label\":";
+  write_escaped(os, label.c_str());
+  os << ",\"unit\":\"seconds\",\"histograms\":[";
+  bool first = true;
+  for (const NamedHist& nh : hists) {
+    const Histogram& h = nh.hist;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_escaped(os, nh.name.c_str());
+    os << ",\"count\":" << h.count() << ",\"sum\":";
+    write_number_exact(os, h.sum());
+    os << ",\"min\":";
+    write_number_exact(os, h.min());
+    os << ",\"max\":";
+    write_number_exact(os, h.max());
+    os << ",\"p50\":";
+    write_number_exact(os, h.percentile(0.50));
+    os << ",\"p90\":";
+    write_number_exact(os, h.percentile(0.90));
+    os << ",\"p99\":";
+    write_number_exact(os, h.percentile(0.99));
+    os << ",\"buckets\":[";
+    bool first_b = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t c = h.bucket_count(i);
+      if (c == 0) continue;
+      if (!first_b) os << ',';
+      first_b = false;
+      os << '[';
+      write_number_exact(os, Histogram::bucket_upper(i));
+      os << ',' << c << ']';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+void write_hist_json_file(const std::string& path,
+                          const std::vector<NamedHist>& hists,
+                          const std::string& label) {
+  std::ofstream os(path, std::ios::trunc);
+  XHC_CHECK(os.good(), "cannot open histogram file ", path);
+  write_hist_json(os, hists, label);
+  os.flush();
+  XHC_CHECK(os.good(), "failed writing histogram file ", path);
 }
 
 }  // namespace xhc::obs

@@ -5,11 +5,17 @@
 // events with microsecond timestamps. SimMachine traces therefore render on
 // the virtual-time axis, RealMachine traces on the wall clock, with no
 // difference in the file format.
+//
+// The histogram exporters turn merged obs::NamedHist sets into a console
+// percentile table and a machine-readable JSON document (sparse buckets +
+// exact count/sum/min/max, all in seconds).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "obs/hist.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
 
@@ -24,5 +30,19 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec,
 /// util::Error when the file cannot be written.
 void write_chrome_trace_file(const std::string& path, const Recorder& rec,
                              const std::string& label = "xhc");
+
+/// Percentile summary, one row per histogram (times reported in us).
+util::Table hist_table(const std::vector<NamedHist>& hists);
+
+/// Machine-readable histogram dump: exact count/sum/min/max/percentiles plus
+/// the sparse non-zero buckets as [upper_bound_seconds, count] pairs.
+void write_hist_json(std::ostream& os, const std::vector<NamedHist>& hists,
+                     const std::string& label = "xhc");
+
+/// Convenience: opens `path` (truncating) and writes the histogram JSON;
+/// throws util::Error when the file cannot be written.
+void write_hist_json_file(const std::string& path,
+                          const std::vector<NamedHist>& hists,
+                          const std::string& label = "xhc");
 
 }  // namespace xhc::obs

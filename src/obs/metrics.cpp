@@ -10,6 +10,8 @@ const char* to_string(Counter c) noexcept {
       return "cico_bytes";
     case Counter::kSingleCopyBytes:
       return "single_copy_bytes";
+    case Counter::kCmaBytes:
+      return "cma_bytes";
     case Counter::kReduceBytes:
       return "reduce_bytes";
     case Counter::kChunksLevel0:

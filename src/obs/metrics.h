@@ -23,6 +23,8 @@ enum class Counter : int {
   // Data movement.
   kCicoBytes = 0,     ///< bytes moved through the copy-in-copy-out path
   kSingleCopyBytes,   ///< bytes moved through the single-copy (XPMEM) path
+  kCmaBytes,          ///< single-copy bytes carried by CMA/KNEM fallbacks
+                      ///< (XPMEM degradation chain, DESIGN.md § Fault)
   kReduceBytes,       ///< bytes read-modify-written by reduction kernels
   kChunksLevel0,      ///< pipeline chunks processed at hierarchy level 0
   kChunksLevel1,      ///< ... level 1

@@ -7,7 +7,7 @@
 namespace xhc::obs {
 
 Observer::Observer(int n_ranks, std::size_t span_capacity)
-    : trace_(n_ranks, span_capacity), metrics_(n_ranks) {
+    : trace_(n_ranks, span_capacity), metrics_(n_ranks), hists_(n_ranks) {
   metrics_.set_gauge(Gauge::kTraceCapacity, trace_.capacity());
 }
 
@@ -48,8 +48,10 @@ util::Table Observer::span_table() const {
   return table;
 }
 
-util::Table Observer::metrics_table() const {
+util::Table Observer::metrics_table(bool per_rank) const {
   util::Table table({"Metric", "Total", "Per-rank avg"});
+  // Counter-enum order first, then rank: stable across runs, so the table
+  // can be diffed in tests and CI.
   for (int i = 0; i < kNumCounters; ++i) {
     const auto c = static_cast<Counter>(i);
     const std::uint64_t total = metrics_.total(c);
@@ -57,6 +59,14 @@ util::Table Observer::metrics_table() const {
     table.add_row({to_string(c), std::to_string(total),
                    util::Table::fmt_double(static_cast<double>(total) /
                                            n_ranks())});
+    if (per_rank) {
+      for (int r = 0; r < n_ranks(); ++r) {
+        const std::uint64_t v = metrics_.value(r, c);
+        if (v == 0) continue;
+        table.add_row({std::string("  [r") + std::to_string(r) + "]",
+                       std::to_string(v), "-"});
+      }
+    }
   }
   for (int i = 0; i < kNumGauges; ++i) {
     const auto g = static_cast<Gauge>(i);

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "obs/hist.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "p2p/counters.h"
@@ -27,6 +28,8 @@ class Observer {
   const Recorder& trace() const noexcept { return trace_; }
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
+  HistSet& hists() noexcept { return hists_; }
+  const HistSet& hists() const noexcept { return hists_; }
 
   int n_ranks() const noexcept { return metrics_.n_ranks(); }
 
@@ -37,8 +40,11 @@ class Observer {
 
   /// Per-(cat, name) span aggregation: count, total/avg/max duration.
   util::Table span_table() const;
-  /// Non-zero counters (total over ranks) followed by set gauges.
-  util::Table metrics_table() const;
+  /// Non-zero counters (total over ranks) followed by set gauges. Rows are
+  /// deterministically ordered by counter enum; with `per_rank`, each
+  /// counter's non-zero per-rank values follow its total, ordered by rank,
+  /// so the table diffs cleanly between runs.
+  util::Table metrics_table(bool per_rank = false) const;
 
   Observer(const Observer&) = delete;
   Observer& operator=(const Observer&) = delete;
@@ -46,6 +52,7 @@ class Observer {
  private:
   Recorder trace_;
   Metrics metrics_;
+  HistSet hists_;
 };
 
 }  // namespace xhc::obs

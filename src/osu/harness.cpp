@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <thread>
 
 #include "obs/observer.h"
 #include "util/check.h"
 #include "util/prng.h"
+#include "util/table.h"
 #include "verify/verify.h"
 
 namespace xhc::osu {
@@ -88,6 +90,26 @@ void publish_verify_summary(const mach::Machine& machine, obs::Observer* obs) {
   m.set_gauge(obs::Gauge::kVerifyExpectedFindings, s.expected_findings);
 }
 
+/// Per-size op-latency histogram plumbing shared by the collective sweeps.
+/// Each rank records its timed iterations into a private row (single-writer,
+/// allocation-free, safe inside the parallel region); finish() merges the
+/// rows into one histogram labeled with the size, matching the CSV rows.
+struct SizeHist {
+  SizeHist(const Config& config, int n)
+      : set(config.size_hists != nullptr ? std::make_unique<obs::HistSet>(n)
+                                         : nullptr) {}
+  void record(int rank, double seconds) noexcept {
+    if (set != nullptr) set->record(rank, obs::HistKind::kOp, seconds);
+  }
+  void finish(const Config& config, std::size_t bytes) {
+    if (set != nullptr) {
+      config.size_hists->push_back({util::Table::fmt_bytes(bytes),
+                                    set->merged(obs::HistKind::kOp)});
+    }
+  }
+  std::unique_ptr<obs::HistSet> set;
+};
+
 }  // namespace
 
 std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
@@ -109,6 +131,7 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
       bufs.emplace_back(machine, r, bytes, /*zero=*/false);
     }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+    SizeHist hist(config, n);
 
     const int total = config.warmup + config.iters;
     machine.run([&](mach::Ctx& ctx) {
@@ -125,6 +148,7 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
         const double t1 = ctx.now();
         if (it >= config.warmup) {
           acc[static_cast<std::size_t>(r)].value += t1 - t0;
+          hist.record(r, t1 - t0);
         }
       }
     });
@@ -159,6 +183,7 @@ std::vector<SizeResult> bcast_sweep(mach::Machine& machine,
     sr.min_us = mn;
     sr.max_us = mx;
     results.push_back(sr);
+    hist.finish(config, sr.bytes);
   }
   publish_verify_summary(machine, config.observer);
   return results;
@@ -185,6 +210,7 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
       rbufs.emplace_back(machine, r, real_bytes);
     }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+    SizeHist hist(config, n);
 
     const int total = config.warmup + config.iters;
     machine.run([&](mach::Ctx& ctx) {
@@ -206,6 +232,7 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
         const double t1 = ctx.now();
         if (it >= config.warmup) {
           acc[static_cast<std::size_t>(r)].value += t1 - t0;
+          hist.record(r, t1 - t0);
         }
       }
     });
@@ -226,6 +253,7 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
     sr.min_us = mn;
     sr.max_us = mx;
     results.push_back(sr);
+    hist.finish(config, sr.bytes);
   }
   publish_verify_summary(machine, config.observer);
   return results;
@@ -252,6 +280,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
       rbufs.emplace_back(machine, r, real_bytes);
     }
     std::vector<PaddedAcc> acc(static_cast<std::size_t>(n));
+    SizeHist hist(config, n);
 
     const int total = config.warmup + config.iters;
     machine.run([&](mach::Ctx& ctx) {
@@ -271,6 +300,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
         const double t1 = ctx.now();
         if (it >= config.warmup) {
           acc[static_cast<std::size_t>(r)].value += t1 - t0;
+          hist.record(r, t1 - t0);
         }
       }
     });
@@ -291,6 +321,7 @@ std::vector<SizeResult> reduce_sweep(mach::Machine& machine,
     sr.min_us = mn;
     sr.max_us = mx;
     results.push_back(sr);
+    hist.finish(config, sr.bytes);
   }
   publish_verify_summary(machine, config.observer);
   return results;

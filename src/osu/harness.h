@@ -26,6 +26,12 @@ struct Config {
   /// When non-null, attached to the component before the sweep (the
   /// component's Tuning::trace must also be set for collection to engage).
   obs::Observer* observer = nullptr;
+  /// When non-null, the collective sweeps append one merged histogram of
+  /// per-iteration per-rank op latencies per message size (named with the
+  /// size label). Ranks record into private rows inside the parallel region
+  /// (single-writer, allocation-free) and the rows merge after the run —
+  /// independent of `observer`, usable on either machine.
+  std::vector<obs::NamedHist>* size_hists = nullptr;
 };
 
 struct SizeResult {

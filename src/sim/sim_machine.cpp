@@ -167,6 +167,12 @@ class SimMachine::SimCtx final : public mach::Ctx {
     m_->verify_ledger().on_wait_resume(&f, rank_, v, done);
 #endif
     m_->sched_->advance(rank_, done - resume);
+    // Record the blocked virtual time (entry → line fetched). Pure
+    // observation: no charge, so timings are unchanged whether or not a
+    // histogram set is attached.
+    if (obs::HistSet* h = m_->wait_hist(); h != nullptr) {
+      h->record(rank_, obs::HistKind::kFlagWait, done - now);
+    }
   }
 
   std::uint64_t fetch_add(mach::Flag& f, std::uint64_t delta) override {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -352,7 +353,8 @@ void check_trace(const Observer& observer,
     EXPECT_GE(ev.at("dur").num, 0.0);
     pid_ts[pid].push_back(ev.at("ts").num);
   }
-  EXPECT_EQ(meta_events, static_cast<std::size_t>(n));
+  // One process_name plus one thread_name metadata event per rank.
+  EXPECT_EQ(meta_events, 2 * static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     EXPECT_GE(per_pid[r], 1u) << "no X events for rank " << r;
     ASSERT_EQ(per_pid[r], rec.spans(r).size());
@@ -470,6 +472,86 @@ TEST(ObsExport, EscapesSpecialCharacters) {
     if (ev.at("ph").str == "X" && ev.at("name").str == kName) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(ObsExport, EmptyRecorderProducesValidTrace) {
+  Recorder rec(4, 8);  // no spans recorded at all
+  std::ostringstream os;
+  write_chrome_trace(os, rec, "empty");
+  const std::string json = os.str();
+  JsonParser parser(json);
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  std::size_t meta = 0;
+  for (const JValue& ev : root.at("traceEvents").arr) {
+    EXPECT_EQ(ev.at("ph").str, "M");
+    ++meta;
+  }
+  EXPECT_EQ(meta, 8u);  // metadata for 4 ranks, nothing else
+}
+
+TEST(ObsExport, NonFiniteDurationsStayValidJson) {
+  Recorder rec(1, 8);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  rec.record(0, "cat", "inf_end", 0.0, inf);
+  rec.record(0, "cat", "nan_start", nan, 1.0);
+  std::ostringstream os;
+  write_chrome_trace(os, rec, "nonfinite");
+  const std::string json = os.str();
+  JsonParser parser(json);
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  for (const JValue& ev : root.at("traceEvents").arr) {
+    if (ev.at("ph").str != "X") continue;
+    EXPECT_TRUE(std::isfinite(ev.at("ts").num));
+    EXPECT_TRUE(std::isfinite(ev.at("dur").num));
+  }
+}
+
+TEST(ObsMetrics, CmaBytesSplitFromSingleCopy) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  coll::Tuning tuning;
+  tuning.trace = true;
+  tuning.mechanism = smsc::Mechanism::kCma;
+  auto comp = coll::make_component("xhc", machine, tuning);
+  Observer observer(8);
+  comp->set_observer(&observer);
+
+  constexpr std::size_t kBytes = 64u << 10;  // well above cico_threshold
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < 8; ++r) bufs.emplace_back(machine, r, kBytes);
+  util::fill_pattern(bufs[0].get(), kBytes, 77);
+  machine.run([&](mach::Ctx& ctx) {
+    comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes,
+                0);
+  });
+
+  // All member pulls ride CMA, so the single-copy counter stays clean.
+  EXPECT_GT(observer.metrics().total(Counter::kCmaBytes), 0u);
+  EXPECT_EQ(observer.metrics().total(Counter::kSingleCopyBytes), 0u);
+}
+
+TEST(ObsObserver, MetricsTablePerRankOrdering) {
+  Observer observer(4);
+  Metrics& m = observer.metrics();
+  m.add(3, Counter::kCicoBytes, 30);
+  m.add(1, Counter::kCicoBytes, 10);
+  m.add(0, Counter::kFlagWaits, 5);
+  std::ostringstream os;
+  observer.metrics_table(/*per_rank=*/true).print(os);
+  const std::string text = os.str();
+  // Counter-enum order first, rank order within: cico r1 before cico r3,
+  // both before the flag_waits block.
+  const auto cico_r1 = text.find("[r1]");
+  const auto cico_r3 = text.find("[r3]");
+  const auto waits = text.find("flag_waits");
+  ASSERT_NE(cico_r1, std::string::npos) << text;
+  ASSERT_NE(cico_r3, std::string::npos) << text;
+  ASSERT_NE(waits, std::string::npos) << text;
+  EXPECT_LT(cico_r1, cico_r3);
+  EXPECT_LT(cico_r3, waits);
+  EXPECT_GT(text.find("[r0]"), waits);  // r0 only contributed flag_waits
 }
 
 TEST(ObsObserver, AbsorbTrafficCounter) {
