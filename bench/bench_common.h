@@ -11,12 +11,14 @@
 
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "coll/registry.h"
 #include "fault/fault.h"
+#include "obs/coh.h"
 #include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/observer.h"
@@ -37,6 +39,7 @@ struct BenchArgs {
   bool hist = false;       ///< --hist: print latency histogram tables
   std::string hist_out;    ///< --hist-out=<file>: histogram JSON path
   bool critpath = false;   ///< --critpath: print blocking-chain report
+  bool coherence = false;  ///< --coherence: print modeled coherence report
   std::string preset;      ///< --preset=<name>: run only this paper system
   int jobs = 1;            ///< --jobs=<n>: host workers for the sim sweep
                            ///  (0 = one per host core)
@@ -61,6 +64,7 @@ struct BenchArgs {
     b.hist = args.has("hist");
     b.hist_out = args.get("hist-out", "");
     b.critpath = args.has("critpath");
+    b.coherence = args.has("coherence");
     b.preset = args.get("preset", "");
     b.jobs = static_cast<int>(args.get_long("jobs", 1));
     b.verify = args.has("verify");
@@ -175,12 +179,13 @@ inline std::string trace_path_for(const std::string& base,
 }
 
 /// Writes the Chrome trace (when --trace-out) and prints the span/metrics
-/// summary tables (when --metrics) for one finished system run.
+/// summary tables (when --metrics) for one finished system run. Non-zero
+/// coh_* counters ride along into the trace as counter events.
 inline void emit_observability(const BenchArgs& args, const obs::Observer& o,
                                const std::string& label) {
   if (!args.trace_out.empty()) {
     const std::string path = trace_path_for(args.trace_out, label);
-    obs::write_chrome_trace_file(path, o.trace(), label);
+    obs::write_chrome_trace_file(path, o.trace(), label, &o.metrics());
     std::cout << "trace written: " << path << " (" << o.trace().recorded()
               << " spans, " << o.trace().dropped() << " dropped)\n";
   }
@@ -244,6 +249,31 @@ inline void emit_critpath(const BenchArgs& args, const obs::Observer& o,
   std::cout << "\n== Critical path, " << label << " ==\n";
   obs::write_critpath_report(std::cout, obs::analyze_critical_paths(o.trace()));
   std::cout.flush();
+}
+
+/// Enables the machine's modeled coherence accounting when any consumer of
+/// it was requested (--coherence report, --metrics counters, --trace-out
+/// counter events). Tracking is observational only — virtual timestamps are
+/// identical on or off — so default runs stay byte-identical.
+inline void wire_coherence(const BenchArgs& args, mach::Machine& machine) {
+  machine.set_coh_tracking(args.coherence || args.metrics ||
+                           !args.trace_out.empty());
+}
+
+/// The machine's coherence report formatted for --coherence output, or ""
+/// when the machine models none / the flag is off. Returned (not printed)
+/// so sweeps parallelized with --jobs can buffer per-point reports and
+/// print them in deterministic point order.
+inline std::string coh_report_string(const BenchArgs& args,
+                                     const mach::Machine& machine,
+                                     const std::string& label) {
+  if (!args.coherence) return "";
+  obs::CohReport report;
+  if (!machine.coh_report(&report)) return "";
+  std::ostringstream os;
+  os << "\n== Coherence, " << label << " ==\n";
+  obs::write_coh_report(os, report);
+  return std::move(os).str();
 }
 
 }  // namespace xhc::bench

@@ -24,6 +24,7 @@ static int run(int argc, char** argv) {
   std::vector<std::unique_ptr<obs::Observer>> observers(systems.size());
   std::vector<std::vector<obs::NamedHist>> hists(systems.size() *
                                                  comps.size());
+  std::vector<std::string> coh_reports(systems.size() * comps.size());
 
   osu::run_points(
       systems.size() * comps.size(), args.effective_jobs(),
@@ -48,7 +49,13 @@ static int run(int argc, char** argv) {
         }
         if (args.hist_on()) cfg.size_hists = &hists[i];
         bench::wire_wait_hist(args, *machine, cfg.observer);
+        bench::wire_coherence(args, *machine);
         results[si][ci] = osu::bcast_sweep(*machine, *comp, sizes, cfg);
+        // Each point owns its machine, so the report is private to this
+        // worker; buffering keeps print order deterministic under --jobs.
+        coh_reports[i] = bench::coh_report_string(
+            args, *machine,
+            std::string(systems[si]) + "/" + std::string(comps[ci]));
       });
 
   for (std::size_t si = 0; si < systems.size(); ++si) {
@@ -76,6 +83,9 @@ static int run(int argc, char** argv) {
       }
       bench::emit_hists(args, std::string(systems[si]), per_comp,
                         observers[si].get());
+    }
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      std::cout << coh_reports[si * comps.size() + ci];
     }
     if (observers[si]) {
       bench::emit_observability(args, *observers[si],

@@ -11,7 +11,7 @@ Options:
     --store=FILE     append the run to FILE (default BENCH_perf.json)
     --out=FILE       write a one-run candidate store to FILE instead
     --build=DIR      build tree holding bench/ binaries (default build)
-    --targets=LIST   comma list of fig8,fig11 (default both)
+    --targets=LIST   comma list of fig8,fig11,fig10,fig4 (default all)
     --presets=LIST   comma list of topology presets ('' = bench defaults)
     --quick          pass --quick to the benches (default on; --full negates)
     --k=N            repetitions per target, median per point (default 3)
@@ -37,6 +37,8 @@ from datetime import datetime, timezone
 TARGETS = {
     "fig8": "bench_fig8_bcast",
     "fig11": "bench_fig11_allreduce",
+    "fig10": "bench_fig10_cacheline",
+    "fig4": "bench_fig4_atomics",
 }
 
 
@@ -50,7 +52,7 @@ def parse_args(argv):
         "store": "BENCH_perf.json",
         "out": None,
         "build": "build",
-        "targets": "fig8,fig11",
+        "targets": "fig8,fig11,fig10,fig4",
         "presets": "",
         "quick": True,
         "k": 3,
@@ -85,7 +87,9 @@ def parse_csv_sections(text, fig):
         == Fig. 8: MPI_Bcast latency (us), mini8 ==
         Size,xhc,xhc-flat,...
         4,0.82,0.53,...
-    Non-section chatter (trace/hist notices) is skipped.
+    fig4 keys its rows by rank count ("Ranks") and appends an "x" suffix to
+    its ratio column; both are normalized here. Non-section chatter (trace/
+    hist/coherence notices) is skipped.
     """
     points = {}
     preset = None
@@ -100,7 +104,7 @@ def parse_csv_sections(text, fig):
             continue
         cells = line.split(",")
         if header is None:
-            if cells[0] != "Size":
+            if cells[0] not in ("Size", "Ranks"):
                 fail("expected CSV header after section, got %r" % line)
             header = cells[1:]
             continue
@@ -109,6 +113,8 @@ def parse_csv_sections(text, fig):
             continue
         size = cells[0]
         for comp, val in zip(header, cells[1:]):
+            if val.endswith("x"):
+                val = val[:-1]
             points["%s/%s/%s/%s" % (fig, preset, comp, size)] = float(val)
     return points
 

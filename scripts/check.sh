@@ -10,8 +10,13 @@
 #   scripts/check.sh verify     # XHC_VERIFY=ON ledger  (build-verify/)
 #   scripts/check.sh fault      # chaos suite: fixed seed sweep (build/)
 #                               # plus the same under TSan (build-tsan/)
-#   scripts/check.sh bench      # perf regression gate: quick fig8+fig11
-#                               # sweep vs BENCH_perf.json + gate self-test
+#   scripts/check.sh bench      # perf regression gate: quick fig8+fig11+
+#                               # fig10+fig4 sweep vs BENCH_perf.json +
+#                               # gate self-test
+#   scripts/check.sh coherence  # coherence observatory gate: scenario
+#                               # assertions, --coherence determinism,
+#                               # zero-cost contract, model tests under
+#                               # TSan + the threads backend
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh thread -R Obs
@@ -92,8 +97,63 @@ case "$mode" in
     run_bench_gate build
     exit 0
     ;;
+  coherence)
+    # Coherence observatory gate (DESIGN.md § Coherence observatory).
+    # The fig10/fig4 binaries carry always-on scenario assertions (packed
+    # announce lines strictly costlier than separated; ~N ownership
+    # transfers for N concurrent RMWs), so plain quick runs already gate
+    # the model's mechanisms; on top of that this mode checks that
+    # --coherence output is byte-deterministic across runs and --jobs,
+    # that tracking never shifts virtual time (fig8 tables identical with
+    # and without --coherence), and that the model tests stay clean under
+    # TSan and the threads scheduler backend.
+    scripts/lint_flags.sh
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j "$(nproc)" \
+      -R 'LineModel|SimMachineCoh|VerifyLayout' "$@")
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== scenario assertions + determinism: fig10 =="
+    build/bench/bench_fig10_cacheline --quick --coherence > "$tmp/f10.a"
+    build/bench/bench_fig10_cacheline --quick --coherence > "$tmp/f10.b"
+    build/bench/bench_fig10_cacheline --quick --coherence --jobs=4 \
+      > "$tmp/f10.j"
+    diff "$tmp/f10.a" "$tmp/f10.b"
+    diff "$tmp/f10.a" "$tmp/f10.j"
+    grep -q 'coherence assertion' "$tmp/f10.a"
+    echo "fig10: deterministic (repeat + --jobs=4), assertion passed"
+    echo "== scenario assertions + determinism: fig4 =="
+    build/bench/bench_fig4_atomics --quick --coherence > "$tmp/f4.a"
+    build/bench/bench_fig4_atomics --quick --coherence --jobs=4 > "$tmp/f4.b"
+    diff "$tmp/f4.a" "$tmp/f4.b"
+    grep -q 'coherence assertion' "$tmp/f4.a"
+    echo "fig4: deterministic (repeat + --jobs=4), assertion passed"
+    echo "== zero-cost contract: fig8 tables unchanged by tracking =="
+    # Single preset, so the coherence sections are strictly after the
+    # latency table; blank lines are squeezed on both sides so only real
+    # content is compared.
+    build/bench/bench_fig8_bcast --quick --preset=mini8 \
+      | awk 'NF' > "$tmp/f8.plain"
+    build/bench/bench_fig8_bcast --quick --preset=mini8 --coherence \
+      | sed '/^== Coherence/,$d' | awk 'NF' > "$tmp/f8.coh"
+    diff "$tmp/f8.plain" "$tmp/f8.coh"
+    echo "fig8: latency table identical with tracking on (report stripped)"
+    echo "== threads backend =="
+    XHC_SIM_BACKEND=threads build/bench/bench_fig10_cacheline --quick \
+      > /dev/null
+    (cd build && XHC_SIM_BACKEND=threads ctest --output-on-failure \
+      -j "$(nproc)" -R 'LineModel|SimMachineCoh' "$@")
+    echo "== TSan =="
+    cmake -B build-tsan -S . -DXHC_SANITIZE=thread
+    cmake --build build-tsan -j
+    (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+      -R 'LineModel|SimMachineCoh|VerifyLayout' "$@")
+    echo "coherence gate: OK"
+    exit 0
+    ;;
   *)
-    echo "usage: $0 [thread|address|undefined|verify|fault|bench]" \
+    echo "usage: $0 [thread|address|undefined|verify|fault|bench|coherence]" \
          "[ctest args...]" >&2
     exit 2
     ;;

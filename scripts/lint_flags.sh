@@ -38,7 +38,26 @@ if [ -n "$seq" ]; then
   fail=1
 fi
 
-# 3. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
+# 3. The coherence models' state is simulator-internal: consumers read it
+#    through the Machine virtuals (set_coh_tracking / coh_report /
+#    publish_coh_counters), whose delta-publishing keeps repeated publishes
+#    and metrics resets double-count free. Direct LineModel / CacheModel /
+#    CohStats access is legal only inside src/sim/, the layout lint's
+#    private replay (src/verify/layout.*), and the models' own unit tests.
+allow_coh='^src/sim/|^src/verify/layout\.(h|cpp):'
+allow_coh+='|^tests/test_line_model\.cpp:|^tests/test_sim_core\.cpp:'
+allow_coh+='|^[^:]+:[0-9]+: *(//|\*)'  # prose mentions in comments
+coh=$(grep -RnE '\b(LineModel|CacheModel|CohStats)\b|\bcoh_stats\(' \
+        src tests bench examples | grep -vE "$allow_coh" || true)
+if [ -n "$coh" ]; then
+  echo "error: direct coherence-model access outside the simulator (use" >&2
+  echo "mach::Machine::set_coh_tracking/coh_report/publish_coh_counters" >&2
+  echo "so delta publishing stays double-count free):" >&2
+  echo "$coh" >&2
+  fail=1
+fi
+
+# 4. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
 #    over the verifier and machine layers, when the tool and a compilation
 #    database are available.
 tidy_db=""

@@ -77,7 +77,7 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
   // Fig. 4 atomic_ctr is the whitelisted multi-writer) and lint the layout.
   // The index keys diagnostics; addresses disambiguate across arenas.
   verify::register_group_ctl(
-      m.verify_ledger(), ctl,
+      m.verify_ledger(), m.topology(), ctl,
       "ctl" + std::to_string(allocations_.size() - 1) + "/h" +
           std::to_string(home_rank));
   return ctl;

@@ -30,6 +30,11 @@
 #include "topo/topology.h"
 #include "verify/verify.h"
 
+namespace xhc::obs {
+struct CohReport;  // obs/coh.h
+class Metrics;     // obs/metrics.h
+}  // namespace xhc::obs
+
 namespace xhc::mach {
 
 /// Per-rank execution context. Passed by reference into the function a
@@ -167,6 +172,20 @@ class Machine {
   /// outside parallel regions; the set must outlive the runs using it.
   void set_wait_hist(obs::HistSet* h) noexcept { wait_hist_ = h; }
   obs::HistSet* wait_hist() const noexcept { return wait_hist_; }
+
+  /// Modeled coherence observatory (overridden by SimMachine; the defaults
+  /// keep consumers free of machine downcasts — RealMachine has no modeled
+  /// counters). Tracking toggles accounting only, never virtual-time costs.
+  virtual void set_coh_tracking(bool /*on*/) {}
+  virtual bool coh_tracking() const noexcept { return false; }
+  /// Fills `out` with the name-attributed per-line report; returns false
+  /// when this machine models no coherence events (report untouched).
+  virtual bool coh_report(obs::CohReport* /*out*/) const { return false; }
+  /// Adds the per-rank coh_* counter deltas accumulated since the previous
+  /// publish into `m`. Delta semantics make repeated publishes (one per
+  /// sweep) and obs::Metrics::reset_counters compose without double
+  /// counting.
+  virtual void publish_coh_counters(obs::Metrics& /*m*/) {}
 
   Machine() = default;
   Machine(const Machine&) = delete;

@@ -1,0 +1,98 @@
+#include "obs/coh.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace xhc::obs {
+
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+util::Table coh_line_table(const CohReport& report, std::size_t top_n) {
+  util::Table t({"Line", "reads", "writes", "rmws", "hitm", "spin_refetch",
+                 "llc_hit", "slc_hit", "remote_fill", "inval", "transfers",
+                 "writers", "flags"});
+  const std::size_t n = std::min(top_n, report.lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CohLine& l = report.lines[i];
+    t.add_row({l.name, num(l.reads), num(l.writes), num(l.rmws), num(l.hitm),
+               num(l.spin_refetches), num(l.llc_hits), num(l.slc_hits),
+               num(l.remote_fills), num(l.invalidations), num(l.transfers),
+               std::to_string(l.writer_cores),
+               std::to_string(l.written_flags)});
+  }
+  return t;
+}
+
+util::Table coh_hitm_pair_table(const CohReport& report, std::size_t top_n) {
+  util::Table t({"Owner rank", "Reader rank", "HITM services"});
+  const std::size_t n = std::min(top_n, report.hitm_pairs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CohPair& p = report.hitm_pairs[i];
+    t.add_row({std::to_string(p.owner_rank), std::to_string(p.reader_rank),
+               num(p.count)});
+  }
+  return t;
+}
+
+std::vector<const CohLine*> coh_false_sharing(const CohReport& report) {
+  std::vector<const CohLine*> out;
+  for (const CohLine& l : report.lines) {
+    if (l.false_sharing) out.push_back(&l);
+  }
+  return out;  // report.lines is already hottest-first
+}
+
+CohTotals coh_sum_matching(const CohReport& report,
+                           std::string_view name_substr) {
+  CohTotals sum;
+  for (const CohLine& l : report.lines) {
+    if (l.name.find(name_substr) == std::string::npos) continue;
+    sum.local_hits += l.local_hits;
+    sum.llc_hits += l.llc_hits;
+    sum.slc_hits += l.slc_hits;
+    sum.hitm += l.hitm;
+    sum.spin_refetches += l.spin_refetches;
+    sum.remote_fills += l.remote_fills;
+    sum.invalidations += l.invalidations;
+    sum.transfers += l.transfers;
+    sum.rmws += l.rmws;
+  }
+  return sum;
+}
+
+void write_coh_report(std::ostream& os, const CohReport& report,
+                      std::size_t top_n) {
+  const CohTotals& t = report.totals;
+  os << "totals: local_hit=" << t.local_hits << " llc_hit=" << t.llc_hits
+     << " slc_hit=" << t.slc_hits << " hitm=" << t.hitm
+     << " spin_refetch=" << t.spin_refetches
+     << " remote_fill=" << t.remote_fills << " inval=" << t.invalidations
+     << " transfers=" << t.transfers << " rmw=" << t.rmws << "\n";
+
+  os << "hottest lines (top " << std::min(top_n, report.lines.size()) << " of "
+     << report.lines.size() << "):\n";
+  coh_line_table(report, top_n).print(os);
+
+  os << "HITM matrix (owner -> reader, top "
+     << std::min<std::size_t>(16, report.hitm_pairs.size()) << " of "
+     << report.hitm_pairs.size() << " pairs):\n";
+  coh_hitm_pair_table(report).print(os);
+
+  const auto fs = coh_false_sharing(report);
+  if (fs.empty()) {
+    os << "false sharing: none detected\n";
+  } else {
+    os << "false sharing: " << fs.size() << " line(s)\n";
+    for (const CohLine* l : fs) {
+      os << "  " << l->name << ": " << l->written_flags
+         << " flags written by " << l->writer_cores << " core(s), hitm+spin="
+         << l->hitm_class() << " inval=" << l->invalidations << "\n";
+    }
+  }
+}
+
+}  // namespace xhc::obs

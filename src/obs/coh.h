@@ -1,0 +1,104 @@
+// Coherence observatory report types (observability layer).
+//
+// sim::CohStats accumulates modeled coherence events keyed by core and by
+// raw cache-line address; this header defines the rank-level, name-attributed
+// view the consumers print: a top-N hottest-line table (owner/sharer churn),
+// a sparse rank×rank HITM matrix, and a false-sharing detector for lines
+// written through two or more distinct flags (or by distinct cores).
+// SimMachine::coh_report builds a CohReport (names resolved through
+// verify::Ledger::flag_name); everything here is pure formatting, so the
+// obs layer stays free of sim dependencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.h"
+
+namespace xhc::obs {
+
+/// One cache line's accumulated coherence activity. `hitm` counts dirty-
+/// owner services at read time; `spin_refetches` counts the additional
+/// invalidation-induced re-fetches blocked spinners paid while stores kept
+/// landing on their line (the false-sharing cost of packed flags). The two
+/// together are the line's HITM-class service count.
+struct CohLine {
+  std::uintptr_t line = 0;  ///< line id (address / 64)
+  std::string name;         ///< attributed flag name(s), or "@0x..."
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t slc_hits = 0;
+  std::uint64_t hitm = 0;
+  std::uint64_t spin_refetches = 0;
+  std::uint64_t remote_fills = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t transfers = 0;  ///< exclusive-ownership transfers
+  int writer_cores = 0;         ///< distinct cores that stored to the line
+  int written_flags = 0;        ///< distinct flag addresses stored to
+  bool false_sharing = false;   ///< ≥2 written flags or ≥2 writer cores
+
+  std::uint64_t hitm_class() const noexcept { return hitm + spin_refetches; }
+  std::uint64_t activity() const noexcept {
+    return reads + writes + rmws + spin_refetches;
+  }
+};
+
+/// One cell of the sparse rank×rank HITM matrix: `count` HITM-class
+/// services where `owner_rank`'s modified copy served `reader_rank`.
+struct CohPair {
+  int owner_rank = -1;   ///< -1: the servicing core hosts no rank
+  int reader_rank = -1;
+  std::uint64_t count = 0;
+};
+
+/// Machine-wide totals (sums over ranks of the coh_* counters).
+struct CohTotals {
+  std::uint64_t local_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t slc_hits = 0;
+  std::uint64_t hitm = 0;
+  std::uint64_t spin_refetches = 0;
+  std::uint64_t remote_fills = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t rmws = 0;
+
+  std::uint64_t hitm_class() const noexcept { return hitm + spin_refetches; }
+};
+
+struct CohReport {
+  CohTotals totals;
+  /// Sorted by activity() descending, line id ascending on ties —
+  /// deterministic for byte-stable output.
+  std::vector<CohLine> lines;
+  /// Sorted by count descending, (owner, reader) ascending on ties.
+  std::vector<CohPair> hitm_pairs;
+};
+
+/// Hottest-lines table (top `top_n` by activity).
+util::Table coh_line_table(const CohReport& report, std::size_t top_n = 10);
+
+/// Sparse HITM matrix as an owner→reader pair table (top `top_n` by count).
+util::Table coh_hitm_pair_table(const CohReport& report,
+                                std::size_t top_n = 16);
+
+/// Lines the detector classifies as false sharing, hottest first.
+std::vector<const CohLine*> coh_false_sharing(const CohReport& report);
+
+/// Sums the counters of every line whose attributed name contains
+/// `name_substr` (scenario assertions filter to e.g. "announce_shared").
+CohTotals coh_sum_matching(const CohReport& report,
+                           std::string_view name_substr);
+
+/// Full console report: totals line, hottest lines, HITM pairs, false-
+/// sharing findings. Deterministic given a deterministic report.
+void write_coh_report(std::ostream& os, const CohReport& report,
+                      std::size_t top_n = 10);
+
+}  // namespace xhc::obs

@@ -70,7 +70,7 @@ void write_number_exact(std::ostream& os, double v) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Recorder& rec,
-                        const std::string& label) {
+                        const std::string& label, const Metrics* metrics) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (int r = 0; r < rec.n_ranks(); ++r) {
@@ -96,15 +96,29 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec,
       write_number(os, (s.t1 - s.t0) * 1e6);
       os << ",\"args\":{\"arg\":" << s.arg << "}}";
     }
+
+    // Modeled coherence counters as counter events: whole-run aggregates,
+    // placed at ts 0 (the counters are cumulative, not per-span).
+    if (metrics != nullptr && r < metrics->n_ranks()) {
+      for (int i = 0; i < kNumCounters; ++i) {
+        const auto c = static_cast<Counter>(i);
+        if (!is_coherence(c)) continue;
+        const std::uint64_t v = metrics->value(r, c);
+        if (v == 0) continue;
+        os << ",{\"ph\":\"C\",\"pid\":" << r << ",\"tid\":0,\"name\":";
+        write_escaped(os, to_string(c));
+        os << ",\"ts\":0,\"args\":{\"value\":" << v << "}}";
+      }
+    }
   }
   os << "]}\n";
 }
 
 void write_chrome_trace_file(const std::string& path, const Recorder& rec,
-                             const std::string& label) {
+                             const std::string& label, const Metrics* metrics) {
   std::ofstream os(path, std::ios::trunc);
   XHC_CHECK(os.good(), "cannot open trace file ", path);
-  write_chrome_trace(os, rec, label);
+  write_chrome_trace(os, rec, label, metrics);
   os.flush();
   XHC_CHECK(os.good(), "failed writing trace file ", path);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/hist.h"
+#include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
 
@@ -23,13 +24,18 @@ namespace xhc::obs {
 
 /// Writes the full trace (all ranks' retained spans) as Chrome trace-event
 /// JSON. `label` prefixes the per-rank process names ("<label> rank 3").
+/// When `metrics` is non-null, each rank's non-zero modeled coherence
+/// counters (is_coherence) are appended as Chrome counter ("C") events so
+/// Perfetto renders coh_* tracks next to the span timeline.
 void write_chrome_trace(std::ostream& os, const Recorder& rec,
-                        const std::string& label = "xhc");
+                        const std::string& label = "xhc",
+                        const Metrics* metrics = nullptr);
 
 /// Convenience: opens `path` (truncating) and writes the trace; throws
 /// util::Error when the file cannot be written.
 void write_chrome_trace_file(const std::string& path, const Recorder& rec,
-                             const std::string& label = "xhc");
+                             const std::string& label = "xhc",
+                             const Metrics* metrics = nullptr);
 
 /// Percentile summary, one row per histogram (times reported in us).
 util::Table hist_table(const std::vector<NamedHist>& hists);

@@ -56,6 +56,34 @@ const char* to_string(Counter c) noexcept {
       return "fault_flag_drops";
     case Counter::kFaultFallbacks:
       return "fault_fallbacks";
+    case Counter::kCohLocalHit:
+      return "coh_local_hit";
+    case Counter::kCohLlcHit:
+      return "coh_llc_hit";
+    case Counter::kCohSlcHit:
+      return "coh_slc_hit";
+    case Counter::kCohHitm:
+      return "coh_hitm";
+    case Counter::kCohSpinRefetch:
+      return "coh_spin_refetch";
+    case Counter::kCohRemoteFill:
+      return "coh_remote_fill";
+    case Counter::kCohInval:
+      return "coh_invalidations";
+    case Counter::kCohOwnershipTransfer:
+      return "coh_ownership_transfers";
+    case Counter::kCohRmw:
+      return "coh_rmw";
+    case Counter::kCohBlockLocalLlc:
+      return "coh_block_local_llc";
+    case Counter::kCohBlockSlc:
+      return "coh_block_slc";
+    case Counter::kCohBlockProducerLlc:
+      return "coh_block_producer_llc";
+    case Counter::kCohBlockMemory:
+      return "coh_block_memory";
+    case Counter::kCohBlockInval:
+      return "coh_block_invalidations";
     case Counter::kCount_:
       break;
   }

@@ -51,8 +51,30 @@ enum class Counter : int {
   kFaultFlagDelays,     ///< delayed flag publications
   kFaultFlagDrops,      ///< dropped flag publications
   kFaultFallbacks,      ///< owners degraded down the mechanism chain
+  // Modeled coherence counters (sim::CohStats, published by SimMachine as
+  // deltas so repeated publishes / reset_counters never double-count).
+  kCohLocalHit,          ///< flag-line read hit an unowned/self-owned line
+  kCohLlcHit,            ///< flag-line read served by a same-LLC peer copy
+  kCohSlcHit,            ///< flag-line read served by the SLC (ARM)
+  kCohHitm,              ///< read serviced by the remote dirty owner's core
+  kCohSpinRefetch,       ///< spinner copy invalidated by a mid-wait store
+  kCohRemoteFill,        ///< clean remote line fill (providing LLC group)
+  kCohInval,             ///< stores that broadcast-invalidated sharers
+  kCohOwnershipTransfer, ///< exclusive ownership moved between cores
+  kCohRmw,               ///< atomic RMWs issued on flag lines
+  kCohBlockLocalLlc,     ///< payload read served from the reader's LLC
+  kCohBlockSlc,          ///< payload read served from the SLC
+  kCohBlockProducerLlc,  ///< payload read served from the producer's LLC
+  kCohBlockMemory,       ///< payload read served from home NUMA memory
+  kCohBlockInval,        ///< payload version bumps over live cached copies
   kCount_  // sentinel
 };
+
+/// True for the modeled-coherence counter range (chrome-trace counter
+/// events and the --coherence consumers select on it).
+constexpr bool is_coherence(Counter c) noexcept {
+  return c >= Counter::kCohLocalHit && c <= Counter::kCohBlockInval;
+}
 
 /// Set-once configuration gauges.
 enum class Gauge : int {

@@ -77,9 +77,11 @@ struct PaddedAcc {
 };
 
 /// Publishes the protocol verifier's summary (src/verify/) as gauges so
-/// --metrics reports checked-build coverage next to the traffic counters.
+/// --metrics reports checked-build coverage next to the traffic counters,
+/// plus the machine's modeled coherence counter deltas (coh_*, SimMachine
+/// only — delta semantics keep repeated sweeps double-count free).
 /// Cheap in every build; in plain builds the store/load counts stay zero.
-void publish_verify_summary(const mach::Machine& machine, obs::Observer* obs) {
+void publish_verify_summary(mach::Machine& machine, obs::Observer* obs) {
   if (obs == nullptr) return;
   const verify::Summary s = machine.verify_ledger().summary();
   obs::Metrics& m = obs->metrics();
@@ -88,6 +90,7 @@ void publish_verify_summary(const mach::Machine& machine, obs::Observer* obs) {
   m.set_gauge(obs::Gauge::kVerifyLoadsChecked, s.loads_checked);
   m.set_gauge(obs::Gauge::kVerifyViolations, s.violations);
   m.set_gauge(obs::Gauge::kVerifyExpectedFindings, s.expected_findings);
+  machine.publish_coh_counters(m);
 }
 
 /// Per-size op-latency histogram plumbing shared by the collective sweeps.

@@ -51,6 +51,11 @@ void CacheModel::on_write(std::uint64_t id, int writer_core) {
   auto it = blocks_.find(id);
   if (it == blocks_.end()) return;
   Block& b = it->second;
+  if (tracking() && (!b.resident_llcs.empty() || b.in_slc)) {
+    // The version bump is the buffer-granularity analogue of an
+    // invalidation broadcast: live cached copies of the old version die.
+    stats_->on_block_inval(writer_core);
+  }
   ++b.version;
   b.resident_llcs.clear();
   b.in_slc = false;
@@ -75,6 +80,9 @@ ServeInfo CacheModel::on_read(std::uint64_t id, int reader_core,
     info.src_llc = reader.llc;
     info.src_numa = reader.numa;
     info.distance = topo::Distance::kLlcLocal;
+    if (tracking()) {
+      stats_->on_block_read(reader_core, CohEvent::kBlockLocalLlc);
+    }
     return info;  // no residency change, no interconnect crossing
   }
   if (b.in_slc) {
@@ -107,6 +115,22 @@ ServeInfo CacheModel::on_read(std::uint64_t id, int reader_core,
     std::size_t& progress = b.read_progress[-1];
     progress += bytes;
     if (progress >= b.bytes) b.in_slc = true;
+  }
+  if (tracking()) {
+    switch (info.kind) {
+      case ServeKind::kLocalLlc:
+        stats_->on_block_read(reader_core, CohEvent::kBlockLocalLlc);
+        break;
+      case ServeKind::kSlc:
+        stats_->on_block_read(reader_core, CohEvent::kBlockSlc);
+        break;
+      case ServeKind::kProducerLlc:
+        stats_->on_block_read(reader_core, CohEvent::kBlockProducerLlc);
+        break;
+      case ServeKind::kMemory:
+        stats_->on_block_read(reader_core, CohEvent::kBlockMemory);
+        break;
+    }
   }
   return info;
 }

@@ -12,6 +12,7 @@
 #include <map>
 #include <set>
 
+#include "sim/coh_stats.h"
 #include "sim/params.h"
 #include "topo/topology.h"
 
@@ -58,6 +59,11 @@ class CacheModel {
   std::uint64_t version(std::uint64_t id) const;
   bool resident_in_llc(std::uint64_t id, int llc) const;
 
+  /// Attaches the coherence-event accumulator (may be null). Not owned.
+  /// Purely observational: ServeKind resolution and residency updates are
+  /// identical whether or not stats are recorded.
+  void set_stats(CohStats* stats) noexcept { stats_ = stats; }
+
   void reset();
 
  private:
@@ -83,8 +89,13 @@ class CacheModel {
   /// Distance class from `reader_core` to memory homed on `numa`.
   topo::Distance numa_distance(int reader_core, int numa) const;
 
+  bool tracking() const noexcept {
+    return stats_ != nullptr && stats_->enabled();
+  }
+
   const topo::Topology* topo_;
   const SimParams* params_;
+  CohStats* stats_ = nullptr;
   std::map<std::uint64_t, Block> blocks_;
 };
 

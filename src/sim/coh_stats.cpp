@@ -1,0 +1,165 @@
+#include "sim/coh_stats.h"
+
+#include "util/cacheline.h"
+
+namespace xhc::sim {
+
+const char* to_string(CohEvent e) noexcept {
+  switch (e) {
+    case CohEvent::kLocalHit:
+      return "local_hit";
+    case CohEvent::kLlcHit:
+      return "llc_hit";
+    case CohEvent::kSlcHit:
+      return "slc_hit";
+    case CohEvent::kHitm:
+      return "hitm";
+    case CohEvent::kSpinRefetch:
+      return "spin_refetch";
+    case CohEvent::kRemoteFill:
+      return "remote_fill";
+    case CohEvent::kInvalBroadcast:
+      return "invalidation";
+    case CohEvent::kOwnershipTransfer:
+      return "ownership_transfer";
+    case CohEvent::kRmw:
+      return "rmw";
+    case CohEvent::kBlockLocalLlc:
+      return "block_local_llc";
+    case CohEvent::kBlockSlc:
+      return "block_slc";
+    case CohEvent::kBlockProducerLlc:
+      return "block_producer_llc";
+    case CohEvent::kBlockMemory:
+      return "block_memory";
+    case CohEvent::kBlockInval:
+      return "block_invalidation";
+    case CohEvent::kCount_:
+      break;
+  }
+  return "?";
+}
+
+CohStats::Row& CohStats::row(int core) { return per_core_[core]; }
+
+CohLineCounters& CohStats::line(const void* addr) {
+  CohLineCounters& l = lines_[util::line_of(addr)];
+  if (l.addrs.size() < CohLineCounters::kMaxLineAddrs) l.addrs.insert(addr);
+  return l;
+}
+
+void CohStats::on_line_read(const void* addr, int core, CohEvent kind,
+                            int owner_core) {
+  row(core)[static_cast<int>(kind)] += 1;
+  CohLineCounters& l = line(addr);
+  ++l.reads;
+  switch (kind) {
+    case CohEvent::kLocalHit:
+      ++l.local_hits;
+      break;
+    case CohEvent::kLlcHit:
+      ++l.llc_hits;
+      break;
+    case CohEvent::kSlcHit:
+      ++l.slc_hits;
+      break;
+    case CohEvent::kHitm:
+      ++l.hitm;
+      ++hitm_pairs_[{owner_core, core}];
+      break;
+    case CohEvent::kRemoteFill:
+      ++l.remote_fills;
+      break;
+    default:
+      break;
+  }
+}
+
+void CohStats::on_line_write(const void* addr, int core, bool invalidated,
+                             bool transfer) {
+  Row& r = row(core);
+  CohLineCounters& l = line(addr);
+  ++l.writes;
+  l.writer_cores.insert(core);
+  if (l.written_addrs.size() < CohLineCounters::kMaxLineAddrs) {
+    l.written_addrs.insert(addr);
+  }
+  if (invalidated) {
+    r[static_cast<int>(CohEvent::kInvalBroadcast)] += 1;
+    ++l.invalidations;
+  }
+  if (transfer) {
+    r[static_cast<int>(CohEvent::kOwnershipTransfer)] += 1;
+    ++l.transfers;
+  }
+}
+
+void CohStats::on_line_rmw(const void* addr, int core, bool transfer) {
+  Row& r = row(core);
+  r[static_cast<int>(CohEvent::kRmw)] += 1;
+  CohLineCounters& l = line(addr);
+  ++l.rmws;
+  l.writer_cores.insert(core);
+  if (l.written_addrs.size() < CohLineCounters::kMaxLineAddrs) {
+    l.written_addrs.insert(addr);
+  }
+  if (transfer) {
+    r[static_cast<int>(CohEvent::kOwnershipTransfer)] += 1;
+    ++l.transfers;
+  }
+}
+
+void CohStats::on_spin_refetch(const void* addr, int core, int owner_core,
+                               std::uint64_t n) {
+  if (n == 0) return;
+  row(core)[static_cast<int>(CohEvent::kSpinRefetch)] += n;
+  line(addr).spin_refetches += n;
+  hitm_pairs_[{owner_core, core}] += n;
+}
+
+void CohStats::on_block_read(int core, CohEvent kind) {
+  row(core)[static_cast<int>(kind)] += 1;
+}
+
+void CohStats::on_block_inval(int core) {
+  row(core)[static_cast<int>(CohEvent::kBlockInval)] += 1;
+}
+
+std::uint64_t CohStats::total(CohEvent e) const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [core, r] : per_core_) sum += r[static_cast<int>(e)];
+  return sum;
+}
+
+std::uint64_t CohStats::core_count(int core, CohEvent e) const noexcept {
+  auto it = per_core_.find(core);
+  return it == per_core_.end() ? 0 : it->second[static_cast<int>(e)];
+}
+
+std::array<std::uint64_t, kNumCohEvents> CohStats::publish_delta(int core) {
+  std::array<std::uint64_t, kNumCohEvents> delta{};
+  auto it = per_core_.find(core);
+  if (it == per_core_.end()) return delta;
+  Row& pub = published_[core];
+  for (int e = 0; e < kNumCohEvents; ++e) {
+    delta[static_cast<std::size_t>(e)] = it->second[static_cast<std::size_t>(e)] -
+                                         pub[static_cast<std::size_t>(e)];
+    pub[static_cast<std::size_t>(e)] = it->second[static_cast<std::size_t>(e)];
+  }
+  return delta;
+}
+
+std::set<int> CohStats::active_cores() const {
+  std::set<int> cores;
+  for (const auto& [core, r] : per_core_) cores.insert(core);
+  return cores;
+}
+
+void CohStats::reset() {
+  per_core_.clear();
+  published_.clear();
+  lines_.clear();
+  hitm_pairs_.clear();
+}
+
+}  // namespace xhc::sim

@@ -1,0 +1,138 @@
+// Modeled hardware performance counters for the coherence models.
+//
+// The line model (control flags) and the cache model (payload buffers)
+// simulate MESI-like mechanics — dirty-owner service, invalidation
+// broadcasts, exclusive-ownership transfer — but historically only as
+// virtual-time costs. CohStats makes every one of those transitions
+// countable: per-core event counters, a per-line table keyed by cache-line
+// address (the raw material for flag-name attribution via
+// verify::Ledger::flag_name), and a sparse owner→reader HITM pair map.
+//
+// Accounting is strictly observational: the models consult `enabled()`
+// before recording, never the other way around, so virtual timestamps are
+// bit-identical whether tracking is on or off (ISSUE 6 acceptance).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace xhc::sim {
+
+/// One modeled coherence transition. The line events mirror the branches of
+/// LineModel::read/write/rmw; the block events mirror CacheModel's ServeKind
+/// resolution and version-bump invalidations.
+enum class CohEvent : int {
+  // Control-flag line model.
+  kLocalHit = 0,        ///< read of an unowned or self-owned line
+  kLlcHit,              ///< read served by a peer copy in the reader's LLC
+  kSlcHit,              ///< read served by the system-level cache (ARM)
+  kHitm,                ///< read serviced by the remote dirty owner's core
+  kSpinRefetch,         ///< spinner's copy invalidated by a store mid-wait
+  kRemoteFill,          ///< clean remote fill (providing LLC group)
+  kInvalBroadcast,      ///< store that had to invalidate sharers/SLC copy
+  kOwnershipTransfer,   ///< write/RMW moved exclusive ownership off a core
+  kRmw,                 ///< atomic read-modify-write issued
+  // Payload-buffer cache model.
+  kBlockLocalLlc,       ///< block read served from the reader's LLC group
+  kBlockSlc,            ///< block read served from the SLC
+  kBlockProducerLlc,    ///< block read served from the producer's LLC group
+  kBlockMemory,         ///< block read served from home NUMA memory
+  kBlockInval,          ///< block write bumped the version over live copies
+  kCount_  // sentinel
+};
+
+const char* to_string(CohEvent e) noexcept;
+
+constexpr int kNumCohEvents = static_cast<int>(CohEvent::kCount_);
+
+/// Per-line accumulation. Address sets are bounded (kMaxLineAddrs) — enough
+/// to name every flag packed into one 64-byte line.
+struct CohLineCounters {
+  static constexpr std::size_t kMaxLineAddrs = 16;
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t slc_hits = 0;
+  std::uint64_t hitm = 0;            ///< dirty-owner services
+  std::uint64_t spin_refetches = 0;  ///< mid-wait invalidation re-fetches
+  std::uint64_t remote_fills = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t transfers = 0;       ///< ownership transfers
+  std::set<int> writer_cores;
+  std::set<const void*> written_addrs;  ///< distinct flag addrs stored to
+  std::set<const void*> addrs;          ///< all distinct addrs touched
+};
+
+/// The observatory's accumulator. One instance per SimMachine; both models
+/// hold a pointer and record into it only while `enabled()`.
+class CohStats {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  // --- line-model hooks ----------------------------------------------------
+  /// A read classified as `kind` (kLocalHit/kLlcHit/kSlcHit/kHitm/
+  /// kRemoteFill). `owner_core` is the core that serviced a kHitm read
+  /// (ignored otherwise, pass -1).
+  void on_line_read(const void* addr, int core, CohEvent kind, int owner_core);
+  /// A store; `invalidated` when sharer copies had to be broadcast-
+  /// invalidated, `transfer` when ownership moved off `prev_owner`.
+  void on_line_write(const void* addr, int core, bool invalidated,
+                     bool transfer);
+  /// An RMW; always acquires exclusive ownership, `transfer` when that
+  /// ownership moved off another core.
+  void on_line_rmw(const void* addr, int core, bool transfer);
+  /// `n` modeled re-fetches by a blocked spinner on `core`: the line it was
+  /// waiting on was stored to `n` extra times before its wait resumed, each
+  /// store invalidating the spinner's copy. `owner_core` services them.
+  void on_spin_refetch(const void* addr, int core, int owner_core,
+                       std::uint64_t n);
+
+  // --- cache-model hooks ---------------------------------------------------
+  void on_block_read(int core, CohEvent kind);
+  void on_block_inval(int core);
+
+  // --- consumption ---------------------------------------------------------
+  std::uint64_t total(CohEvent e) const noexcept;
+  std::uint64_t core_count(int core, CohEvent e) const noexcept;
+  const std::map<std::uintptr_t, CohLineCounters>& lines() const noexcept {
+    return lines_;
+  }
+  /// (owner_core, reader_core) → HITM-class service count (HITM reads plus
+  /// spin re-fetches).
+  const std::map<std::pair<int, int>, std::uint64_t>& hitm_pairs()
+      const noexcept {
+    return hitm_pairs_;
+  }
+
+  /// Delta of every per-core counter since the previous publish_delta call
+  /// for that core; advances the published watermark. Repeated publishes of
+  /// an idle machine therefore add zero — the contract that keeps
+  /// obs::Metrics::reset_counters and multi-sweep publishing double-count
+  /// free.
+  std::array<std::uint64_t, kNumCohEvents> publish_delta(int core);
+
+  /// Cores that have recorded at least one event, in ascending order.
+  std::set<int> active_cores() const;
+
+  void reset();
+
+ private:
+  using Row = std::array<std::uint64_t, kNumCohEvents>;
+  Row& row(int core);
+  CohLineCounters& line(const void* addr);
+
+  bool enabled_ = false;
+  std::map<int, Row> per_core_;
+  std::map<int, Row> published_;
+  std::map<std::uintptr_t, CohLineCounters> lines_;
+  std::map<std::pair<int, int>, std::uint64_t> hitm_pairs_;
+};
+
+}  // namespace xhc::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cacheline.h"
 #include "util/check.h"
 
 namespace xhc::sim {
@@ -15,14 +16,26 @@ LineModel::Line& LineModel::line(std::uintptr_t id) { return lines_[id]; }
 
 double& LineModel::core_port(int core) { return core_port_free_[core]; }
 
-double LineModel::read(std::uintptr_t id, int core, double t,
-                       bool pipelined) {
+std::uint64_t LineModel::store_seq(const void* addr) const noexcept {
+  auto it = lines_.find(util::line_of(addr));
+  return it == lines_.end() ? 0 : it->second.store_seq;
+}
+
+int LineModel::owner_of(const void* addr) const noexcept {
+  auto it = lines_.find(util::line_of(addr));
+  return it == lines_.end() ? -1 : it->second.owner_core;
+}
+
+double LineModel::read(const void* addr, int core, double t, bool pipelined) {
   const double expose = pipelined ? 0.25 : 1.0;
-  Line& l = line(id);
+  Line& l = line(util::line_of(addr));
   const bool shared_llc = topo_->has_shared_llc();
 
   if (l.owner_core < 0 || l.owner_core == core) {
     // Never written, or reading our own line: a local hit.
+    if (tracking()) {
+      stats_->on_line_read(addr, core, CohEvent::kLocalHit, -1);
+    }
     return t + params_->line_hit;
   }
 
@@ -30,6 +43,9 @@ double LineModel::read(std::uintptr_t id, int core, double t,
   if (shared_llc && l.sharer_llcs.count(reader_llc) != 0) {
     // A group peer already pulled the line into our LLC (the implicit
     // hardware assist of paper §V-D1).
+    if (tracking()) {
+      stats_->on_line_read(addr, core, CohEvent::kLlcHit, -1);
+    }
     return t + params_->line_lat_llc;
   }
 
@@ -37,7 +53,11 @@ double LineModel::read(std::uintptr_t id, int core, double t,
   double done;
   if (l.dirty) {
     // First read after a store: serviced by the owner core's port; all
-    // concurrent first-reads of this core's lines serialize here.
+    // concurrent first-reads of this core's lines serialize here. This is
+    // the modeled HITM — a load answered by a remote core's modified copy.
+    if (tracking()) {
+      stats_->on_line_read(addr, core, CohEvent::kHitm, l.owner_core);
+    }
     double& port = core_port(l.owner_core);
     const double start = std::max(t, port);
     port = start + params_->core_port_service;
@@ -51,12 +71,18 @@ double LineModel::read(std::uintptr_t id, int core, double t,
   } else if (shared_llc) {
     // Served by a providing LLC group; fetches of this line serialize on the
     // line's service point.
+    if (tracking()) {
+      stats_->on_line_read(addr, core, CohEvent::kRemoteFill, -1);
+    }
     const double start = std::max(t, l.line_free);
     l.line_free = start + params_->line_service;
     done = start + std::max(params_->line_hit, params_->line_lat(dist) * expose);
   } else {
     // SLC machine: single physical location; every fetch serializes there
     // and no core-local reuse across cores is possible.
+    if (tracking()) {
+      stats_->on_line_read(addr, core, CohEvent::kSlcHit, -1);
+    }
     const double start = std::max(t, l.line_free);
     l.line_free = start + params_->line_service;
     done = start + std::max(params_->line_hit, params_->line_lat_numa * expose);
@@ -66,35 +92,46 @@ double LineModel::read(std::uintptr_t id, int core, double t,
   return done;
 }
 
-double LineModel::write(std::uintptr_t id, int core, double t) {
-  Line& l = line(id);
+double LineModel::write(const void* addr, int core, double t) {
+  Line& l = line(util::line_of(addr));
+  const bool invalidated = !l.sharer_llcs.empty() || l.in_slc ||
+                           (l.owner_core >= 0 && l.owner_core != core);
   double cost = params_->store_cost;
-  if (!l.sharer_llcs.empty() || l.in_slc ||
-      (l.owner_core >= 0 && l.owner_core != core)) {
+  if (invalidated) {
     cost += params_->inval_cost;
+  }
+  if (tracking()) {
+    const bool transfer = l.owner_core >= 0 && l.owner_core != core;
+    stats_->on_line_write(addr, core, invalidated, transfer);
   }
   l.owner_core = core;
   l.dirty = true;
   l.in_slc = false;
   l.sharer_llcs.clear();
+  ++l.store_seq;
   const double done = t + cost;
   l.line_free = std::max(l.line_free, done);
   return done;
 }
 
-double LineModel::rmw(std::uintptr_t id, int core, double t) {
-  Line& l = line(id);
+double LineModel::rmw(const void* addr, int core, double t) {
+  Line& l = line(util::line_of(addr));
   // Exclusive ownership must be acquired; concurrent RMWs serialize on the
   // line regardless of topology.
   const double start = std::max(t, l.line_free);
   double transfer = params_->line_hit;
-  if (l.owner_core >= 0 && l.owner_core != core) {
+  const bool moved = l.owner_core >= 0 && l.owner_core != core;
+  if (moved) {
     transfer = params_->line_lat(topo_->distance(core, l.owner_core));
+  }
+  if (tracking()) {
+    stats_->on_line_rmw(addr, core, moved);
   }
   l.owner_core = core;
   l.dirty = true;
   l.in_slc = false;
   l.sharer_llcs.clear();
+  ++l.store_seq;
   const double done = start + transfer + params_->rmw_service;
   l.line_free = done;
   return done;

@@ -12,12 +12,18 @@
 //    why flat fan-out collapses on ARM-N1 (paper §V-D1);
 //  * atomic RMW always transfers exclusive ownership: N concurrent RMWs cost
 //    ~N ownership transfers (Fig. 4's 23x).
+//
+// Operations take the flag's address (the line id is derived internally) so
+// an attached CohStats can attribute events back to registered flag names.
+// Stats recording is purely observational: completion times are identical
+// whether or not a CohStats is attached/enabled.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
 
+#include "sim/coh_stats.h"
 #include "sim/params.h"
 #include "topo/topology.h"
 
@@ -27,18 +33,30 @@ class LineModel {
  public:
   LineModel(const topo::Topology* topo, const SimParams* params);
 
-  /// A read of the line by `core` issued at time `t`; returns the completion
-  /// time (>= t) and updates sharer state. `pipelined` models a read whose
-  /// value is already available (a scan over set flags): the miss latency
-  /// overlaps with neighbouring reads (memory-level parallelism) and only a
-  /// quarter of it is exposed; occupancy/serialization costs still apply.
-  double read(std::uintptr_t line, int core, double t, bool pipelined = false);
+  /// A read of the line holding `addr` by `core` issued at time `t`; returns
+  /// the completion time (>= t) and updates sharer state. `pipelined` models
+  /// a read whose value is already available (a scan over set flags): the
+  /// miss latency overlaps with neighbouring reads (memory-level
+  /// parallelism) and only a quarter of it is exposed; occupancy /
+  /// serialization costs still apply.
+  double read(const void* addr, int core, double t, bool pipelined = false);
 
   /// A store by `core` at time `t`; returns completion time.
-  double write(std::uintptr_t line, int core, double t);
+  double write(const void* addr, int core, double t);
 
   /// An atomic read-modify-write by `core` at `t`; returns completion time.
-  double rmw(std::uintptr_t line, int core, double t);
+  double rmw(const void* addr, int core, double t);
+
+  /// Attaches the coherence-event accumulator (may be null). Not owned.
+  void set_stats(CohStats* stats) noexcept { stats_ = stats; }
+
+  /// Monotone count of stores+RMWs to `addr`'s line. SimMachine's wait path
+  /// differences it across a blocked window to count the invalidation
+  /// re-fetches a real spinner would have paid (the false-sharing signal of
+  /// the packed Fig. 10 layout).
+  std::uint64_t store_seq(const void* addr) const noexcept;
+  /// Current owning core of `addr`'s line (-1 when never written).
+  int owner_of(const void* addr) const noexcept;
 
   void reset();
 
@@ -50,15 +68,20 @@ class LineModel {
     std::set<int> sharer_llcs;  ///< LLC groups holding the line
     double line_free = 0.0;     ///< serialization point for this line's
                                 ///< fetches (SLC bank / providing LLC)
+    std::uint64_t store_seq = 0;  ///< stores+RMWs so far (accounting only)
   };
 
   Line& line(std::uintptr_t id);
   /// Serialization queue of a provider core's port (first reads of dirty
   /// lines owned by that core, across *all* lines — Fig. 10 separated-flags).
   double& core_port(int core);
+  bool tracking() const noexcept {
+    return stats_ != nullptr && stats_->enabled();
+  }
 
   const topo::Topology* topo_;
   const SimParams* params_;
+  CohStats* stats_ = nullptr;
   std::map<std::uintptr_t, Line> lines_;
   std::map<int, double> core_port_free_;
 };

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <exception>
 
+#include "obs/coh.h"
+#include "obs/metrics.h"
 #include "util/cacheline.h"
 #include "util/check.h"
 #include "util/memops.h"
@@ -117,7 +119,7 @@ class SimMachine::SimCtx final : public mach::Ctx {
 
   void flag_store(mach::Flag& f, std::uint64_t v) override {
     const double t = m_->sched_->now(rank_);
-    const double done = m_->lines_.write(util::line_of(&f), core_, t);
+    const double done = m_->lines_.write(&f, core_, t);
     f.v.store(v, std::memory_order_release);
     m_->flag_hist_[&f].append(v, done);
 #if XHC_VERIFY_ENABLED
@@ -131,7 +133,7 @@ class SimMachine::SimCtx final : public mach::Ctx {
 
   std::uint64_t flag_read(const mach::Flag& f) override {
     const double t = m_->sched_->now(rank_);
-    const double done = m_->lines_.read(util::line_of(&f), core_, t);
+    const double done = m_->lines_.read(&f, core_, t);
     const std::uint64_t value = m_->flag_hist_[&f].value_at(done);
 #if XHC_VERIFY_ENABLED
     m_->verify_ledger().on_observe(&f, rank_, value, done);
@@ -149,7 +151,7 @@ class SimMachine::SimCtx final : public mach::Ctx {
     if (const auto crossing = hist.crossing(v);
         crossing.has_value() && *crossing <= now) {
       const double done =
-          m_->lines_.read(util::line_of(&f), core_, now, /*pipelined=*/true);
+          m_->lines_.read(&f, core_, now, /*pipelined=*/true);
 #if XHC_VERIFY_ENABLED
       m_->verify_ledger().on_wait_resume(&f, rank_, v, done);
 #endif
@@ -158,11 +160,25 @@ class SimMachine::SimCtx final : public mach::Ctx {
     }
     // One suspension is the virtual-time analogue of a spin phase.
     ++wait_spins_;
+    const bool coh = m_->coh_.enabled();
+    const std::uint64_t seq0 = coh ? m_->lines_.store_seq(&f) : 0;
     const double resume = m_->sched_->wait_until(
         rank_, &f, [&hist, v]() { return hist.crossing(v); });
+    if (coh) {
+      // Every store that landed on the watched line while this rank was
+      // blocked invalidated its spinning copy and forced a re-fetch from
+      // the (dirty) owner; the final fetch is priced by the read below, the
+      // earlier ones are the pure false-sharing overhead a packed layout
+      // pays. Accounting only — the virtual clock is untouched.
+      const std::uint64_t landed = m_->lines_.store_seq(&f) - seq0;
+      if (landed > 1) {
+        m_->coh_.on_spin_refetch(&f, core_, m_->lines_.owner_of(&f),
+                                 landed - 1);
+      }
+    }
     // Pay for actually fetching the line at the resume time (the line-model
     // serializes concurrent fetchers — the fan-in effect).
-    const double done = m_->lines_.read(util::line_of(&f), core_, resume);
+    const double done = m_->lines_.read(&f, core_, resume);
 #if XHC_VERIFY_ENABLED
     m_->verify_ledger().on_wait_resume(&f, rank_, v, done);
 #endif
@@ -177,7 +193,7 @@ class SimMachine::SimCtx final : public mach::Ctx {
 
   std::uint64_t fetch_add(mach::Flag& f, std::uint64_t delta) override {
     const double t = m_->sched_->now(rank_);
-    const double done = m_->lines_.rmw(util::line_of(&f), core_, t);
+    const double done = m_->lines_.rmw(&f, core_, t);
     FlagHist& hist = m_->flag_hist_[&f];
     const std::uint64_t prev = hist.last_value();
     const std::uint64_t next = prev + delta;
@@ -217,6 +233,8 @@ SimMachine::SimMachine(topo::Topology topo, int n_ranks,
       params_(params),
       cache_(&topo_, &params_),
       lines_(&topo_, &params_) {
+  cache_.set_stats(&coh_);
+  lines_.set_stats(&coh_);
   setup_ledger();
 }
 
@@ -328,6 +346,135 @@ double SimMachine::price_read(const mach::AllocRegistry::Block* block,
                           static_cast<double>(n) * bw_divisor / bw;
   for (int i = 0; i < n_res; ++i) ledger_.book(res[i], t, t + duration);
   return duration;
+}
+
+bool SimMachine::coh_report(obs::CohReport* out) const {
+  if (out == nullptr) return true;
+  obs::CohReport report;
+
+  report.totals.local_hits = coh_.total(CohEvent::kLocalHit);
+  report.totals.llc_hits = coh_.total(CohEvent::kLlcHit);
+  report.totals.slc_hits = coh_.total(CohEvent::kSlcHit);
+  report.totals.hitm = coh_.total(CohEvent::kHitm);
+  report.totals.spin_refetches = coh_.total(CohEvent::kSpinRefetch);
+  report.totals.remote_fills = coh_.total(CohEvent::kRemoteFill);
+  report.totals.invalidations = coh_.total(CohEvent::kInvalBroadcast);
+  report.totals.transfers = coh_.total(CohEvent::kOwnershipTransfer);
+  report.totals.rmws = coh_.total(CohEvent::kRmw);
+
+  // Per-line rows, attributed through the verifier's flag registry. Lines
+  // no registered flag covers are folded into one "(unregistered)" row:
+  // raw addresses are not reproducible across processes, and the report
+  // must be byte-deterministic.
+  obs::CohLine anon;
+  anon.name = "(unregistered)";
+  bool have_anon = false;
+  for (const auto& [id, c] : coh_.lines()) {
+    std::vector<std::string> names;
+    for (const void* a : c.addrs) {
+      std::string n = verify_ledger().flag_name(a);
+      if (n.empty()) continue;
+      if (std::find(names.begin(), names.end(), n) == names.end()) {
+        names.push_back(std::move(n));
+      }
+    }
+    obs::CohLine l;
+    l.line = id;
+    l.reads = c.reads;
+    l.writes = c.writes;
+    l.rmws = c.rmws;
+    l.local_hits = c.local_hits;
+    l.llc_hits = c.llc_hits;
+    l.slc_hits = c.slc_hits;
+    l.hitm = c.hitm;
+    l.spin_refetches = c.spin_refetches;
+    l.remote_fills = c.remote_fills;
+    l.invalidations = c.invalidations;
+    l.transfers = c.transfers;
+    l.writer_cores = static_cast<int>(c.writer_cores.size());
+    l.written_flags = static_cast<int>(c.written_addrs.size());
+    l.false_sharing = l.written_flags >= 2 || l.writer_cores >= 2;
+    if (names.empty()) {
+      anon.reads += l.reads;
+      anon.writes += l.writes;
+      anon.rmws += l.rmws;
+      anon.local_hits += l.local_hits;
+      anon.llc_hits += l.llc_hits;
+      anon.slc_hits += l.slc_hits;
+      anon.hitm += l.hitm;
+      anon.spin_refetches += l.spin_refetches;
+      anon.remote_fills += l.remote_fills;
+      anon.invalidations += l.invalidations;
+      anon.transfers += l.transfers;
+      anon.writer_cores = std::max(anon.writer_cores, l.writer_cores);
+      anon.written_flags += l.written_flags;
+      have_anon = true;
+      continue;
+    }
+    l.name = names.front();
+    if (names.size() > 1) {
+      l.name += " (+" + std::to_string(names.size() - 1) + ")";
+    }
+    report.lines.push_back(std::move(l));
+  }
+  if (have_anon) report.lines.push_back(std::move(anon));
+  std::sort(report.lines.begin(), report.lines.end(),
+            [](const obs::CohLine& a, const obs::CohLine& b) {
+              if (a.activity() != b.activity()) {
+                return a.activity() > b.activity();
+              }
+              return a.name < b.name;  // names are process-independent
+            });
+
+  // HITM matrix, cores translated to ranks (HITM services always involve
+  // rank-hosting cores; -1 rows would mean a modeling bug, keep them
+  // visible rather than dropping them).
+  std::map<std::pair<int, int>, std::uint64_t> by_rank;
+  for (const auto& [pair, count] : coh_.hitm_pairs()) {
+    by_rank[{map_.rank_on(pair.first), map_.rank_on(pair.second)}] += count;
+  }
+  for (const auto& [pair, count] : by_rank) {
+    report.hitm_pairs.push_back({pair.first, pair.second, count});
+  }
+  std::sort(report.hitm_pairs.begin(), report.hitm_pairs.end(),
+            [](const obs::CohPair& a, const obs::CohPair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.owner_rank != b.owner_rank) {
+                return a.owner_rank < b.owner_rank;
+              }
+              return a.reader_rank < b.reader_rank;
+            });
+
+  *out = std::move(report);
+  return true;
+}
+
+void SimMachine::publish_coh_counters(obs::Metrics& m) {
+  static constexpr std::pair<CohEvent, obs::Counter> kMap[] = {
+      {CohEvent::kLocalHit, obs::Counter::kCohLocalHit},
+      {CohEvent::kLlcHit, obs::Counter::kCohLlcHit},
+      {CohEvent::kSlcHit, obs::Counter::kCohSlcHit},
+      {CohEvent::kHitm, obs::Counter::kCohHitm},
+      {CohEvent::kSpinRefetch, obs::Counter::kCohSpinRefetch},
+      {CohEvent::kRemoteFill, obs::Counter::kCohRemoteFill},
+      {CohEvent::kInvalBroadcast, obs::Counter::kCohInval},
+      {CohEvent::kOwnershipTransfer, obs::Counter::kCohOwnershipTransfer},
+      {CohEvent::kRmw, obs::Counter::kCohRmw},
+      {CohEvent::kBlockLocalLlc, obs::Counter::kCohBlockLocalLlc},
+      {CohEvent::kBlockSlc, obs::Counter::kCohBlockSlc},
+      {CohEvent::kBlockProducerLlc, obs::Counter::kCohBlockProducerLlc},
+      {CohEvent::kBlockMemory, obs::Counter::kCohBlockMemory},
+      {CohEvent::kBlockInval, obs::Counter::kCohBlockInval},
+  };
+  const int n = std::min(n_ranks(), m.n_ranks());
+  for (int r = 0; r < n; ++r) {
+    const auto delta = coh_.publish_delta(map_.core_of(r));
+    for (const auto& [event, counter] : kMap) {
+      const std::uint64_t d = delta[static_cast<std::size_t>(
+          static_cast<int>(event))];
+      if (d != 0) m.add(r, counter, d);
+    }
+  }
 }
 
 mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {

@@ -18,6 +18,7 @@
 
 #include "mach/machine.h"
 #include "sim/cache_model.h"
+#include "sim/coh_stats.h"
 #include "sim/line_model.h"
 #include "sim/params.h"
 #include "sim/resources.h"
@@ -54,10 +55,20 @@ class SimMachine final : public mach::Machine {
   SimBackend backend() const noexcept { return backend_; }
   void set_backend(SimBackend b) noexcept { backend_ = b; }
 
+  /// Coherence observatory (mach::Machine hooks). Tracking gates the
+  /// accounting inside LineModel/CacheModel plus the wait-window spin-
+  /// refetch attribution; virtual timestamps are identical either way.
+  void set_coh_tracking(bool on) override { coh_.set_enabled(on); }
+  bool coh_tracking() const noexcept override { return coh_.enabled(); }
+  bool coh_report(obs::CohReport* out) const override;
+  void publish_coh_counters(obs::Metrics& m) override;
+
   /// Test hooks.
   CacheModel& cache_model() noexcept { return cache_; }
   LineModel& line_model() noexcept { return lines_; }
   ResourceLedger& ledger() noexcept { return ledger_; }
+  CohStats& coh_stats() noexcept { return coh_; }
+  const CohStats& coh_stats() const noexcept { return coh_; }
 
  private:
   class SimCtx;
@@ -89,6 +100,7 @@ class SimMachine final : public mach::Machine {
   topo::RankMap map_;
   SimParams params_;
   mach::AllocRegistry registry_;
+  CohStats coh_;  ///< declared before the models that point into it
   CacheModel cache_;
   LineModel lines_;
   ResourceLedger ledger_;

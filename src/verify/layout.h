@@ -1,4 +1,4 @@
-// Registration + layout lint of the core control block (GroupCtl).
+// Registration + predictive layout lint of the core control block (GroupCtl).
 //
 // Kept out of core/ctl.h so the ledger API does not leak into every control
 // block user; CtlArena::add_group calls this for each group it builds.
@@ -12,14 +12,23 @@ namespace xhc::core {
 struct GroupCtl;
 }  // namespace xhc::core
 
+namespace xhc::topo {
+class Topology;
+}  // namespace xhc::topo
+
 namespace xhc::verify {
 
 /// Registers every flag of `ctl` under `prefix` (policies per paper §III-E:
 /// leader flags rotate with the root, member-slot flags are fixed-writer,
-/// `atomic_ctr` is the whitelisted Fig. 4 multi-writer) and runs the layout
-/// lint, flagging the deliberately packed `announce_shared` array (Fig. 10)
-/// as an expected finding.
-void register_group_ctl(Ledger& ledger, const core::GroupCtl& ctl,
-                        const std::string& prefix);
+/// `atomic_ctr` is the whitelisted Fig. 4 multi-writer) and runs the
+/// predictive layout lint: every cache line holding more than one flag is
+/// replayed through the node's line model (sim::LineModel + sim::CohStats)
+/// against a synthetic separated-layout baseline, and layouts whose
+/// predicted HITM-class traffic + ownership transfers exceed the baseline
+/// are reported as Kind::kCostlyLayout — expected findings when the packing
+/// is deliberate (the Fig. 10 `announce_shared` array), violations
+/// otherwise.
+void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
+                        const core::GroupCtl& ctl, const std::string& prefix);
 
 }  // namespace xhc::verify

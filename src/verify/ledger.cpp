@@ -47,6 +47,8 @@ const char* to_string(Kind k) noexcept {
       return "stale-publish";
     case Kind::kSharedLine:
       return "shared-line";
+    case Kind::kCostlyLayout:
+      return "costly-layout";
   }
   return "?";
 }
@@ -86,7 +88,8 @@ std::string Violation::describe() const {
       }
       break;
     case Kind::kSharedLine:
-      s += flag_name;  // lint pre-formats the pairwise description
+    case Kind::kCostlyLayout:
+      s += flag_name;  // lint pre-formats the description
       break;
   }
   return s;
@@ -290,6 +293,15 @@ void Ledger::lint_group(const std::string& group,
       }
       if (done) break;
     }
+  }
+}
+
+void Ledger::report_layout(Violation v, bool expected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (expected) {
+    expected_.push_back(std::move(v));
+  } else {
+    report(std::move(v));
   }
 }
 

@@ -51,6 +51,8 @@ enum class Kind {
   kRmwOnSingleWriter,   ///< fetch_add on a flag not whitelisted as kShared
   kStalePublish,        ///< reader observed a value before its publish time
   kSharedLine,          ///< flags with distinct writers/spinners share a line
+  kCostlyLayout,        ///< line-model replay predicts excess coherence cost
+                        ///< versus a separated-layout baseline (Fig. 10)
 };
 
 const char* to_string(Kind k) noexcept;
@@ -136,6 +138,12 @@ class Ledger {
   /// expect_shared (the Fig. 10 packed variant) are recorded as expected
   /// findings instead of violations.
   void lint_group(const std::string& group, const std::vector<LintItem>& items);
+
+  /// Records a finding produced by the predictive layout lint
+  /// (verify::register_group_ctl's line-model replay). `expected` findings
+  /// are whitelisted (Fig. 10 deliberately packed layouts); the rest count
+  /// as violations and honor abort-on-violation.
+  void report_layout(Violation v, bool expected);
 
   /// When true (default), the first violation throws util::Error with the
   /// diagnostic; when false, violations are only recorded (used by the

@@ -141,6 +141,11 @@ TEST(CacheModelArm, SlcResidency) {
 // ---------------------------------------------------------------------------
 // LineModel
 
+/// Synthetic address on cache line `id` (the model keys on line_of(addr)).
+const void* ln(int id) {
+  return reinterpret_cast<const void*>(static_cast<std::uintptr_t>(id) * 64);
+}
+
 class LineModelTest : public ::testing::Test {
  protected:
   LineModelTest()
@@ -152,51 +157,51 @@ class LineModelTest : public ::testing::Test {
 };
 
 TEST_F(LineModelTest, ColdReadIsLocalHit) {
-  EXPECT_DOUBLE_EQ(lines_.read(1, 0, 1.0), 1.0 + params_.line_hit);
+  EXPECT_DOUBLE_EQ(lines_.read(ln(1), 0, 1.0), 1.0 + params_.line_hit);
 }
 
 TEST_F(LineModelTest, OwnerReadsOwnLineCheaply) {
-  lines_.write(1, 0, 0.0);
-  EXPECT_DOUBLE_EQ(lines_.read(1, 0, 1.0), 1.0 + params_.line_hit);
+  lines_.write(ln(1), 0, 0.0);
+  EXPECT_DOUBLE_EQ(lines_.read(ln(1), 0, 1.0), 1.0 + params_.line_hit);
 }
 
 TEST_F(LineModelTest, GroupPeerAssist) {
   // After one core of an LLC group fetches a dirty line, its group peers
   // read at LLC latency (paper §V-D1's implicit hardware assist).
-  lines_.write(1, 0, 0.0);
-  const double first = lines_.read(1, /*core=*/8, 1.0);  // remote fetch
+  lines_.write(ln(1), 0, 0.0);
+  const double first = lines_.read(ln(1), /*core=*/8, 1.0);  // remote fetch
   EXPECT_GT(first - 1.0, params_.line_lat_llc);
-  const double peer = lines_.read(1, /*core=*/9, 1.0);  // 8 and 9 share L3
+  const double peer = lines_.read(ln(1), /*core=*/9, 1.0);  // 8, 9 share L3
   EXPECT_NEAR(peer - 1.0, params_.line_lat_llc, 1e-12);
 }
 
 TEST_F(LineModelTest, ConcurrentDirtyFetchesSerializeAtOwnerPort) {
-  lines_.write(1, 0, 0.0);
-  lines_.write(2, 0, 0.0);
+  lines_.write(ln(1), 0, 0.0);
+  lines_.write(ln(2), 0, 0.0);
   // Two different lines, both dirty at core 0: the second fetch queues
   // behind the first on core 0's port (Fig. 10, separated flags).
-  const double a = lines_.read(1, 8, 1.0);
-  const double b = lines_.read(2, 12, 1.0);
+  const double a = lines_.read(ln(1), 8, 1.0);
+  const double b = lines_.read(ln(2), 12, 1.0);
   EXPECT_GT(b, a);  // same issue time, but the second queued at the port
 }
 
 TEST_F(LineModelTest, RmwSerializesOwnership) {
-  const double t1 = lines_.rmw(1, 0, 0.0);
-  const double t2 = lines_.rmw(1, 4, 0.0);
-  const double t3 = lines_.rmw(1, 8, 0.0);
+  const double t1 = lines_.rmw(ln(1), 0, 0.0);
+  const double t2 = lines_.rmw(ln(1), 4, 0.0);
+  const double t3 = lines_.rmw(ln(1), 8, 0.0);
   EXPECT_GT(t2, t1);
   EXPECT_GT(t3, t2);
   EXPECT_GE(t3, 2 * params_.rmw_service);
 }
 
 TEST_F(LineModelTest, WriteInvalidatesSharers) {
-  lines_.write(1, 0, 0.0);
-  (void)lines_.read(1, 8, 1.0);
+  lines_.write(ln(1), 0, 0.0);
+  (void)lines_.read(ln(1), 8, 1.0);
   // Re-write pays the invalidation premium.
-  const double w = lines_.write(1, 0, 2.0);
+  const double w = lines_.write(ln(1), 0, 2.0);
   EXPECT_DOUBLE_EQ(w, 2.0 + params_.store_cost + params_.inval_cost);
   // And the sharer must re-fetch.
-  const double r = lines_.read(1, 9, 3.0);
+  const double r = lines_.read(ln(1), 9, 3.0);
   EXPECT_GT(r - 3.0, params_.line_lat_llc);
 }
 
@@ -204,12 +209,12 @@ TEST(LineModelArm, EveryCoreFetchesFromSlc) {
   topo::Topology arm = topo::armn1();
   SimParams params = armn1_params();
   LineModel lines(&arm, &params);
-  lines.write(1, 0, 0.0);
-  (void)lines.read(1, 10, 1.0);
+  lines.write(ln(1), 0, 0.0);
+  (void)lines.read(ln(1), 10, 1.0);
   // No peer assist on the SLC machine: another core still pays the full
   // SLC fetch and serializes on the line.
-  const double t2 = lines.read(1, 11, 1.0);
-  const double t3 = lines.read(1, 12, 1.0);
+  const double t2 = lines.read(ln(1), 11, 1.0);
+  const double t3 = lines.read(ln(1), 12, 1.0);
   EXPECT_GE(t2 - 1.0, params.line_lat_numa - 1e-12);
   EXPECT_GT(t3, t2);
 }
