@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "coll/registry.h"
+#include "coll/tuning.h"
 #include "fault/fault.h"
 #include "obs/coh.h"
 #include "obs/critpath.h"
@@ -52,6 +53,17 @@ struct BenchArgs {
   /// through apply_tuning() (same grammar as the xhc_fault tuning param).
   std::string faults;
   std::uint64_t fault_seed = 1;  ///< --fault-seed=<n>
+  /// --large: extend the size sweep with the large-message points (256 KB,
+  /// 1 MB, 4 MB). Mainly useful with --quick, whose sweep otherwise stops
+  /// at 64 KB below the large-path thresholds; the full sweep already
+  /// contains these sizes.
+  bool large = false;
+  /// --tune=key=value (repeatable): MCA-style parameter assignments applied
+  /// to every component built through apply_tuning(), after the dedicated
+  /// flags — the lever for A/B runs like disabling the large-message paths
+  /// (--tune=xhc_rs_ag_threshold=0 --tune=xhc_stripe_threshold=0) without a
+  /// rebuild. Same grammar as coll::apply_param; unknown keys fail fast.
+  std::vector<std::string> tune;
 
   static BenchArgs parse(int argc, char** argv) {
     tune_allocator();
@@ -71,9 +83,16 @@ struct BenchArgs {
     b.faults = args.get("fault", "");
     b.fault_seed =
         static_cast<std::uint64_t>(args.get_long("fault-seed", 1));
+    b.large = args.has("large");
+    b.tune = args.get_all("tune");
     if (!b.faults.empty()) {
       // Fail fast on malformed specs, before any sweep spins up.
       (void)fault::Plan::parse(b.faults);
+    }
+    for (const auto& t : b.tune) {
+      // Fail fast on unknown keys / malformed values too.
+      coll::Tuning probe;
+      coll::apply_param(probe, t);
     }
     XHC_REQUIRE(b.jobs >= 0, "--jobs must be >= 0, got ", b.jobs);
     return b;
@@ -86,6 +105,7 @@ struct BenchArgs {
     tuning.hist = hist_on();
     tuning.faults = faults;
     tuning.fault_seed = fault_seed;
+    for (const auto& t : tune) coll::apply_param(tuning, t);
   }
 
   /// Observability requested at all (any output form)?
@@ -151,10 +171,18 @@ inline std::unique_ptr<sim::SimMachine> make_system(
 /// Size sweep used by the latency figures: 4 B .. 4 MB. The paper uses x2
 /// steps; x4 keeps the full suite CI-sized while preserving every regime
 /// (CICO path, pipelined medium, cache-exceeding large).
-inline std::vector<std::size_t> figure_sizes(bool quick) {
+inline std::vector<std::size_t> figure_sizes(bool quick, bool large = false) {
   std::vector<std::size_t> sizes;
   for (std::size_t s = 4; s <= (quick ? (64u << 10) : (4u << 20)); s *= 4) {
     sizes.push_back(s);
+  }
+  if (large) {
+    // --large: the points past the large-path thresholds, skipping any the
+    // base sweep already covers (the full sweep covers all of them).
+    for (const std::size_t s :
+         {std::size_t{256} << 10, std::size_t{1} << 20, std::size_t{4} << 20}) {
+      if (s > sizes.back()) sizes.push_back(s);
+    }
   }
   return sizes;
 }

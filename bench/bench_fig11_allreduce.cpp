@@ -10,7 +10,7 @@
 static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto sizes = bench::figure_sizes(args.quick);
+  const auto sizes = bench::figure_sizes(args.quick, args.large);
   const auto comps = coll::allreduce_component_names();
   const auto systems = args.systems();
 
@@ -34,6 +34,7 @@ static int run(int argc, char** argv) {
         osu::Config cfg;
         cfg.warmup = 1;
         cfg.iters = args.quick ? 1 : 2;
+        cfg.verify = args.verify;
         if (args.observe()) {
           // Observability forces effective_jobs()==1, so sharing one
           // Observer across a system's components stays race-free.

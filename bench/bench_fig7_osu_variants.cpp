@@ -12,7 +12,7 @@
 static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto sizes = bench::figure_sizes(args.quick);
+  const auto sizes = bench::figure_sizes(args.quick, args.large);
 
   util::Table table({"Size", "flat", "flat_mb", "tree", "tree_mb"});
   std::vector<std::vector<std::string>> rows(sizes.size());

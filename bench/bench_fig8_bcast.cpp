@@ -11,7 +11,7 @@
 static int run(int argc, char** argv) {
   using namespace xhc;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto sizes = bench::figure_sizes(args.quick);
+  const auto sizes = bench::figure_sizes(args.quick, args.large);
   const auto comps = coll::bcast_component_names();
   const auto systems = args.systems();
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,6 +60,65 @@ void BM_ReduceF32Sum(benchmark::State& state) {
                           static_cast<std::int64_t>(count * sizeof(float)));
 }
 BENCHMARK(BM_ReduceF32Sum)->Range(1024, 1 << 20);
+
+/// Operands that stay numerically tame under millions of repeated in-place
+/// applications: +/-1 for the float types (sum random-walks, prod stays on
+/// the unit circle, min/max saturate — no drift into inf/denormal territory
+/// that would skew timing), 1 for the integer types (their timing is
+/// data-independent and small values keep repeated sums far from overflow).
+void fill_reduce_operands(void* p, std::size_t count, xhc::mach::DType t,
+                          std::uint64_t seed) {
+  xhc::util::SplitMix64 rng(seed);
+  using xhc::mach::DType;
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (t) {
+      case DType::kU8:
+        static_cast<std::uint8_t*>(p)[i] = 1;
+        break;
+      case DType::kI32:
+        static_cast<std::int32_t*>(p)[i] = 1;
+        break;
+      case DType::kI64:
+        static_cast<std::int64_t*>(p)[i] = 1;
+        break;
+      case DType::kF32:
+        static_cast<float*>(p)[i] = (rng.next() & 1) != 0 ? 1.0f : -1.0f;
+        break;
+      case DType::kF64:
+        static_cast<double*>(p)[i] = (rng.next() & 1) != 0 ? 1.0 : -1.0;
+        break;
+    }
+  }
+}
+
+/// Full op x dtype matrix, fast kernel vs scalar reference, at one
+/// bandwidth-representative size — the per-pair speedup the large-message
+/// reduce-scatter path banks on. Args: (dtype, op, scalar?).
+void BM_Reduce(benchmark::State& state) {
+  const auto dtype = static_cast<xhc::mach::DType>(state.range(0));
+  const auto op = static_cast<xhc::mach::ROp>(state.range(1));
+  const bool scalar = state.range(2) != 0;
+  constexpr std::size_t kCount = 64 << 10;
+  const std::size_t bytes = kCount * xhc::mach::dtype_size(dtype);
+  std::vector<std::byte> dst(bytes);
+  std::vector<std::byte> src(bytes);
+  fill_reduce_operands(dst.data(), kCount, dtype, 1);
+  fill_reduce_operands(src.data(), kCount, dtype, 2);
+  state.SetLabel(std::string(xhc::mach::to_string(dtype)) + "/" +
+                 xhc::mach::to_string(op) + (scalar ? "/scalar" : "/fast"));
+  for (auto _ : state) {
+    if (scalar) {
+      xhc::mach::reduce_apply_scalar(dst.data(), src.data(), kCount, dtype,
+                                     op);
+    } else {
+      xhc::mach::reduce_apply(dst.data(), src.data(), kCount, dtype, op);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Reduce)->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2, 3}, {0, 1}});
 
 /// Single-writer flag round trip between two threads (ping-pong).
 void BM_FlagRoundTrip(benchmark::State& state) {

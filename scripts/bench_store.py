@@ -11,7 +11,10 @@ Options:
     --store=FILE     append the run to FILE (default BENCH_perf.json)
     --out=FILE       write a one-run candidate store to FILE instead
     --build=DIR      build tree holding bench/ binaries (default build)
-    --targets=LIST   comma list of fig8,fig11,fig10,fig4 (default all)
+    --targets=LIST   comma list of fig8,fig11,fig10,fig4,fig8L,fig11L
+                     (default all; the L variants re-run the bcast and
+                     allreduce sweeps with --large appended, extending the
+                     size axis to 256K/1M/4M for the bandwidth-path gate)
     --presets=LIST   comma list of topology presets ('' = bench defaults)
     --quick          pass --quick to the benches (default on; --full negates)
     --k=N            repetitions per target, median per point (default 3)
@@ -35,10 +38,12 @@ import sys
 from datetime import datetime, timezone
 
 TARGETS = {
-    "fig8": "bench_fig8_bcast",
-    "fig11": "bench_fig11_allreduce",
-    "fig10": "bench_fig10_cacheline",
-    "fig4": "bench_fig4_atomics",
+    "fig8": ("bench_fig8_bcast", []),
+    "fig11": ("bench_fig11_allreduce", []),
+    "fig10": ("bench_fig10_cacheline", []),
+    "fig4": ("bench_fig4_atomics", []),
+    "fig8L": ("bench_fig8_bcast", ["--large"]),
+    "fig11L": ("bench_fig11_allreduce", ["--large"]),
 }
 
 
@@ -52,7 +57,7 @@ def parse_args(argv):
         "store": "BENCH_perf.json",
         "out": None,
         "build": "build",
-        "targets": "fig8,fig11,fig10,fig4",
+        "targets": "fig8,fig11,fig10,fig4,fig8L,fig11L",
         "presets": "",
         "quick": True,
         "k": 3,
@@ -120,16 +125,18 @@ def parse_csv_sections(text, fig):
 
 
 def run_target(fig, opts):
-    binary = os.path.join(opts["build"], "bench", TARGETS[fig])
+    name, extra = TARGETS[fig]
+    binary = os.path.join(opts["build"], "bench", name)
     if not os.path.exists(binary):
         fail("missing bench binary %s (build first)" % binary)
     presets = [p for p in opts["presets"].split(",") if p]
     cmds = []
     if presets:
         for p in presets:
-            cmds.append([binary, "--csv", "--jobs=0", "--preset=%s" % p])
+            cmds.append([binary, "--csv", "--jobs=0", "--preset=%s" % p]
+                        + extra)
     else:
-        cmds.append([binary, "--csv", "--jobs=0"])
+        cmds.append([binary, "--csv", "--jobs=0"] + extra)
     if opts["quick"]:
         for c in cmds:
             c.append("--quick")

@@ -11,8 +11,13 @@
 #   scripts/check.sh fault      # chaos suite: fixed seed sweep (build/)
 #                               # plus the same under TSan (build-tsan/)
 #   scripts/check.sh bench      # perf regression gate: quick fig8+fig11+
-#                               # fig10+fig4 sweep vs BENCH_perf.json +
-#                               # gate self-test
+#                               # fig10+fig4 (+ large-size fig8L/fig11L)
+#                               # sweep vs BENCH_perf.json + gate self-test
+#   scripts/check.sh largemsg   # large-message path gate: bandwidth-engine
+#                               # tests, verified --large sweeps, quick-table
+#                               # bit-identity with the paths disabled,
+#                               # seeded chaos over large sizes, TSan +
+#                               # threads-backend reruns
 #   scripts/check.sh coherence  # coherence observatory gate: scenario
 #                               # assertions, --coherence determinism,
 #                               # zero-cost contract, model tests under
@@ -97,6 +102,60 @@ case "$mode" in
     run_bench_gate build
     exit 0
     ;;
+  largemsg)
+    # Large-message path gate (DESIGN.md § Large-message paths): the
+    # bandwidth-engine test groups, result-verified --large sweeps of the
+    # allreduce and bcast benches, a bit-identity check that the quick
+    # (below-threshold) tables are unchanged when the large paths are force
+    # disabled, a seeded chaos sweep over large sizes, and the same test
+    # groups again under the threads backend and TSan.
+    scripts/lint_flags.sh
+    cmake -B build -S .
+    cmake --build build -j
+    largemsg_tests='LargeMsg|Collectives|ReduceKernels|ShardPlan|Partition|ShardSchedule|Reduce\.'
+    (cd build && ctest --output-on-failure -j "$(nproc)" \
+      -R "$largemsg_tests" "$@")
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== result-verified large sweeps =="
+    build/bench/bench_fig11_allreduce --quick --large --verify \
+      --preset=epyc2p > /dev/null
+    build/bench/bench_fig8_bcast --quick --large --verify \
+      --preset=epyc2p > /dev/null
+    # Tiny grids with the thresholds pulled down: the nested schedule and
+    # striping run on every size of the quick sweep under verification.
+    build/bench/bench_fig11_allreduce --quick --verify --preset=mini8 \
+      --tune=xhc_rs_ag_threshold=4096 > /dev/null
+    build/bench/bench_fig8_bcast --quick --verify --preset=mini16 \
+      --tune=xhc_stripe_threshold=4096 > /dev/null
+    echo "verified sweeps: ok"
+    echo "== bit-identity: quick tables unchanged with large paths off =="
+    for fig in fig8_bcast fig11_allreduce; do
+      "build/bench/bench_$fig" --quick --csv --jobs=0 > "$tmp/$fig.on"
+      "build/bench/bench_$fig" --quick --csv --jobs=0 \
+        --tune=xhc_rs_ag_threshold=0 --tune=xhc_stripe_threshold=0 \
+        > "$tmp/$fig.off"
+      diff "$tmp/$fig.on" "$tmp/$fig.off"
+      echo "$fig: below-threshold tables bit-identical"
+    done
+    echo "== seeded chaos sweep over large sizes =="
+    spec='attach,prob=0.2;regmiss,prob=0.3;straggler,prob=0.2,delay=2e-6;flagdelay,prob=0.1,delay=1e-6'
+    for seed in 1 42 1337; do
+      build/bench/bench_fig11_allreduce --quick --large --preset=mini16 \
+        --fault="$spec" --fault-seed="$seed" > /dev/null
+      echo "seed $seed: ok"
+    done
+    echo "== threads backend =="
+    (cd build && XHC_SIM_BACKEND=threads ctest --output-on-failure \
+      -j "$(nproc)" -R "$largemsg_tests" "$@")
+    echo "== TSan =="
+    cmake -B build-tsan -S . -DXHC_SANITIZE=thread
+    cmake --build build-tsan -j
+    (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+      -R "$largemsg_tests" "$@")
+    echo "largemsg gate: OK"
+    exit 0
+    ;;
   coherence)
     # Coherence observatory gate (DESIGN.md § Coherence observatory).
     # The fig10/fig4 binaries carry always-on scenario assertions (packed
@@ -153,7 +212,8 @@ case "$mode" in
     exit 0
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|verify|fault|bench|coherence]" \
+    echo "usage: $0" \
+         "[thread|address|undefined|verify|fault|bench|largemsg|coherence]" \
          "[ctest args...]" >&2
     exit 2
     ;;

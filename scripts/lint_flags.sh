@@ -57,7 +57,26 @@ if [ -n "$coh" ]; then
   fail=1
 fi
 
-# 4. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
+# 4. Every mach::Flag field declared in the shared control blocks must be
+#    registered in src/verify/layout.cpp (register_group_ctl /
+#    register_shard_ctl): a flag the layout pass never sees is invisible to
+#    both the protocol ledger and the false-sharing lint, so adding a field
+#    without registering it silently shrinks verification coverage.
+ctl_fields=$(grep -oE '(util::CachePadded<mach::Flag>|mach::Flag)\* *[A-Za-z_]+' \
+               src/core/ctl.h | awk '{print $NF}' | sort -u)
+unreg=""
+for f in $ctl_fields; do
+  if ! grep -qE "ctl\.$f\b" src/verify/layout.cpp; then
+    unreg+=" $f"
+  fi
+done
+if [ -n "$unreg" ]; then
+  echo "error: mach::Flag fields in src/core/ctl.h never registered in" >&2
+  echo "src/verify/layout.cpp:$unreg" >&2
+  fail=1
+fi
+
+# 5. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
 #    over the verifier and machine layers, when the tool and a compilation
 #    database are available.
 tidy_db=""

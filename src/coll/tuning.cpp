@@ -29,6 +29,18 @@ const char* to_string(SyncMethod s) {
   return "?";
 }
 
+namespace {
+
+std::size_t parse_bytes(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  XHC_CHECK(end != nullptr && *end == '\0' && !value.empty(), key,
+            ": bad byte count '", value, "'");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
 void apply_param(Tuning& t, std::string_view assignment) {
   const auto eq = assignment.find('=');
   XHC_CHECK(eq != std::string_view::npos && eq > 0,
@@ -56,6 +68,25 @@ void apply_param(Tuning& t, std::string_view assignment) {
     XHC_CHECK(end != nullptr && *end == '\0' && !value.empty() && v > 0,
               "xhc_reg_cache_entries: bad capacity '", value, "'");
     t.reg_cache_entries = static_cast<std::size_t>(v);
+  } else if (key == "xhc_rs_ag_threshold") {
+    t.rs_ag_threshold = parse_bytes(key, value);
+  } else if (key == "xhc_stripe_threshold") {
+    t.stripe_threshold = parse_bytes(key, value);
+  } else if (key == "xhc_large_chunk_bytes") {
+    // Comma-separated per-level list, innermost first, e.g. "65536,262144".
+    std::vector<std::size_t> chunks;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+      const std::size_t comma = value.find(',', pos);
+      const std::string part =
+          value.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const std::size_t c = parse_bytes(key, part);
+      XHC_CHECK(c > 0, "xhc_large_chunk_bytes: chunk must be nonzero");
+      chunks.push_back(c);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    t.large_chunk_bytes = std::move(chunks);
   } else {
     XHC_CHECK(false, "unknown tuning parameter '", key, "'");
   }

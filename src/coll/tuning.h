@@ -46,7 +46,7 @@ struct Tuning {
 
   /// Pipeline chunk size per hierarchy level, innermost first; the last
   /// entry repeats for deeper levels (paper §III-B).
-  std::vector<std::size_t> chunk_bytes = {16 * 1024};
+  std::vector<std::size_t> chunk_bytes = {kDefaultChunkBytes};
 
   /// Single-copy mechanism and registration caching (paper §III-C).
   smsc::Mechanism mechanism = smsc::Mechanism::kXpmem;
@@ -91,10 +91,41 @@ struct Tuning {
   /// Seed of the per-rank fault decision streams.
   std::uint64_t fault_seed = 1;
 
+  /// Size-class dispatcher (DESIGN.md § Large-message paths). Allreduce
+  /// payloads strictly larger than `rs_ag_threshold` bytes take the
+  /// hierarchical reduce-scatter + allgather path; bcast payloads strictly
+  /// larger than `stripe_threshold` take the multi-leader striped path.
+  /// Everything at or below a threshold runs the unchanged latency path
+  /// (paper §III-B pipeline), so below-threshold behavior is bit-identical
+  /// to a build without the large paths. 0 disables a large path entirely.
+  std::size_t rs_ag_threshold = 128 * 1024;
+  std::size_t stripe_threshold = 128 * 1024;
+
+  /// Pipeline chunk size per hierarchy level for the large-message paths,
+  /// innermost first, last entry repeating — the large paths move far more
+  /// bytes per flag, so they default to coarser chunks than `chunk_bytes`.
+  std::vector<std::size_t> large_chunk_bytes = {kDefaultLargeChunkBytes};
+
+  /// Fallback pipeline chunk size, shared by the `chunk_bytes` default
+  /// initializer and the empty-vector fallback of `chunk_for_level` (one
+  /// source of truth; they silently diverged once).
+  static constexpr std::size_t kDefaultChunkBytes = 16 * 1024;
+  static constexpr std::size_t kDefaultLargeChunkBytes = 64 * 1024;
+
   std::size_t chunk_for_level(int level) const noexcept {
-    if (chunk_bytes.empty()) return 16 * 1024;
+    return pick_chunk(chunk_bytes, level, kDefaultChunkBytes);
+  }
+
+  std::size_t large_chunk_for_level(int level) const noexcept {
+    return pick_chunk(large_chunk_bytes, level, kDefaultLargeChunkBytes);
+  }
+
+ private:
+  static std::size_t pick_chunk(const std::vector<std::size_t>& v, int level,
+                                std::size_t fallback) noexcept {
+    if (v.empty()) return fallback;
     const std::size_t i = static_cast<std::size_t>(level);
-    return i < chunk_bytes.size() ? chunk_bytes[i] : chunk_bytes.back();
+    return i < v.size() ? v[i] : v.back();
   }
 };
 

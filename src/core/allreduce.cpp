@@ -9,6 +9,7 @@
 // hierarchy via the pull machinery shared with MPI_Bcast.
 #include <algorithm>
 
+#include "core/shard_schedule.h"
 #include "core/xhc_component.h"
 #include "util/check.h"
 
@@ -151,6 +152,19 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
   const bool cico = bytes <= tuning_.cico_threshold;
   const auto& ms = view.memberships(r);
   const CicoSeg& my_seg = cico_[static_cast<std::size_t>(r)];
+
+  // Size-class dispatch (DESIGN.md § Large-message paths): payloads strictly
+  // above the threshold take the bandwidth path. The decision depends only
+  // on state every rank shares (size, tuning, topology), so all ranks agree.
+  if (deliver_all && !cico && tuning_.rs_ag_threshold > 0 &&
+      bytes > tuning_.rs_ag_threshold && tree_.shard_plan().uniform()) {
+    allreduce_rs_ag(ctx, view, sbuf, rbuf, count, dtype, op, in_place, s);
+    for (auto& b : rs.bcast_base) b += bytes;
+    for (auto& b : rs.reduce_base) b += bytes;
+    rs.shard_base +=
+        2 * static_cast<std::uint64_t>(tree_.shard_plan().n_stages()) * bytes;
+    return;
+  }
 
   ReducePlan plan;
   plan.bytes = bytes;
@@ -329,6 +343,173 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
 
   for (auto& b : rs.bcast_base) b += bytes;
   for (auto& b : rs.reduce_base) b += bytes;
+}
+
+void XhcComponent::allreduce_rs_ag(mach::Ctx& ctx, const CommView& view,
+                                   const void* sbuf, void* rbuf,
+                                   std::size_t count, mach::DType dtype,
+                                   mach::ROp op, bool in_place,
+                                   std::uint64_t s) {
+  const std::size_t elem = mach::dtype_size(dtype);
+  const std::size_t bytes = count * elem;
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  ShardCtl& sc = tree_.shard_ctl();
+  const ShardSchedule sched = tree_.shard_plan().schedule(r, count, elem);
+  const int n_stages = sched.n_stages();
+  const std::uint64_t base = rs.shard_base;
+  std::byte* dst = static_cast<std::byte*>(rbuf);
+  const std::byte* own_contrib = static_cast<const std::byte*>(sbuf);
+
+  // Peers read sbuf at stage 0 and rbuf everywhere after; publish both.
+  rs.endpoint->expose(ctx, sbuf, bytes);
+  rs.endpoint->expose(ctx, rbuf, bytes);
+  sc.sinfo[r]->contrib = sbuf;
+  sc.sinfo[r]->result = rbuf;
+  ctx.flag_store(*sc.shard_seq[r], s);
+
+  // --- reduce-scatter: stage k reduces this rank's shard of the shared
+  // parent range, reading one peer per sibling child domain. Stage 0 reads
+  // the peers' contribution buffers (fully available once published, no
+  // progress wait); deeper stages read the peers' receive buffers, gated
+  // chunk by chunk on the peers' stage-(k-1) progress.
+  for (int k = 0; k < n_stages; ++k) {
+    const ShardStage& st = sched.stages[k];
+    std::vector<const std::byte*> src(st.peers.size(), nullptr);
+    for (std::size_t i = 0; i < st.peers.size(); ++i) {
+      const int j = st.peers[i];
+      if (j == r) continue;
+      {
+        WaitObs obs(*this, ctx, "shard_seq_wait", k, j);
+        ctx.flag_wait_ge(*sc.shard_seq[j], s);
+      }
+      src[i] = static_cast<const std::byte*>(rs.endpoint->attach(
+          ctx, j, k == 0 ? sc.sinfo[j]->contrib : sc.sinfo[j]->result,
+          bytes));
+    }
+    const std::size_t chunk_elems = std::max<std::size_t>(
+        tuning_.large_chunk_for_level(k) / elem, 1);
+    for (std::size_t lo = st.range.lo; lo < st.range.hi;) {
+      const std::size_t hi = std::min(st.range.hi, lo + chunk_elems);
+      maybe_stall(ctx, k);
+      if (k > 0) {
+        // The threshold is exact: every stage-k peer shares `parent`, and a
+        // peer's prog advances relative to parent.lo during its stage k-1.
+        for (std::size_t i = 0; i < st.peers.size(); ++i) {
+          const int j = st.peers[i];
+          if (j == r) continue;
+          WaitObs obs(*this, ctx, "rs_src_wait", k, j);
+          ctx.flag_wait_ge(*sc.prog[j], base + sched.rs_slot(k - 1) +
+                                            (hi - st.parent.lo) * elem);
+        }
+      }
+      {
+        XHC_TRACE(trace_sink(), ctx, "reduce", "allreduce.rs_chunk",
+                  (hi - lo) * elem);
+        HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
+        count_chunk(ctx, k);
+        if (k == 0 && !in_place) {
+          // Seed the shard with this rank's own contribution. In place the
+          // bytes are already there, and stage-0 peers read disjoint ranges
+          // of this buffer, so the in-place reduce below is race-free.
+          ctx.copy(dst + lo * elem, own_contrib + lo * elem,
+                   (hi - lo) * elem);
+        }
+        const std::size_t n_elems = hi - lo;
+        for (std::size_t i = 0; i < st.peers.size(); ++i) {
+          const int j = st.peers[i];
+          if (j == r) continue;
+          rs.endpoint->charge_op(ctx, n_elems * elem, ctx.size(), j);
+          ctx.reduce(dst + lo * elem, src[i] + lo * elem, n_elems, dtype,
+                     op);
+          book(ctx, obs::Counter::kReduceBytes, n_elems * elem);
+        }
+      }
+      ctx.flag_store(*sc.prog[r],
+                     base + sched.rs_slot(k) + (hi - st.range.lo) * elem);
+      lo = hi;
+    }
+    // Slot-boundary snap: deeper partitions differ by remainders across
+    // ranks, so peers wait on slot multiples, not on exact shard sizes.
+    ctx.flag_store(*sc.prog[r], base + sched.rs_slot(k + 1));
+    for (const int j : st.peers) {
+      if (j != r) record_traffic(j, r);
+    }
+  }
+
+  // --- allgather: stage u rebuilds the stage-u parent range by pulling
+  // every sibling's shard from its owner; outermost stage first, so each
+  // pulled byte is already fully reduced. The outermost stage pipelines
+  // into the peers' final reduce-scatter stage chunk by chunk; inner
+  // stages wait for the peer's previous allgather slot to complete.
+  for (int u = n_stages - 1; u >= 0; --u) {
+    const ShardStage& st = sched.stages[u];
+    for (std::size_t i = 0; i < st.peers.size(); ++i) {
+      const int j = st.peers[i];
+      if (j == r) continue;
+      const ElemRange pr = partition(st.parent, st.peers.size(), i);
+      if (pr.size() == 0) continue;
+      // shard_seq[j] was already acquired during reduce-scatter stage u
+      // (same peer set), so the sinfo read needs no further wait.
+      const std::byte* srcp = static_cast<const std::byte*>(
+          rs.endpoint->attach(ctx, j, sc.sinfo[j]->result, bytes));
+      const obs::Counter ctr = pull_counter(rs, j);
+      const std::size_t chunk_elems = std::max<std::size_t>(
+          tuning_.large_chunk_for_level(u) / elem, 1);
+      if (u < n_stages - 1) {
+        WaitObs obs(*this, ctx, "ag_piece_wait", u, j);
+        ctx.flag_wait_ge(*sc.prog[j], base + sched.ag_slot(u));
+      }
+      for (std::size_t lo = pr.lo; lo < pr.hi;) {
+        const std::size_t hi = std::min(pr.hi, lo + chunk_elems);
+        maybe_stall(ctx, u);
+        if (u == n_stages - 1) {
+          WaitObs obs(*this, ctx, "ag_piece_wait", u, j);
+          ctx.flag_wait_ge(*sc.prog[j],
+                           base + sched.rs_slot(u) + (hi - pr.lo) * elem);
+        }
+        XHC_TRACE(trace_sink(), ctx, "copy", "allreduce.ag_pull",
+                  (hi - lo) * elem);
+        HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
+        count_chunk(ctx, u);
+        rs.endpoint->charge_op(ctx, (hi - lo) * elem, ctx.size(), j);
+        ctx.copy(dst + lo * elem, srcp + lo * elem, (hi - lo) * elem);
+        book(ctx, ctr, (hi - lo) * elem);
+        lo = hi;
+      }
+      record_traffic(j, r);
+    }
+    ctx.flag_store(*sc.prog[r], base + sched.ag_slot(u) + bytes);
+  }
+
+  // --- completion fence: this rank's rbuf stays readable by peers until
+  // their own allgather finishes, so nobody may return (and hand rbuf back
+  // to the user) before everyone is done. Reuses the hierarchical ack
+  // gather + announce release, one ack per member per op, so both sync
+  // methods stay correct.
+  const auto& ms = view.memberships(r);
+  const CommView::Membership& top = ms.back();
+  if (top.is_leader) {
+    for (const auto& m : ms) {
+      wait_acks(ctx, m, s);
+    }
+    for (const auto& m : ms) {
+      announce_publish(
+          ctx, m, rs.bcast_base[static_cast<std::size_t>(m.ctl_id)] + bytes);
+    }
+  } else {
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      wait_acks(ctx, ms[i], s);
+    }
+    ack_publish(ctx, top, s);
+    announce_wait(ctx, top,
+                  rs.bcast_base[static_cast<std::size_t>(top.ctl_id)] + bytes);
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      announce_publish(
+          ctx, ms[i],
+          rs.bcast_base[static_cast<std::size_t>(ms[i].ctl_id)] + bytes);
+    }
+  }
 }
 
 }  // namespace xhc::core

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "core/shard_schedule.h"
 #include "util/check.h"
 
 namespace xhc::core {
@@ -55,21 +56,8 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
   // and the single-copy path may have degraded per-owner (XPMEM→CMA→CICO,
   // DESIGN.md § Fault injection & degradation) — attribute CMA/KNEM bytes
   // to their own counter so the degradation traffic is visible in metrics.
-  obs::Counter copy_ctr = obs::Counter::kCicoBytes;
-  if (!cico) {
-    switch (rs.endpoint->effective_mechanism(top.leader)) {
-      case smsc::Mechanism::kXpmem:
-        copy_ctr = obs::Counter::kSingleCopyBytes;
-        break;
-      case smsc::Mechanism::kCma:
-      case smsc::Mechanism::kKnem:
-        copy_ctr = obs::Counter::kCmaBytes;
-        break;
-      case smsc::Mechanism::kCico:
-        copy_ctr = obs::Counter::kCicoBytes;
-        break;
-    }
-  }
+  const obs::Counter copy_ctr =
+      cico ? obs::Counter::kCicoBytes : pull_counter(rs, top.leader);
 
   for (std::size_t lo = 0; lo < bytes;) {
     const std::size_t hi = std::min(bytes, lo + chunk);
@@ -123,6 +111,23 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
               "CICO threshold exceeds segment half");
   const auto& ms = view.memberships(r);
 
+  // Size-class dispatch (DESIGN.md § Large-message paths): top-level group
+  // members stripe payloads strictly above the threshold across the whole
+  // top group; everyone below the top level pulls through the unchanged
+  // pipeline against the announces the striping leaders relay. Gated on
+  // kSingleWriter: the root publishes an extra ack in the striped barrier,
+  // which the fetch-add variant's (members-1)*s arithmetic cannot absorb.
+  const CommView::Membership& outer = ms.back();
+  if (!cico && tuning_.stripe_threshold > 0 &&
+      bytes > tuning_.stripe_threshold &&
+      tuning_.sync == coll::SyncMethod::kSingleWriter &&
+      outer.level == tree_.n_levels() - 1 && outer.members.size() >= 2) {
+    bcast_striped(ctx, view, buf, bytes, root, s);
+    for (auto& b : rs.bcast_base) b += bytes;
+    rs.stripe_base += bytes;
+    return;
+  }
+
   if (r == root) {
     const void* src = buf;
     if (cico) {
@@ -166,7 +171,172 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
 
   // Advance the per-group cumulative byte bases (kept mirrored by every
   // rank; all ranks execute every collective, so the mirrors agree).
+  // stripe_base advances on every bcast — striped or not — because the set
+  // of striping ranks changes with the root, while the counter mirrors must
+  // agree across any future top group.
   for (auto& b : rs.bcast_base) b += bytes;
+  rs.stripe_base += bytes;
+}
+
+void XhcComponent::bcast_striped(mach::Ctx& ctx, const CommView& view,
+                                 void* buf, std::size_t bytes, int root,
+                                 std::uint64_t s) {
+  const int r = ctx.rank();
+  RankState& rs = state(r);
+  ShardCtl& sc = tree_.shard_ctl();
+  const auto& ms = view.memberships(r);
+  const CommView::Membership& top = ms.back();
+  const std::size_t width = top.members.size();
+  const std::uint64_t sbase = rs.stripe_base;
+  const std::size_t chunk =
+      std::max<std::size_t>(tuning_.large_chunk_for_level(top.level), 1);
+  const auto stripe_of = [&](std::size_t w) {
+    return partition(ElemRange{0, bytes}, width, w);
+  };
+
+  rs.endpoint->expose(ctx, buf, bytes);
+
+  if (r == root) {
+    // The root's payload is fully available up front: join every led group
+    // (lower groups run the standard full-range announce), publish the
+    // buffer on the stripe plane, and mark the whole stripe timeline done —
+    // owners pull their stripes without further handshakes.
+    for (const auto& m : ms) {
+      GroupCtl& ctl = tree_.ctl(m.ctl_id);
+      ctl.info[0]->buf = buf;
+      ctx.flag_store(*ctl.seq[0], s);
+      if (m.ctl_id != top.ctl_id) {
+        announce_publish(
+            ctx, m,
+            rs.bcast_base[static_cast<std::size_t>(m.ctl_id)] + bytes);
+      }
+    }
+    sc.sinfo[r]->result = buf;
+    ctx.flag_store(*sc.shard_seq[r], s);
+    ctx.flag_store(*sc.stripe_ready[r], sbase + bytes);
+    // Ack the top group early — the root has no stripes to pull, and the
+    // peers' all-to-all barrier below waits on every member's slot.
+    ack_publish(ctx, top, s);
+    for (const auto& m : ms) {
+      if (m.ctl_id != top.ctl_id) wait_acks(ctx, m, s);
+    }
+    wait_acks(ctx, top, s);
+    return;
+  }
+
+  // Non-root top-group member: publish the buffer to led groups and the
+  // stripe plane first, so children and stripe readers can start as soon
+  // as bytes land.
+  for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+    GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
+    ctl.info[0]->buf = buf;
+    ctx.flag_store(*ctl.seq[0], s);
+  }
+  sc.sinfo[r]->result = buf;
+  ctx.flag_store(*sc.shard_seq[r], s);
+
+  std::byte* dst = static_cast<std::byte*>(buf);
+  std::size_t my_pos = width;
+  for (std::size_t w = 0; w < width; ++w) {
+    if (top.members[w] == r) my_pos = w;
+  }
+  XHC_CHECK(my_pos < width, "rank missing from top group");
+
+  {
+    WaitObs obs(*this, ctx, "shard_seq_wait", top.level, root);
+    ctx.flag_wait_ge(*sc.shard_seq[root], s);
+  }
+  const std::byte* root_src = static_cast<const std::byte*>(
+      rs.endpoint->attach(ctx, root, sc.sinfo[root]->result, bytes));
+
+  // Announce relay: led children pull contiguous prefixes, so republish
+  // the longest fully-assembled prefix whenever it grows.
+  std::vector<std::size_t> done(width, 0);
+  std::size_t announced = 0;
+  const auto relay = [&]() {
+    std::size_t prefix = 0;
+    for (std::size_t w = 0; w < width; ++w) {
+      prefix = stripe_of(w).lo + done[w];
+      if (done[w] < stripe_of(w).size()) break;
+    }
+    if (prefix <= announced) return;
+    announced = prefix;
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+      announce_publish(
+          ctx, ms[i],
+          rs.bcast_base[static_cast<std::size_t>(ms[i].ctl_id)] + prefix);
+    }
+  };
+
+  // Own stripe first — other members are waiting to read it from here.
+  const ElemRange own = stripe_of(my_pos);
+  for (std::size_t lo = own.lo; lo < own.hi;) {
+    const std::size_t hi = std::min(own.hi, lo + chunk);
+    maybe_stall(ctx, top.level);
+    rs.endpoint->charge_op(ctx, hi - lo, ctx.size(), root);
+    {
+      XHC_TRACE(trace_sink(), ctx, "copy", "bcast.stripe_pull", hi - lo);
+      HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
+      ctx.copy(dst + lo, root_src + lo, hi - lo);
+    }
+    count_chunk(ctx, top.level);
+    book(ctx, pull_counter(rs, root), hi - lo);
+    ctx.flag_store(*sc.stripe_ready[r], sbase + (hi - own.lo));
+    done[my_pos] = hi - own.lo;
+    relay();
+    lo = hi;
+  }
+  record_traffic(root, r);
+
+  // Remaining stripes, ascending owner order, each from its owner (the
+  // member that republished it) — spreading the load the pull path would
+  // put entirely on the root's links.
+  for (std::size_t w = 0; w < width; ++w) {
+    if (w == my_pos) continue;
+    const int owner = top.members[w];
+    const ElemRange sw = stripe_of(w);
+    if (sw.size() == 0) continue;
+    const std::byte* src = root_src;
+    if (owner != root) {
+      WaitObs obs(*this, ctx, "shard_seq_wait", top.level, owner);
+      ctx.flag_wait_ge(*sc.shard_seq[owner], s);
+      src = static_cast<const std::byte*>(
+          rs.endpoint->attach(ctx, owner, sc.sinfo[owner]->result, bytes));
+    }
+    const obs::Counter ctr = pull_counter(rs, owner);
+    for (std::size_t lo = sw.lo; lo < sw.hi;) {
+      const std::size_t hi = std::min(sw.hi, lo + chunk);
+      maybe_stall(ctx, top.level);
+      {
+        WaitObs obs(*this, ctx, "stripe_ready_wait", top.level, owner);
+        ctx.flag_wait_ge(*sc.stripe_ready[owner], sbase + (hi - sw.lo));
+      }
+      rs.endpoint->charge_op(ctx, hi - lo, ctx.size(), owner);
+      {
+        XHC_TRACE(trace_sink(), ctx, "copy", "bcast.stripe_pull", hi - lo);
+        HistTimer chunk_t(hist_sink(), ctx, obs::HistKind::kChunk);
+        ctx.copy(dst + lo, src + lo, hi - lo);
+      }
+      count_chunk(ctx, top.level);
+      book(ctx, ctr, hi - lo);
+      done[w] = hi - sw.lo;
+      relay();
+      lo = hi;
+    }
+    record_traffic(owner, r);
+  }
+  // Cross-op snap: per-op thresholds never exceed base + bytes, and the
+  // base advances by bytes on every bcast, so the flag stays monotone.
+  ctx.flag_store(*sc.stripe_ready[r], sbase + bytes);
+
+  // Completion: collect the led subtrees, then the top-group all-to-all
+  // barrier — this rank's buffer is read by its children *and* by every
+  // top peer assembling this rank's stripe.
+  for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
+    wait_acks(ctx, ms[i], s);
+  }
+  ack_publish(ctx, top, s);
+  wait_acks(ctx, top, s);
 }
 
 }  // namespace xhc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/shard_schedule.h"
 #include "util/check.h"
 
 namespace xhc::core {
@@ -17,7 +18,11 @@ CommTree::CommTree(mach::Machine& machine,
                    std::vector<topo::Domain> sensitivity)
     : machine_(&machine), sensitivity_(std::move(sensitivity)) {
   build_shapes();
+  shard_ctl_ = arena_.add_shard_plane(*machine_, machine_->n_ranks());
+  shard_plan_ = std::make_unique<ShardPlan>(*this);
 }
+
+CommTree::~CommTree() = default;
 
 void CommTree::build_shapes() {
   // The partition is root-independent; build it from the root-0 hierarchy.

@@ -18,6 +18,8 @@
 
 namespace xhc::core {
 
+class ShardPlan;
+
 /// Root-independent description of one group.
 struct GroupShape {
   int level = 0;
@@ -66,6 +68,7 @@ class CommTree {
   /// Builds shapes and control blocks for `machine`'s rank map under the
   /// given sensitivity (empty = flat).
   CommTree(mach::Machine& machine, std::vector<topo::Domain> sensitivity);
+  ~CommTree();  // out-of-line: ShardPlan is incomplete here
 
   int n_ranks() const noexcept { return machine_->n_ranks(); }
   int n_levels() const noexcept { return n_levels_; }
@@ -79,6 +82,12 @@ class CommTree {
   /// Per-root view; built on first use (thread-safe, deterministic).
   const CommView& view(int root);
 
+  /// Large-message shard/stripe plane: one slot per global rank, written
+  /// only by that rank regardless of root.
+  ShardCtl& shard_ctl() noexcept { return shard_ctl_; }
+  /// Root-independent nested shard schedule factory (large-message path).
+  const ShardPlan& shard_plan() const noexcept { return *shard_plan_; }
+
   /// Arena accounting (observability gauges).
   const CtlArena& arena() const noexcept { return arena_; }
 
@@ -91,6 +100,8 @@ class CommTree {
   int n_levels_ = 0;
   std::vector<GroupShape> shapes_;
   std::vector<GroupCtl> ctls_;
+  ShardCtl shard_ctl_;
+  std::unique_ptr<ShardPlan> shard_plan_;
   CtlArena arena_;
 
   std::mutex views_mu_;

@@ -83,4 +83,33 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
   return ctl;
 }
 
+ShardCtl CtlArena::add_shard_plane(mach::Machine& m, int slots) {
+  XHC_REQUIRE(slots > 0, "shard plane needs at least one slot");
+  const auto n = static_cast<std::size_t>(slots);
+
+  const std::size_t bytes =
+      round_line(sizeof(util::CachePadded<mach::Flag>) * n) * 3 +  // shard_seq,
+          // prog, stripe_ready
+      round_line(sizeof(util::CachePadded<MemberInfo>) * n);
+
+  void* raw = m.alloc(0, bytes, kLine);
+  allocations_.push_back({&m, raw});
+  total_bytes_ += bytes;
+  auto* base = static_cast<std::byte*>(raw);
+  std::size_t offset = 0;
+
+  ShardCtl ctl;
+  ctl.slots = slots;
+  ctl.shard_seq = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.sinfo = place_array<util::CachePadded<MemberInfo>>(base, offset, n);
+  ctl.prog = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.stripe_ready =
+      place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  XHC_CHECK(offset <= bytes, "shard plane layout overflow: ", offset, " > ",
+            bytes);
+
+  verify::register_shard_ctl(m.verify_ledger(), m.topology(), ctl, "shards");
+  return ctl;
+}
+
 }  // namespace xhc::core

@@ -65,6 +65,28 @@ struct GroupCtl {
   int slots = 0;
 };
 
+/// Per-communicator control plane of the large-message paths (DESIGN.md
+/// § Large-message paths): one slot per *global rank*, so shard and stripe
+/// owners can publish progress to any peer without a group indirection.
+/// Every slot is written only by its own rank (WriterPolicy::kFixed):
+///
+///  - `shard_seq[r]`  — rank r has joined the op and published `sinfo[r]`
+///                      (value: op sequence number, release/acquire guard).
+///  - `prog[r]`       — cumulative bytes rank r has produced on the
+///                      reduce-scatter + allgather timeline; stage
+///                      boundaries snap to `base + stage_slot * bytes`, so
+///                      peers compute exact chunk thresholds from the
+///                      shared schedule alone.
+///  - `stripe_ready[r]` — cumulative bytes of rank r's bcast stripe pulled
+///                      from the root and republished.
+struct ShardCtl {
+  util::CachePadded<mach::Flag>* shard_seq = nullptr;     ///< [slots]
+  util::CachePadded<MemberInfo>* sinfo = nullptr;         ///< [slots]
+  util::CachePadded<mach::Flag>* prog = nullptr;          ///< [slots]
+  util::CachePadded<mach::Flag>* stripe_ready = nullptr;  ///< [slots]
+  int slots = 0;
+};
+
 /// Allocates and owns the control blocks for a set of groups.
 class CtlArena {
  public:
@@ -76,6 +98,11 @@ class CtlArena {
   /// Builds a control block for a group with `slots` member slots; the
   /// allocation is owned by `home_rank` (placed on its NUMA node).
   GroupCtl add_group(mach::Machine& m, int home_rank, int slots);
+
+  /// Builds the per-communicator shard/stripe plane with one slot per rank
+  /// (owned by rank 0's NUMA node; every slot is cache-line padded, so home
+  /// placement only affects line-fetch distance, not sharing).
+  ShardCtl add_shard_plane(mach::Machine& m, int slots);
 
   /// Observability accessors (obs::Gauge::kCtlBytes / kCtlGroups).
   std::size_t total_bytes() const noexcept { return total_bytes_; }

@@ -1,0 +1,148 @@
+#include "core/shard_schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::core {
+
+ElemRange partition(ElemRange parent, std::size_t n, std::size_t i) {
+  const std::size_t len = parent.size();
+  const std::size_t q = len / n;
+  const std::size_t rem = len % n;
+  ElemRange r;
+  r.lo = parent.lo + q * i + std::min(i, rem);
+  r.hi = r.lo + q + (i < rem ? 1 : 0);
+  return r;
+}
+
+ShardPlan::ShardPlan(const CommTree& tree) {
+  const int n_ranks = tree.n_ranks();
+  const int n_levels = tree.n_levels();
+
+  // Group the shapes by level, in ctl-id order (level-major build order, so
+  // within a level they are ascending by first domain rank).
+  std::vector<std::vector<int>> level_shapes(
+      static_cast<std::size_t>(n_levels));
+  for (int id = 0; id < tree.n_groups(); ++id) {
+    level_shapes[static_cast<std::size_t>(tree.shape(id).level)].push_back(id);
+  }
+
+  children_.resize(static_cast<std::size_t>(n_levels));
+  group_of_.assign(static_cast<std::size_t>(n_levels),
+                   std::vector<int>(static_cast<std::size_t>(n_ranks), -1));
+  child_pos_.assign(static_cast<std::size_t>(n_levels),
+                    std::vector<int>(static_cast<std::size_t>(n_ranks), -1));
+
+  for (int l = 0; l < n_levels; ++l) {
+    const auto& ids = level_shapes[static_cast<std::size_t>(l)];
+    children_[static_cast<std::size_t>(l)].resize(ids.size());
+    for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+      const GroupShape& shape = tree.shape(ids[gi]);
+      for (const int r : shape.domain_ranks) {
+        group_of_[static_cast<std::size_t>(l)][static_cast<std::size_t>(r)] =
+            static_cast<int>(gi);
+      }
+      if (l == 0) {
+        children_[0][gi] = shape.domain_ranks;
+        for (std::size_t j = 0; j < shape.domain_ranks.size(); ++j) {
+          child_pos_[0][static_cast<std::size_t>(shape.domain_ranks[j])] =
+              static_cast<int>(j);
+        }
+      }
+    }
+    if (l > 0) {
+      // A level-(l-1) group is a child of the level-l group whose domain
+      // contains it; domains at one level partition the ranks, so the first
+      // domain rank identifies the parent.
+      const auto& lower = level_shapes[static_cast<std::size_t>(l - 1)];
+      for (std::size_t ci = 0; ci < lower.size(); ++ci) {
+        const int r0 = tree.shape(lower[ci]).domain_ranks.front();
+        const int gi =
+            group_of_[static_cast<std::size_t>(l)][static_cast<std::size_t>(
+                r0)];
+        if (gi < 0) continue;
+        children_[static_cast<std::size_t>(l)][static_cast<std::size_t>(gi)]
+            .push_back(static_cast<int>(ci));
+      }
+      for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+        for (std::size_t j = 0;
+             j < children_[static_cast<std::size_t>(l)][gi].size(); ++j) {
+          const int ci = children_[static_cast<std::size_t>(l)][gi][j];
+          for (const int r :
+               tree.shape(lower[static_cast<std::size_t>(ci)]).domain_ranks) {
+            child_pos_[static_cast<std::size_t>(l)]
+                      [static_cast<std::size_t>(r)] = static_cast<int>(j);
+          }
+        }
+      }
+    }
+  }
+
+  // Uniformity: equal child counts within each level, and every rank mapped
+  // at every level. Remainder-uneven partitions are fine; unequal *widths*
+  // would misalign peer shards.
+  uniform_ = true;
+  for (int l = 0; l < n_levels && uniform_; ++l) {
+    const auto& groups = children_[static_cast<std::size_t>(l)];
+    for (std::size_t gi = 0; gi + 1 < groups.size(); ++gi) {
+      if (groups[gi].size() != groups[gi + 1].size()) uniform_ = false;
+    }
+    for (int r = 0; r < n_ranks; ++r) {
+      if (group_of_[static_cast<std::size_t>(l)][static_cast<std::size_t>(
+              r)] < 0 ||
+          child_pos_[static_cast<std::size_t>(l)][static_cast<std::size_t>(
+              r)] < 0) {
+        uniform_ = false;
+      }
+    }
+  }
+}
+
+int ShardPlan::resolve(int l, int g, const std::vector<int>& digits) const {
+  int cur = g;
+  for (int t = l; t >= 0; --t) {
+    cur = children_[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+        cur)][static_cast<std::size_t>(digits[static_cast<std::size_t>(t)])];
+  }
+  return cur;
+}
+
+ShardSchedule ShardPlan::schedule(int rank, std::size_t count,
+                                  std::size_t elem) const {
+  XHC_REQUIRE(uniform_, "shard schedule on a non-uniform hierarchy");
+  const int n_levels = n_stages();
+
+  std::vector<int> digits(static_cast<std::size_t>(n_levels));
+  for (int l = 0; l < n_levels; ++l) {
+    digits[static_cast<std::size_t>(l)] =
+        child_pos_[static_cast<std::size_t>(l)][static_cast<std::size_t>(
+            rank)];
+  }
+
+  ShardSchedule s;
+  s.bytes = count * elem;
+  s.stages.reserve(static_cast<std::size_t>(n_levels));
+  ElemRange cur{0, count};
+  for (int k = 0; k < n_levels; ++k) {
+    const int g =
+        group_of_[static_cast<std::size_t>(k)][static_cast<std::size_t>(rank)];
+    const auto& kids =
+        children_[static_cast<std::size_t>(k)][static_cast<std::size_t>(g)];
+    ShardStage st;
+    st.parent = cur;
+    st.my_idx = digits[static_cast<std::size_t>(k)];
+    st.peers.reserve(kids.size());
+    for (const int kid : kids) {
+      st.peers.push_back(k == 0 ? kid : resolve(k - 1, kid, digits));
+    }
+    XHC_CHECK(st.peers[static_cast<std::size_t>(st.my_idx)] == rank,
+              "shard schedule self-resolution mismatch for rank ", rank);
+    st.range = partition(cur, kids.size(), static_cast<std::size_t>(st.my_idx));
+    cur = st.range;
+    s.stages.push_back(std::move(st));
+  }
+  return s;
+}
+
+}  // namespace xhc::core

@@ -1,0 +1,109 @@
+// Nested shard schedule of the large-message allreduce (DESIGN.md
+// § Large-message paths).
+//
+// The latency path concentrates every byte of reduction and fan-out on one
+// leader per level; a flat Rabenseifner reduce-scatter spreads the work but
+// floods the shared cross-socket link (every shard crosses it once per
+// reader). This schedule does the paper-faithful middle: at each hierarchy
+// level, the payload range a rank owns is sub-sharded among that level's
+// *domains*, so every read stays inside the smallest domain that contains
+// both ends — full-payload traffic never leaves a NUMA node, and only
+// 1/(socket width) of the payload crosses the socket link, once.
+//
+// Stage k of rank r reduces `range_k = partition(range_{k-1}, m_k, c_k(r))`,
+// reading the same range from one peer per sibling child-domain of its
+// level-k domain; the peers are the ranks at r's own "address" (digit path)
+// inside each sibling. Because sibling domains are isomorphic on every
+// supported topology, peers own byte-identical ranges and the whole
+// schedule is computable by any rank for any rank — which is what lets a
+// single cumulative progress flag per rank synchronize the entire pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_tree.h"
+
+namespace xhc::core {
+
+/// Element range [lo, hi).
+struct ElemRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t size() const noexcept { return hi - lo; }
+};
+
+/// Contiguous i-th of n pieces of `parent`, remainder spread over the low
+/// pieces (XBRC's split, lifted to subranges).
+ElemRange partition(ElemRange parent, std::size_t n, std::size_t i);
+
+/// One level of the nested reduce-scatter.
+struct ShardStage {
+  /// Owners of `parent` across the level's child domains, ascending by
+  /// child-domain order; peers[my_idx] is the rank itself.
+  std::vector<int> peers;
+  int my_idx = 0;
+  ElemRange parent;  ///< range owned before this stage (shared by all peers)
+  ElemRange range;   ///< partition(parent, peers.size(), my_idx)
+};
+
+/// Per-rank schedule plus the progress-flag timeline. The timeline divides
+/// a rank's `prog` flag into 2L slots of `bytes` each: RS stage k occupies
+/// slot k, allgather stage u (executed u = L-1 .. 0) occupies slot
+/// L + (L-1-u). Within an RS slot the flag advances by bytes produced; at
+/// every slot boundary it snaps to `base + (slot+1) * bytes`, so peers
+/// compute exact wait thresholds without knowing each other's deeper digit
+/// paths (ranges can differ by partition remainders, slots cannot).
+struct ShardSchedule {
+  std::vector<ShardStage> stages;  ///< innermost (level 0) first
+  std::size_t bytes = 0;           ///< payload bytes (slot width)
+
+  int n_stages() const noexcept { return static_cast<int>(stages.size()); }
+  /// prog value at the *start* of RS stage k.
+  std::uint64_t rs_slot(int k) const noexcept {
+    return static_cast<std::uint64_t>(k) * bytes;
+  }
+  /// prog value at the *start* of allgather stage u.
+  std::uint64_t ag_slot(int u) const noexcept {
+    const auto l = static_cast<std::uint64_t>(stages.size());
+    return (l + (l - 1 - static_cast<std::uint64_t>(u))) * bytes;
+  }
+  /// Total prog advance of one operation: 2 * L * bytes.
+  std::uint64_t total() const noexcept {
+    return 2 * static_cast<std::uint64_t>(stages.size()) * bytes;
+  }
+};
+
+/// Root-independent schedule factory for one communicator tree. Built once;
+/// `schedule()` is then a cheap per-op computation.
+class ShardPlan {
+ public:
+  explicit ShardPlan(const CommTree& tree);
+
+  /// True when every level's domains are pairwise isomorphic (equal child
+  /// counts level by level), which the nested partition requires to align
+  /// peer shards. False routes large payloads back to the latency path.
+  bool uniform() const noexcept { return uniform_; }
+  int n_stages() const noexcept { return static_cast<int>(children_.size()); }
+
+  /// The schedule of `rank` for a `count`-element payload. Requires
+  /// uniform().
+  ShardSchedule schedule(int rank, std::size_t count, std::size_t elem) const;
+
+ private:
+  /// Rank at digit path d[0..l] inside the level-l group `g`.
+  int resolve(int l, int g, const std::vector<int>& digits) const;
+
+  bool uniform_ = false;
+  /// children_[0][g] = ranks of leaf group g; children_[l][g] = level-(l-1)
+  /// group indices inside level-l group g. All lists ascending.
+  std::vector<std::vector<std::vector<int>>> children_;
+  /// group_of_[l][rank] = index of the level-l group whose domain holds rank.
+  std::vector<std::vector<int>> group_of_;
+  /// child_pos_[l][rank] = rank's child index inside its level-l group
+  /// (digit d_l of its address).
+  std::vector<std::vector<int>> child_pos_;
+};
+
+}  // namespace xhc::core

@@ -152,6 +152,20 @@ std::optional<smsc::RegCache::Stats> XhcComponent::reg_cache_stats() const {
   return total;
 }
 
+obs::Counter XhcComponent::pull_counter(const RankState& rs,
+                                        int owner) const noexcept {
+  switch (rs.endpoint->effective_mechanism(owner)) {
+    case smsc::Mechanism::kXpmem:
+      return obs::Counter::kSingleCopyBytes;
+    case smsc::Mechanism::kCma:
+    case smsc::Mechanism::kKnem:
+      return obs::Counter::kCmaBytes;
+    case smsc::Mechanism::kCico:
+      break;
+  }
+  return obs::Counter::kCicoBytes;
+}
+
 void XhcComponent::announce_publish(mach::Ctx& ctx,
                                     const CommView::Membership& m,
                                     std::uint64_t value) {

@@ -69,6 +69,14 @@ class XhcComponent final : public coll::Component {
                                              ///< published via announce
     std::vector<std::uint64_t> reduce_base;  ///< per group: cumulative bytes
                                              ///< through the reduce counters
+    /// Base of the shard `prog` timeline; advances by 2 * levels * bytes
+    /// per reduce-scatter+allgather op (mirrors agree because every rank
+    /// takes the dispatch decision from the same size and tuning).
+    std::uint64_t shard_base = 0;
+    /// Base of the `stripe_ready` counters; advances by `bytes` on *every*
+    /// bcast so the mirrors agree even though top-group membership (and so
+    /// the set of striping ranks) changes with the root.
+    std::uint64_t stripe_base = 0;
     std::unique_ptr<smsc::Endpoint> endpoint;
   };
 
@@ -201,11 +209,25 @@ class XhcComponent final : public coll::Component {
   void wait_acks(mach::Ctx& ctx, const CommView::Membership& m,
                  std::uint64_t s);
 
+  /// Counter a single-copy pull from `owner` belongs to, honoring any
+  /// fault-driven mechanism degradation (XPMEM→CMA→CICO).
+  obs::Counter pull_counter(const RankState& rs, int owner) const noexcept;
+
   // --- broadcast machinery (shared by bcast and the allreduce fan-out) -----
   /// Non-root side: pulls `bytes` from the member-level leader into the
   /// rank's destination, republishing to led groups chunk by chunk.
   void pull_bcast(mach::Ctx& ctx, const CommView& view, void* user_buf,
                   std::size_t bytes, bool cico, std::uint64_t s);
+
+  /// Large-message bcast among top-level group members (DESIGN.md § Large-
+  /// message paths): the payload is striped across the top group; each
+  /// member pulls its own stripe from the root and republishes it, then
+  /// assembles the others from their owners, relaying contiguous coverage
+  /// to its led groups through the ordinary announce counters. Only ranks
+  /// whose outermost membership is the top group call this; every other
+  /// rank runs the unchanged pull path.
+  void bcast_striped(mach::Ctx& ctx, const CommView& view, void* buf,
+                     std::size_t bytes, int root, std::uint64_t s);
 
   // --- allreduce machinery --------------------------------------------------
   struct ReducePlan;
@@ -217,6 +239,14 @@ class XhcComponent final : public coll::Component {
   void reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
                    std::size_t count, mach::DType dtype, mach::ROp op,
                    int root, bool deliver_all);
+
+  /// Large-message allreduce (DESIGN.md § Large-message paths): nested
+  /// reduce-scatter along the hierarchy (every rank ends up owning a fully
+  /// reduced shard) followed by the mirrored allgather, synchronized
+  /// through the per-rank cumulative `prog` flags of the shard plane.
+  void allreduce_rs_ag(mach::Ctx& ctx, const CommView& view, const void* sbuf,
+                       void* rbuf, std::size_t count, mach::DType dtype,
+                       mach::ROp op, bool in_place, std::uint64_t s);
 
   mach::Machine* machine_;
   coll::Tuning tuning_;

@@ -1,114 +1,6 @@
 #include "mach/machine.h"
 
-#include <type_traits>
-
-#include "util/check.h"
-
 namespace xhc::mach {
-
-const char* to_string(DType t) noexcept {
-  switch (t) {
-    case DType::kU8:
-      return "u8";
-    case DType::kI32:
-      return "i32";
-    case DType::kI64:
-      return "i64";
-    case DType::kF32:
-      return "f32";
-    case DType::kF64:
-      return "f64";
-  }
-  return "?";
-}
-
-const char* to_string(ROp op) noexcept {
-  switch (op) {
-    case ROp::kSum:
-      return "sum";
-    case ROp::kProd:
-      return "prod";
-    case ROp::kMin:
-      return "min";
-    case ROp::kMax:
-      return "max";
-  }
-  return "?";
-}
-
-namespace {
-
-// Integer sum/prod wrap around (MPI semantics); doing the arithmetic in the
-// unsigned domain keeps that well-defined where the signed form is UB.
-template <typename T>
-T wrap_add(T a, T b) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
-  } else {
-    return a + b;
-  }
-}
-
-template <typename T>
-T wrap_mul(T a, T b) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
-  } else {
-    return a * b;
-  }
-}
-
-template <typename T>
-void reduce_typed(T* dst, const T* src, std::size_t count, ROp op) {
-  switch (op) {
-    case ROp::kSum:
-      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_add(dst[i], src[i]);
-      return;
-    case ROp::kProd:
-      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_mul(dst[i], src[i]);
-      return;
-    case ROp::kMin:
-      for (std::size_t i = 0; i < count; ++i)
-        dst[i] = src[i] < dst[i] ? src[i] : dst[i];
-      return;
-    case ROp::kMax:
-      for (std::size_t i = 0; i < count; ++i)
-        dst[i] = src[i] > dst[i] ? src[i] : dst[i];
-      return;
-  }
-  XHC_CHECK(false, "unknown reduction op");
-}
-
-}  // namespace
-
-void reduce_apply(void* dst, const void* src, std::size_t count, DType dtype,
-                  ROp op) {
-  switch (dtype) {
-    case DType::kU8:
-      reduce_typed(static_cast<std::uint8_t*>(dst),
-                   static_cast<const std::uint8_t*>(src), count, op);
-      return;
-    case DType::kI32:
-      reduce_typed(static_cast<std::int32_t*>(dst),
-                   static_cast<const std::int32_t*>(src), count, op);
-      return;
-    case DType::kI64:
-      reduce_typed(static_cast<std::int64_t*>(dst),
-                   static_cast<const std::int64_t*>(src), count, op);
-      return;
-    case DType::kF32:
-      reduce_typed(static_cast<float*>(dst), static_cast<const float*>(src),
-                   count, op);
-      return;
-    case DType::kF64:
-      reduce_typed(static_cast<double*>(dst), static_cast<const double*>(src),
-                   count, op);
-      return;
-  }
-  XHC_CHECK(false, "unknown dtype");
-}
 
 std::uint64_t AllocRegistry::insert(void* p, std::size_t bytes,
                                     int owner_rank) {

@@ -1,0 +1,180 @@
+#include "mach/reduce_kernels.h"
+
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace xhc::mach {
+
+const char* to_string(DType t) noexcept {
+  switch (t) {
+    case DType::kU8:
+      return "u8";
+    case DType::kI32:
+      return "i32";
+    case DType::kI64:
+      return "i64";
+    case DType::kF32:
+      return "f32";
+    case DType::kF64:
+      return "f64";
+  }
+  return "?";
+}
+
+const char* to_string(ROp op) noexcept {
+  switch (op) {
+    case ROp::kSum:
+      return "sum";
+    case ROp::kProd:
+      return "prod";
+    case ROp::kMin:
+      return "min";
+    case ROp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+// Integer sum/prod wrap around (MPI semantics); doing the arithmetic in the
+// unsigned domain keeps that well-defined where the signed form is UB.
+template <typename T>
+T wrap_add(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+
+template <typename T>
+T wrap_mul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
+template <typename T>
+void reduce_typed_scalar(T* dst, const T* src, std::size_t count, ROp op) {
+  switch (op) {
+    case ROp::kSum:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_add(dst[i], src[i]);
+      return;
+    case ROp::kProd:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = wrap_mul(dst[i], src[i]);
+      return;
+    case ROp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        dst[i] = src[i] < dst[i] ? src[i] : dst[i];
+      return;
+    case ROp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        dst[i] = src[i] > dst[i] ? src[i] : dst[i];
+      return;
+  }
+  XHC_CHECK(false, "unknown reduction op");
+}
+
+// Fast elementwise map: the shard-reduce inner loop of the large-message
+// path spends most of its host time here. `__restrict` plus the fixed-width
+// 8-element body lets the compiler keep the loop free of aliasing checks and
+// vectorize it. The per-element expressions are the exact ones the scalar
+// reference uses, so results are bitwise identical for every op x dtype —
+// including NaN propagation (min/max keep dst on unordered compares) and
+// integer wraparound (unsigned-domain arithmetic).
+template <typename T, typename F>
+void map2(T* __restrict dst, const T* __restrict src, std::size_t count, F f) {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    dst[i + 0] = f(dst[i + 0], src[i + 0]);
+    dst[i + 1] = f(dst[i + 1], src[i + 1]);
+    dst[i + 2] = f(dst[i + 2], src[i + 2]);
+    dst[i + 3] = f(dst[i + 3], src[i + 3]);
+    dst[i + 4] = f(dst[i + 4], src[i + 4]);
+    dst[i + 5] = f(dst[i + 5], src[i + 5]);
+    dst[i + 6] = f(dst[i + 6], src[i + 6]);
+    dst[i + 7] = f(dst[i + 7], src[i + 7]);
+  }
+  for (; i < count; ++i) dst[i] = f(dst[i], src[i]);
+}
+
+template <typename T>
+void reduce_typed(T* dst, const T* src, std::size_t count, ROp op) {
+  switch (op) {
+    case ROp::kSum:
+      map2(dst, src, count, [](T a, T b) { return wrap_add(a, b); });
+      return;
+    case ROp::kProd:
+      map2(dst, src, count, [](T a, T b) { return wrap_mul(a, b); });
+      return;
+    case ROp::kMin:
+      map2(dst, src, count, [](T a, T b) { return b < a ? b : a; });
+      return;
+    case ROp::kMax:
+      map2(dst, src, count, [](T a, T b) { return b > a ? b : a; });
+      return;
+  }
+  XHC_CHECK(false, "unknown reduction op");
+}
+
+template <template <typename> class Fn>
+void dispatch_dtype(void* dst, const void* src, std::size_t count, DType dtype,
+                    ROp op) {
+  switch (dtype) {
+    case DType::kU8:
+      Fn<std::uint8_t>()(static_cast<std::uint8_t*>(dst),
+                         static_cast<const std::uint8_t*>(src), count, op);
+      return;
+    case DType::kI32:
+      Fn<std::int32_t>()(static_cast<std::int32_t*>(dst),
+                         static_cast<const std::int32_t*>(src), count, op);
+      return;
+    case DType::kI64:
+      Fn<std::int64_t>()(static_cast<std::int64_t*>(dst),
+                         static_cast<const std::int64_t*>(src), count, op);
+      return;
+    case DType::kF32:
+      Fn<float>()(static_cast<float*>(dst), static_cast<const float*>(src),
+                  count, op);
+      return;
+    case DType::kF64:
+      Fn<double>()(static_cast<double*>(dst), static_cast<const double*>(src),
+                   count, op);
+      return;
+  }
+  XHC_CHECK(false, "unknown dtype");
+}
+
+template <typename T>
+struct FastFn {
+  void operator()(T* dst, const T* src, std::size_t count, ROp op) const {
+    reduce_typed(dst, src, count, op);
+  }
+};
+
+template <typename T>
+struct ScalarFn {
+  void operator()(T* dst, const T* src, std::size_t count, ROp op) const {
+    reduce_typed_scalar(dst, src, count, op);
+  }
+};
+
+}  // namespace
+
+void reduce_apply(void* dst, const void* src, std::size_t count, DType dtype,
+                  ROp op) {
+  dispatch_dtype<FastFn>(dst, src, count, dtype, op);
+}
+
+void reduce_apply_scalar(void* dst, const void* src, std::size_t count,
+                         DType dtype, ROp op) {
+  dispatch_dtype<ScalarFn>(dst, src, count, dtype, op);
+}
+
+}  // namespace xhc::mach

@@ -34,7 +34,14 @@ const char* to_string(ROp op) noexcept;
 
 /// dst[i] = op(dst[i], src[i]) for `count` elements. Buffers must not
 /// overlap. Throws util::Error on an unknown dtype/op combination.
+/// Unrolled / vectorization-friendly; results are bitwise identical to
+/// `reduce_apply_scalar` for every op x dtype pair.
 void reduce_apply(void* dst, const void* src, std::size_t count, DType dtype,
                   ROp op);
+
+/// Plain-loop reference implementation of the same contract, kept as the
+/// bitwise ground truth the fast kernels are tested against.
+void reduce_apply_scalar(void* dst, const void* src, std::size_t count,
+                         DType dtype, ROp op);
 
 }  // namespace xhc::mach

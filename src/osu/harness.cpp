@@ -1,6 +1,8 @@
 #include "osu/harness.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -112,6 +114,21 @@ struct SizeHist {
   }
   std::unique_ptr<obs::HistSet> set;
 };
+
+/// Deterministic bounded allreduce operand: an exact multiple of 1/256 in
+/// [-1, 1), derived from (seed, element index) with a splitmix64-style mix.
+/// Bounded exact operands keep the float sum well-conditioned, so a
+/// double-precision reference catches real payload corruption without
+/// tripping over legitimate reassociation differences between components.
+float verify_operand(std::uint64_t seed, std::size_t i) noexcept {
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<float>(static_cast<int>(z & 511u) - 256) *
+         (1.0f / 256.0f);
+}
 
 }  // namespace
 
@@ -227,6 +244,17 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
           ctx.write_payload(sbuf, real_bytes,
                             0xA000u + static_cast<std::uint64_t>(
                                           it * 1000 + r));
+          if (config.verify) {
+            // Swap the timed garbage bytes for verifiable operands. The
+            // modeled write above already charged the rewrite, and this
+            // host-side fill is unmodeled, so timings stay identical.
+            auto* f = static_cast<float*>(sbuf);
+            const std::uint64_t seed =
+                0xA000u + static_cast<std::uint64_t>(it * 1000 + r);
+            for (std::size_t i = 0; i < count; ++i) {
+              f[i] = verify_operand(seed, i);
+            }
+          }
         }
         ctx.barrier();
         const double t0 = ctx.now();
@@ -239,6 +267,35 @@ std::vector<SizeResult> allreduce_sweep(mach::Machine& machine,
         }
       }
     });
+
+    if (config.verify) {
+      // Element-wise check of every rank's result against a double-precision
+      // reference of the last iteration's operands. The operands are exact
+      // multiples of 1/256 in [-1, 1), so any summation order agrees with
+      // the reference to well under the tolerance; a mismatch means payload
+      // corruption, not reassociation.
+      const int last_it = config.modify_buffer ? total - 1 : 0;
+      std::vector<double> expect(count);
+      for (int r = 0; r < n; ++r) {
+        const std::uint64_t seed =
+            0xA000u + static_cast<std::uint64_t>(last_it * 1000 + r);
+        for (std::size_t i = 0; i < count; ++i) {
+          expect[i] += static_cast<double>(verify_operand(seed, i));
+        }
+      }
+      for (int r = 0; r < n; ++r) {
+        const auto* got =
+            static_cast<const float*>(rbufs[static_cast<std::size_t>(r)].get());
+        for (std::size_t i = 0; i < count; ++i) {
+          const double tol =
+              1e-4 * std::max(1.0, std::abs(expect[i]));
+          XHC_CHECK(std::abs(static_cast<double>(got[i]) - expect[i]) <= tol,
+                    comp.name(), ": allreduce result mismatch at rank ", r,
+                    " elem ", i, " size ", real_bytes, " (got ",
+                    static_cast<double>(got[i]), ", want ", expect[i], ")");
+        }
+      }
+    }
 
     SizeResult sr;
     sr.bytes = real_bytes;

@@ -22,7 +22,13 @@ struct Config {
   int iters = 2;
   bool modify_buffer = true;  ///< the `_mb` variant (default in §V)
   int root = 0;
-  bool verify = true;  ///< bcast only: memcmp payload after the sweep
+  /// Payload verification after each size's sweep. Bcast compares the raw
+  /// pattern bytes; allreduce additionally swaps the timed garbage operands
+  /// for bounded deterministic floats (exact multiples of 1/256, so the
+  /// double-precision reference sum bounds the rounding error tightly) and
+  /// checks every rank's result element-wise. The operand swap is host-side
+  /// and unmodeled, so virtual timings are identical with verify on or off.
+  bool verify = true;
   /// When non-null, attached to the component before the sweep (the
   /// component's Tuning::trace must also be set for collection to engage).
   obs::Observer* observer = nullptr;

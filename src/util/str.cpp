@@ -73,6 +73,14 @@ bool Args::has(std::string_view key) const {
   return false;
 }
 
+std::vector<std::string> Args::get_all(std::string_view key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
 std::string Args::get(std::string_view key, std::string def) const {
   for (const auto& [k, v] : kv_) {
     if (k == key) return v;

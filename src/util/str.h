@@ -26,6 +26,8 @@ class Args {
 
   bool has(std::string_view key) const;
   std::string get(std::string_view key, std::string def) const;
+  /// Every value given for a repeatable --key=value flag, in argv order.
+  std::vector<std::string> get_all(std::string_view key) const;
   long get_long(std::string_view key, long def) const;
   double get_double(std::string_view key, double def) const;
 

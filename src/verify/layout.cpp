@@ -91,6 +91,54 @@ ReplayCost replay(const topo::Topology& topo, const sim::SimParams& params,
   return c;
 }
 
+/// Predictive lint shared by every control-block kind: every line holding
+/// more than one flag is replayed through the node's line model against a
+/// synthetic separated baseline; costlier-than-separated layouts are
+/// reported as Kind::kCostlyLayout.
+void run_layout_lint(Ledger& ledger, const topo::Topology& topo,
+                     const std::vector<LintItem>& items,
+                     const std::string& prefix) {
+  const sim::SimParams params = sim::params_for(topo);
+  std::map<std::uintptr_t, std::vector<const LintItem*>> by_line;
+  for (const LintItem& item : items) {
+    by_line[util::line_of(item.addr)].push_back(&item);
+  }
+  for (const auto& [line, on_line] : by_line) {
+    (void)line;
+    if (on_line.size() < 2) continue;
+    const ReplayCost packed = replay(topo, params, on_line, false);
+    const ReplayCost sep = replay(topo, params, on_line, true);
+    if (packed.total() <= sep.total()) continue;
+
+    bool all_expected = true;
+    std::set<std::string> fields;
+    for (const LintItem* item : on_line) {
+      all_expected = all_expected && item->expect_shared;
+      fields.insert(item->field);
+    }
+    std::string field_list;
+    for (const std::string& f : fields) {
+      if (!field_list.empty()) field_list += ", ";
+      field_list += "'" + f + "'";
+    }
+
+    Violation v;
+    v.kind = Kind::kCostlyLayout;
+    v.flag = on_line.front()->addr;
+    v.value = packed.total();
+    v.prior = sep.total();
+    v.flag_name =
+        prefix + ": " + std::to_string(on_line.size()) + " flags (" +
+        field_list + ") packed on one cache line; line-model replay predicts " +
+        std::to_string(packed.hitm_class) + " HITM-class services + " +
+        std::to_string(packed.transfers) + " ownership transfers vs " +
+        std::to_string(sep.total()) + " for a separated layout over " +
+        std::to_string(kReplayRounds) + " rounds (false sharing, paper "
+        "Fig. 10)";
+    ledger.report_layout(std::move(v), all_expected);
+  }
+}
+
 }  // namespace
 
 void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
@@ -138,52 +186,36 @@ void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
         {&ctl.announce_shared[i], kLeader, i, "announce_shared", true});
   }
 
-  // Predictive lint: every line holding more than one flag is replayed
-  // through the node's line model against a synthetic separated baseline.
-  // Layouts whose predicted HITM-class traffic + ownership transfers exceed
-  // the baseline cost real coherence bandwidth (paper Fig. 10); packing is
-  // legal only where the protocol makes the sharing free (single writer and
-  // a single reading core), or where it is a deliberate experiment variant
-  // (expect_shared).
-  const sim::SimParams params = sim::params_for(topo);
-  std::map<std::uintptr_t, std::vector<const LintItem*>> by_line;
-  for (const LintItem& item : items) {
-    by_line[util::line_of(item.addr)].push_back(&item);
-  }
-  for (const auto& [line, on_line] : by_line) {
-    (void)line;
-    if (on_line.size() < 2) continue;
-    const ReplayCost packed = replay(topo, params, on_line, false);
-    const ReplayCost sep = replay(topo, params, on_line, true);
-    if (packed.total() <= sep.total()) continue;
+  // Predictive lint: packing is legal only where the protocol makes the
+  // sharing free (single writer and a single reading core), or where it is
+  // a deliberate experiment variant (expect_shared).
+  run_layout_lint(ledger, topo, items, prefix);
+}
 
-    bool all_expected = true;
-    std::set<std::string> fields;
-    for (const LintItem* item : on_line) {
-      all_expected = all_expected && item->expect_shared;
-      fields.insert(item->field);
-    }
-    std::string field_list;
-    for (const std::string& f : fields) {
-      if (!field_list.empty()) field_list += ", ";
-      field_list += "'" + f + "'";
-    }
+void register_shard_ctl(Ledger& ledger, const topo::Topology& topo,
+                        const core::ShardCtl& ctl, const std::string& prefix) {
+  const int n = ctl.slots;
+  auto name = [&](const char* field, int i) {
+    return prefix + "." + field + "[" + std::to_string(i) + "]";
+  };
 
-    Violation v;
-    v.kind = Kind::kCostlyLayout;
-    v.flag = on_line.front()->addr;
-    v.value = packed.total();
-    v.prior = sep.total();
-    v.flag_name =
-        prefix + ": " + std::to_string(on_line.size()) + " flags (" +
-        field_list + ") packed on one cache line; line-model replay predicts " +
-        std::to_string(packed.hitm_class) + " HITM-class services + " +
-        std::to_string(packed.transfers) + " ownership transfers vs " +
-        std::to_string(sep.total()) + " for a separated layout over " +
-        std::to_string(kReplayRounds) + " rounds (false sharing, paper "
-        "Fig. 10)";
-    ledger.report_layout(std::move(v), all_expected);
+  // Slot i belongs to global rank i on every communicator view — shard and
+  // stripe ownership follows the rank, not an elected role — so the writer
+  // is fixed even under rotating roots.
+  std::vector<LintItem> items;
+  items.reserve(static_cast<std::size_t>(3 * n));
+  for (int i = 0; i < n; ++i) {
+    ledger.register_flag(&*ctl.shard_seq[i], name("shard_seq", i),
+                         WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.prog[i], name("prog", i), WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.stripe_ready[i], name("stripe_ready", i),
+                         WriterPolicy::kFixed);
+    items.push_back({&*ctl.shard_seq[i], i, kAny, "shard_seq", false});
+    items.push_back({&*ctl.prog[i], i, kAny, "prog", false});
+    items.push_back({&*ctl.stripe_ready[i], i, kAny, "stripe_ready", false});
   }
+
+  run_layout_lint(ledger, topo, items, prefix);
 }
 
 }  // namespace xhc::verify

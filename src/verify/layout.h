@@ -10,6 +10,7 @@
 
 namespace xhc::core {
 struct GroupCtl;
+struct ShardCtl;
 }  // namespace xhc::core
 
 namespace xhc::topo {
@@ -30,5 +31,12 @@ namespace xhc::verify {
 /// otherwise.
 void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
                         const core::GroupCtl& ctl, const std::string& prefix);
+
+/// Registers the large-message shard/stripe plane (core::ShardCtl): every
+/// slot flag is written only by its own global rank (WriterPolicy::kFixed)
+/// and spun on by arbitrary peers; slots are cache-line padded, so the
+/// layout lint should stay silent.
+void register_shard_ctl(Ledger& ledger, const topo::Topology& topo,
+                        const core::ShardCtl& ctl, const std::string& prefix);
 
 }  // namespace xhc::verify

@@ -4,13 +4,17 @@
 // depend on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstring>
 #include <tuple>
 
 #include "coll/registry.h"
+#include "coll/tuning.h"
 #include "mach/real_machine.h"
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
+#include "util/check.h"
 #include "util/prng.h"
 
 namespace xhc {
@@ -67,10 +71,12 @@ INSTANTIATE_TEST_SUITE_P(
                           "smhc-flat", "xbrc"),
         ::testing::Values("real", "sim"),
         // 1 B, the CICO threshold edge (1 KB +/- 1), a pipeline chunk
-        // boundary, several chunks, and an odd large size.
+        // boundary, several chunks, an odd large size, and a size past the
+        // default 128 KiB stripe threshold (the striped bcast path).
         ::testing::Values(std::size_t{1}, std::size_t{1023},
                           std::size_t{1024}, std::size_t{1025},
-                          std::size_t{16384}, std::size_t{100000})),
+                          std::size_t{16384}, std::size_t{100000},
+                          std::size_t{200000})),
     [](const auto& info) {
       std::string name = std::get<0>(info.param) + "_" +
                          std::get<1>(info.param) + "_" +
@@ -131,9 +137,11 @@ INSTANTIATE_TEST_SUITE_P(
                           "smhc-flat", "xbrc"),
         ::testing::Values("real", "sim"),
         // 1 element, CICO-threshold edge (128 x 8B = 1 KB), chunk-crossing
-        // counts, a non-divisible odd count.
+        // counts, a non-divisible odd count, and a count past the default
+        // 128 KiB rs_ag threshold (the reduce-scatter + allgather path).
         ::testing::Values(std::size_t{1}, std::size_t{128}, std::size_t{129},
-                          std::size_t{5000}, std::size_t{12289})),
+                          std::size_t{5000}, std::size_t{12289},
+                          std::size_t{40000})),
     [](const auto& info) {
       std::string name = std::get<0>(info.param) + "_" +
                          std::get<1>(info.param) + "_" +
@@ -313,6 +321,403 @@ INSTANTIATE_TEST_SUITE_P(AllComponents, ComponentProps,
                            }
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Large-message paths (DESIGN.md § Large-message paths): XHC with lowered
+// dispatch thresholds, so the reduce-scatter + allgather allreduce and the
+// striped bcast run at test-sized payloads across presets and both machines.
+
+using LargeParam = std::tuple<std::string, std::string>;  // preset, machine
+
+class LargeMsgPaths : public ::testing::TestWithParam<LargeParam> {
+ protected:
+  static std::unique_ptr<mach::Machine> machine(const LargeParam& p) {
+    topo::Topology topo = topo::by_name(std::get<0>(p));
+    const int ranks = topo.n_cores();
+    return make_machine(std::get<1>(p), topo, ranks);
+  }
+  static coll::Tuning tuning(std::size_t threshold) {
+    coll::Tuning t;
+    t.rs_ag_threshold = threshold;
+    t.stripe_threshold = threshold;
+    return t;
+  }
+};
+
+TEST_P(LargeMsgPaths, AllreduceSumExactAcrossThresholdStraddle) {
+  auto m = machine(GetParam());
+  const int n = m->n_ranks();
+  auto comp = coll::make_component("xhc", *m, tuning(4096));
+  // 511 x 8 B sits just below the lowered threshold (latency path), 513
+  // just above (RS+AG path); the larger counts cross chunk boundaries and
+  // partition remainders.
+  for (const std::size_t count : {std::size_t{511}, std::size_t{513},
+                                  std::size_t{3000}, std::size_t{12289}}) {
+    const std::size_t bytes = count * sizeof(std::int64_t);
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    std::vector<std::int64_t> expect(count, 0);
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(*m, r, bytes);
+      rbufs.emplace_back(*m, r, bytes);
+      auto* s = static_cast<std::int64_t*>(sbufs.back().get());
+      for (std::size_t i = 0; i < count; ++i) {
+        s[i] = static_cast<std::int64_t>((r + 3) * 7 + i * 13);
+        expect[i] += s[i];
+      }
+    }
+    m->run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), count,
+                      mach::DType::kI64, mach::ROp::kSum);
+    });
+    for (int r = 0; r < n; ++r) {
+      const auto* got = static_cast<const std::int64_t*>(
+          rbufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[i], expect[i])
+            << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam())
+            << ", rank " << r << ", elem " << i << "/" << count;
+      }
+    }
+  }
+}
+
+TEST_P(LargeMsgPaths, AllreduceEmptyShardEdge) {
+  // Threshold 8 with a tiny element count: bytes > threshold engages the
+  // RS+AG path while most ranks' final shards are empty — the partition
+  // remainder edge where wait thresholds and flag snaps must still line up.
+  auto m = machine(GetParam());
+  const int n = m->n_ranks();
+  auto comp = coll::make_component("xhc", *m, tuning(8));
+  for (const std::size_t count : {std::size_t{3}, std::size_t{17}}) {
+    const std::size_t bytes = count * sizeof(std::int64_t);
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    std::vector<std::int64_t> expect(count, 0);
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(*m, r, bytes);
+      rbufs.emplace_back(*m, r, bytes);
+      auto* s = static_cast<std::int64_t*>(sbufs.back().get());
+      for (std::size_t i = 0; i < count; ++i) {
+        s[i] = static_cast<std::int64_t>(r * 17 + static_cast<int>(i) + 1);
+        expect[i] += s[i];
+      }
+    }
+    m->run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), count,
+                      mach::DType::kI64, mach::ROp::kSum);
+    });
+    for (int r = 0; r < n; ++r) {
+      const auto* got = static_cast<const std::int64_t*>(
+          rbufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[i], expect[i]) << "count " << count << ", rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(LargeMsgPaths, AllreduceInPlaceAndNonSumOps) {
+  auto m = machine(GetParam());
+  const int n = m->n_ranks();
+  auto comp = coll::make_component("xhc", *m, tuning(4096));
+  constexpr std::size_t kCount = 3001;
+
+  // In-place i64 sum on the RS+AG path (stage-0 peers read disjoint source
+  // ranges, so sbuf == rbuf must be safe).
+  {
+    std::vector<mach::Buffer> bufs;
+    std::vector<std::int64_t> expect(kCount, 0);
+    for (int r = 0; r < n; ++r) {
+      bufs.emplace_back(*m, r, kCount * sizeof(std::int64_t));
+      auto* s = static_cast<std::int64_t*>(bufs.back().get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        s[i] = static_cast<std::int64_t>(r * 100 + static_cast<int>(i % 97));
+        expect[i] += s[i];
+      }
+    }
+    m->run([&](mach::Ctx& ctx) {
+      void* buf = bufs[static_cast<std::size_t>(ctx.rank())].get();
+      comp->allreduce(ctx, buf, buf, kCount, mach::DType::kI64,
+                      mach::ROp::kSum);
+    });
+    for (int r = 0; r < n; ++r) {
+      const auto* got = static_cast<const std::int64_t*>(
+          bufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(got[i], expect[i]) << "in-place, rank " << r;
+      }
+    }
+  }
+
+  // min/max/prod on f64 with power-of-two operands: exact in any
+  // association, so the hierarchical order change cannot hide behind a
+  // tolerance.
+  for (const mach::ROp op :
+       {mach::ROp::kMin, mach::ROp::kMax, mach::ROp::kProd}) {
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    std::vector<double> expect(kCount);
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(*m, r, kCount * sizeof(double));
+      rbufs.emplace_back(*m, r, kCount * sizeof(double));
+      auto* s = static_cast<double*>(sbufs.back().get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        const int e = static_cast<int>((r * 31 + i * 7) % 3) - 1;
+        s[i] = std::ldexp(1.0, e);  // 0.5, 1, or 2
+        if (r == 0) {
+          expect[i] = s[i];
+        } else if (op == mach::ROp::kMin) {
+          expect[i] = std::min(expect[i], s[i]);
+        } else if (op == mach::ROp::kMax) {
+          expect[i] = std::max(expect[i], s[i]);
+        } else {
+          expect[i] *= s[i];
+        }
+      }
+    }
+    m->run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                      mach::DType::kF64, op);
+    });
+    for (int r = 0; r < n; ++r) {
+      const auto* got = static_cast<const double*>(
+          rbufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(got[i], expect[i])
+            << "op " << static_cast<int>(op) << ", rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(LargeMsgPaths, BcastStripedPayloadIntegrity) {
+  auto m = machine(GetParam());
+  const int n = m->n_ranks();
+  auto comp = coll::make_component("xhc", *m, tuning(4096));
+  // Straddle the lowered threshold (4096 stays on the latency path, 4097
+  // stripes) plus an odd many-chunk size; roots at both hierarchy extremes.
+  for (const std::size_t bytes : {std::size_t{4096}, std::size_t{4097},
+                                  std::size_t{100003}}) {
+    for (const int root : {0, n - 1}) {
+      std::vector<mach::Buffer> bufs;
+      for (int r = 0; r < n; ++r) bufs.emplace_back(*m, r, bytes);
+      util::fill_pattern(bufs[static_cast<std::size_t>(root)].get(), bytes,
+                         0x51 + static_cast<std::uint64_t>(root));
+      m->run([&](mach::Ctx& ctx) {
+        comp->bcast(ctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                    bytes, root);
+      });
+      std::vector<std::byte> expect(bytes);
+      util::fill_pattern(expect.data(), bytes,
+                         0x51 + static_cast<std::uint64_t>(root));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                              expect.data(), bytes),
+                  0)
+            << std::get<0>(GetParam()) << ", root " << root << ", rank " << r
+            << ", " << bytes << " B";
+      }
+    }
+  }
+}
+
+TEST_P(LargeMsgPaths, MixedLargeAndSmallOpsInterleave) {
+  // Alternating large (RS+AG / striped) and small (latency path) ops on one
+  // component: the shard/stripe base bookkeeping must keep the timelines of
+  // consecutive ops apart even when the dispatch flips between paths.
+  auto m = machine(GetParam());
+  const int n = m->n_ranks();
+  auto comp = coll::make_component("xhc", *m, tuning(4096));
+  constexpr std::size_t kBig = 2000;   // x8 B = 16000 B: large path
+  constexpr std::size_t kSmall = 300;  // x8 B = 2400 B: latency path
+  std::vector<mach::Buffer> sbufs;
+  std::vector<mach::Buffer> rbufs;
+  std::vector<mach::Buffer> bbufs;
+  for (int r = 0; r < n; ++r) {
+    sbufs.emplace_back(*m, r, kBig * sizeof(std::int64_t));
+    rbufs.emplace_back(*m, r, kBig * sizeof(std::int64_t));
+    bbufs.emplace_back(*m, r, 9000);
+  }
+  std::atomic<int> failures{0};
+  m->run([&](mach::Ctx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    for (int round = 0; round < 4; ++round) {
+      const std::size_t count = (round % 2 == 0) ? kBig : kSmall;
+      auto* s = static_cast<std::int64_t*>(sbufs[r].get());
+      for (std::size_t i = 0; i < count; ++i) {
+        s[i] = static_cast<std::int64_t>(ctx.rank() + round);
+      }
+      ctx.barrier();
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), count,
+                      mach::DType::kI64, mach::ROp::kSum);
+      const auto* got = static_cast<const std::int64_t*>(rbufs[r].get());
+      const std::int64_t want =
+          static_cast<std::int64_t>(n) * round + n * (n - 1) / 2;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (got[i] != want) {
+          ++failures;
+          break;
+        }
+      }
+
+      const std::size_t bytes = (round % 2 == 0) ? 9000 : 2048;
+      if (ctx.rank() == 0) {
+        ctx.write_payload(bbufs[0].get(), bytes,
+                          static_cast<std::uint64_t>(round) + 0x77);
+      }
+      ctx.barrier();
+      comp->bcast(ctx, bbufs[r].get(), bytes, 0);
+      std::vector<std::byte> expect(bytes);
+      util::fill_pattern(expect.data(), bytes,
+                         static_cast<std::uint64_t>(round) + 0x77);
+      if (std::memcmp(bbufs[r].get(), expect.data(), bytes) != 0) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(LargeMsgPaths, LargeMsgFaultChaosStillCorrect) {
+  // Recoverable fault classes (attach fallback, registration-cache misses,
+  // stragglers, delayed flag publications) across seeds: the large paths
+  // must terminate and still produce exact payloads.
+  for (const std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+    auto m = machine(GetParam());
+    const int n = m->n_ranks();
+    coll::Tuning t = tuning(4096);
+    t.faults =
+        "attach,prob=0.2;regmiss,prob=0.3;straggler,prob=0.2,delay=2e-6;"
+        "flagdelay,prob=0.1,delay=1e-6";
+    t.fault_seed = seed;
+    auto comp = coll::make_component("xhc", *m, t);
+
+    constexpr std::size_t kCount = 2500;
+    std::vector<mach::Buffer> sbufs;
+    std::vector<mach::Buffer> rbufs;
+    std::vector<std::int64_t> expect(kCount, 0);
+    for (int r = 0; r < n; ++r) {
+      sbufs.emplace_back(*m, r, kCount * sizeof(std::int64_t));
+      rbufs.emplace_back(*m, r, kCount * sizeof(std::int64_t));
+      auto* s = static_cast<std::int64_t*>(sbufs.back().get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        s[i] = static_cast<std::int64_t>((r + 1) * 3 + static_cast<int>(i));
+        expect[i] += s[i];
+      }
+    }
+    constexpr std::size_t kBytes = 50000;
+    std::vector<mach::Buffer> bbufs;
+    for (int r = 0; r < n; ++r) bbufs.emplace_back(*m, r, kBytes);
+    util::fill_pattern(bbufs[0].get(), kBytes, seed);
+
+    m->run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->allreduce(ctx, sbufs[r].get(), rbufs[r].get(), kCount,
+                      mach::DType::kI64, mach::ROp::kSum);
+      comp->bcast(ctx, bbufs[r].get(), kBytes, 0);
+    });
+
+    std::vector<std::byte> bexpect(kBytes);
+    util::fill_pattern(bexpect.data(), kBytes, seed);
+    for (int r = 0; r < n; ++r) {
+      const auto* got = static_cast<const std::int64_t*>(
+          rbufs[static_cast<std::size_t>(r)].get());
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(got[i], expect[i]) << "seed " << seed << ", rank " << r;
+      }
+      ASSERT_EQ(std::memcmp(bbufs[static_cast<std::size_t>(r)].get(),
+                            bexpect.data(), kBytes),
+                0)
+          << "seed " << seed << ", rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LargeMsgPaths,
+    ::testing::Values(LargeParam{"mini8", "real"},
+                      LargeParam{"mini16", "real"},
+                      LargeParam{"mini16", "sim"},
+                      LargeParam{"epyc2p", "sim"}),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+class LargeMsgDispatch : public ::testing::Test {};
+
+TEST_F(LargeMsgDispatch, BelowThresholdVirtualTimeBitIdentical) {
+  // The dispatcher's contract: at or below the thresholds nothing about the
+  // latency path changes — simulated completion times of a 64 KiB op are
+  // bit-identical between a default build and one with the large paths
+  // disabled outright.
+  auto run_once = [](std::size_t rs_thr, std::size_t stripe_thr) {
+    sim::SimMachine m(topo::mini16(), 16);
+    coll::Tuning t;
+    t.rs_ag_threshold = rs_thr;
+    t.stripe_threshold = stripe_thr;
+    auto comp = coll::make_component("xhc", m, t);
+    constexpr std::size_t kBytes = 64 << 10;
+    constexpr std::size_t kCount = kBytes / sizeof(double);
+    std::vector<mach::Buffer> bufs;
+    std::vector<mach::Buffer> rbufs;
+    for (int r = 0; r < 16; ++r) {
+      bufs.emplace_back(m, r, kBytes);
+      rbufs.emplace_back(m, r, kBytes);
+    }
+    std::vector<double> done(16, 0.0);
+    m.run([&](mach::Ctx& ctx) {
+      const auto r = static_cast<std::size_t>(ctx.rank());
+      comp->bcast(ctx, bufs[r].get(), kBytes, 0);
+      comp->allreduce(ctx, bufs[r].get(), rbufs[r].get(), kCount,
+                      mach::DType::kF64, mach::ROp::kSum);
+      done[r] = ctx.now();
+    });
+    return done;
+  };
+  // 64 KiB is below the default 128 KiB thresholds; 0 disables the paths.
+  const std::vector<double> with_paths = run_once(128 << 10, 128 << 10);
+  const std::vector<double> without_paths = run_once(0, 0);
+  for (int r = 0; r < 16; ++r) {
+    ASSERT_EQ(with_paths[static_cast<std::size_t>(r)],
+              without_paths[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_F(LargeMsgDispatch, TuningParamsParseAndClamp) {
+  coll::Tuning t;
+  coll::apply_param(t, "xhc_rs_ag_threshold=65536");
+  coll::apply_param(t, "xhc_stripe_threshold=0");
+  coll::apply_param(t, "xhc_large_chunk_bytes=32768,131072");
+  EXPECT_EQ(t.rs_ag_threshold, 65536u);
+  EXPECT_EQ(t.stripe_threshold, 0u);
+  ASSERT_EQ(t.large_chunk_bytes.size(), 2u);
+  EXPECT_EQ(t.large_chunk_for_level(0), 32768u);
+  EXPECT_EQ(t.large_chunk_for_level(1), 131072u);
+  EXPECT_EQ(t.large_chunk_for_level(5), 131072u);  // last entry repeats
+  EXPECT_THROW(coll::apply_param(t, "xhc_rs_ag_threshold=banana"),
+               util::Error);
+  EXPECT_THROW(coll::apply_param(t, "xhc_large_chunk_bytes=0"), util::Error);
+}
+
+TEST_F(LargeMsgDispatch, ChunkFallbackSingleSourceOfTruth) {
+  // Regression for the duplicated 16 KiB fallback: an empty chunk list must
+  // fall back to the same constant the default initializer uses, for both
+  // the latency and large chunk tables.
+  coll::Tuning t;
+  EXPECT_EQ(t.chunk_for_level(0), coll::Tuning::kDefaultChunkBytes);
+  EXPECT_EQ(t.large_chunk_for_level(0), coll::Tuning::kDefaultLargeChunkBytes);
+  t.chunk_bytes.clear();
+  t.large_chunk_bytes.clear();
+  EXPECT_EQ(t.chunk_for_level(0), coll::Tuning::kDefaultChunkBytes);
+  EXPECT_EQ(t.chunk_for_level(7), coll::Tuning::kDefaultChunkBytes);
+  EXPECT_EQ(t.large_chunk_for_level(0),
+            coll::Tuning::kDefaultLargeChunkBytes);
+  EXPECT_EQ(t.large_chunk_for_level(7),
+            coll::Tuning::kDefaultLargeChunkBytes);
+}
 
 // ---------------------------------------------------------------------------
 // Larger simulated topologies (full paper systems, reduced payloads)

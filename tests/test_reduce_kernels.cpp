@@ -1,0 +1,128 @@
+// Bitwise-identity tests of the vectorized reduction kernels against the
+// scalar reference, across every op x dtype pair, odd counts, and payloads
+// including NaNs — reassociation-free unrolling is the contract that keeps
+// results independent of which kernel a build picks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "mach/reduce_kernels.h"
+#include "util/prng.h"
+
+namespace xhc::mach {
+namespace {
+
+constexpr DType kDTypes[] = {DType::kU8, DType::kI32, DType::kI64,
+                             DType::kF32, DType::kF64};
+constexpr ROp kOps[] = {ROp::kSum, ROp::kProd, ROp::kMin, ROp::kMax};
+
+/// Patterned operands: raw PRNG bits for the integer types (every bit
+/// combination is a valid value), bounded magnitudes for the float types so
+/// sums/products stay finite and comparisons are exercised on both signs.
+void fill(void* p, std::size_t count, DType t, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t v = rng.next();
+    switch (t) {
+      case DType::kU8:
+        static_cast<std::uint8_t*>(p)[i] = static_cast<std::uint8_t>(v);
+        break;
+      case DType::kI32:
+        static_cast<std::int32_t*>(p)[i] =
+            static_cast<std::int32_t>(v & 0xFFFF) - 0x8000;
+        break;
+      case DType::kI64:
+        static_cast<std::int64_t*>(p)[i] =
+            static_cast<std::int64_t>(v & 0xFFFFFFFF) - 0x80000000ll;
+        break;
+      case DType::kF32:
+        static_cast<float*>(p)[i] =
+            (static_cast<float>(v & 0x3FF) - 512.0f) / 256.0f;
+        break;
+      case DType::kF64:
+        static_cast<double*>(p)[i] =
+            (static_cast<double>(v & 0x3FF) - 512.0) / 256.0;
+        break;
+    }
+  }
+}
+
+class ReduceKernels
+    : public ::testing::TestWithParam<std::tuple<DType, ROp>> {};
+
+TEST_P(ReduceKernels, FastMatchesScalarBitwise) {
+  const auto [dtype, op] = GetParam();
+  const std::size_t elem = dtype_size(dtype);
+  // Odd counts straddle every unroll width; 4097 crosses a page.
+  for (const std::size_t count : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000},
+                                  std::size_t{4097}}) {
+    std::vector<std::byte> src(count * elem);
+    std::vector<std::byte> dst_fast(count * elem);
+    std::vector<std::byte> dst_ref(count * elem);
+    fill(src.data(), count, dtype, 17 + count);
+    fill(dst_fast.data(), count, dtype, 99 + count);
+    std::memcpy(dst_ref.data(), dst_fast.data(), dst_fast.size());
+
+    reduce_apply(dst_fast.data(), src.data(), count, dtype, op);
+    reduce_apply_scalar(dst_ref.data(), src.data(), count, dtype, op);
+
+    ASSERT_EQ(std::memcmp(dst_fast.data(), dst_ref.data(), dst_fast.size()),
+              0)
+        << to_string(dtype) << "/" << to_string(op) << " count " << count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ReduceKernels,
+    ::testing::Combine(::testing::ValuesIn(kDTypes),
+                       ::testing::ValuesIn(kOps)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(ReduceKernelsNaN, FloatMinMaxAgreeOnNaNs) {
+  // min/max with NaNs: whatever semantics the scalar reference picks
+  // (std::min/std::max's first-argument preference), the fast kernel must
+  // reproduce them bit for bit.
+  for (const DType dtype : {DType::kF32, DType::kF64}) {
+    for (const ROp op : {ROp::kMin, ROp::kMax, ROp::kSum, ROp::kProd}) {
+      const std::size_t elem = dtype_size(dtype);
+      constexpr std::size_t kCount = 257;
+      std::vector<std::byte> src(kCount * elem);
+      std::vector<std::byte> dst_fast(kCount * elem);
+      fill(src.data(), kCount, dtype, 5);
+      fill(dst_fast.data(), kCount, dtype, 6);
+      // Sprinkle NaNs on both sides, including one position where both
+      // operands are NaN.
+      for (std::size_t i = 0; i < kCount; i += 13) {
+        if (dtype == DType::kF32) {
+          reinterpret_cast<float*>(src.data())[i] =
+              std::numeric_limits<float>::quiet_NaN();
+          reinterpret_cast<float*>(dst_fast.data())[(i + 26) % kCount] =
+              std::numeric_limits<float>::quiet_NaN();
+        } else {
+          reinterpret_cast<double*>(src.data())[i] =
+              std::numeric_limits<double>::quiet_NaN();
+          reinterpret_cast<double*>(dst_fast.data())[(i + 26) % kCount] =
+              std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      std::vector<std::byte> dst_ref(dst_fast);
+
+      reduce_apply(dst_fast.data(), src.data(), kCount, dtype, op);
+      reduce_apply_scalar(dst_ref.data(), src.data(), kCount, dtype, op);
+
+      ASSERT_EQ(
+          std::memcmp(dst_fast.data(), dst_ref.data(), dst_fast.size()), 0)
+          << to_string(dtype) << "/" << to_string(op);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xhc::mach

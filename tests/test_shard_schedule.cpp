@@ -1,0 +1,152 @@
+// White-box tests of the nested shard schedule behind the large-message
+// allreduce (core/shard_schedule.h): partition arithmetic, peer symmetry,
+// uniformity detection across the topology presets, and the progress-flag
+// slot timeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/shard_schedule.h"
+#include "mach/real_machine.h"
+#include "topo/presets.h"
+
+namespace xhc::core {
+namespace {
+
+TEST(Partition, CoversParentDisjointly) {
+  for (const std::size_t total : {1u, 7u, 64u, 1000u, 4097u}) {
+    for (const std::size_t n : {1u, 2u, 3u, 4u, 8u}) {
+      const ElemRange parent{0, total};
+      std::size_t covered = 0;
+      std::size_t prev_hi = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const ElemRange p = partition(parent, n, i);
+        EXPECT_EQ(p.lo, prev_hi) << total << "/" << n << "#" << i;
+        EXPECT_LE(p.lo, p.hi);
+        prev_hi = p.hi;
+        covered += p.size();
+      }
+      EXPECT_EQ(prev_hi, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Partition, RemainderGoesToLowPieces) {
+  // 10 over 4: 3,3,2,2 — low pieces absorb the remainder, sizes are
+  // monotone non-increasing and differ by at most one.
+  const ElemRange parent{0, 10};
+  EXPECT_EQ(partition(parent, 4, 0).size(), 3u);
+  EXPECT_EQ(partition(parent, 4, 1).size(), 3u);
+  EXPECT_EQ(partition(parent, 4, 2).size(), 2u);
+  EXPECT_EQ(partition(parent, 4, 3).size(), 2u);
+}
+
+TEST(Partition, NestedSubrange) {
+  const ElemRange outer = partition({0, 100}, 2, 1);  // [50, 100)
+  const ElemRange inner = partition(outer, 4, 0);
+  EXPECT_EQ(inner.lo, 50u);
+  EXPECT_GE(inner.hi, inner.lo);
+  EXPECT_LE(inner.hi, outer.hi);
+}
+
+TEST(ShardPlan, UniformOnAllPresets) {
+  // Every preset grid is isomorphic level by level, so the nested schedule
+  // must engage on all of them.
+  for (const char* name : {"mini8", "mini16", "epyc1p", "epyc2p", "armn1"}) {
+    topo::Topology topo = topo::by_name(name);
+    const int ranks = topo.n_cores();
+    mach::RealMachine m(std::move(topo), ranks);
+    CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+    EXPECT_TRUE(tree.shard_plan().uniform()) << name;
+    EXPECT_EQ(tree.shard_plan().n_stages(), tree.n_levels()) << name;
+  }
+}
+
+TEST(ShardPlan, PeersAreSymmetricAndSelfResolving) {
+  mach::RealMachine m(topo::epyc2p(), 64);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  const ShardPlan& plan = tree.shard_plan();
+  ASSERT_TRUE(plan.uniform());
+  constexpr std::size_t kCount = 4096;
+  for (int r = 0; r < 64; ++r) {
+    const ShardSchedule sched = plan.schedule(r, kCount, 4);
+    ASSERT_EQ(sched.n_stages(), tree.n_levels());
+    ElemRange prev{0, kCount};
+    for (int k = 0; k < sched.n_stages(); ++k) {
+      const ShardStage& st = sched.stages[static_cast<std::size_t>(k)];
+      // The stage partitions what the previous stage produced.
+      EXPECT_EQ(st.parent.lo, prev.lo) << "rank " << r << " stage " << k;
+      EXPECT_EQ(st.parent.hi, prev.hi);
+      ASSERT_GE(st.peers.size(), 1u);
+      ASSERT_LT(static_cast<std::size_t>(st.my_idx), st.peers.size());
+      EXPECT_EQ(st.peers[static_cast<std::size_t>(st.my_idx)], r);
+      const ElemRange want =
+          partition(st.parent, st.peers.size(),
+                    static_cast<std::size_t>(st.my_idx));
+      EXPECT_EQ(st.range.lo, want.lo);
+      EXPECT_EQ(st.range.hi, want.hi);
+      // Symmetry: every peer lists the same peer set at this stage, with
+      // itself at its own index — the property that lets any rank compute
+      // exact wait thresholds for any other.
+      for (std::size_t i = 0; i < st.peers.size(); ++i) {
+        const ShardSchedule ps =
+            plan.schedule(st.peers[i], kCount, 4);
+        const ShardStage& pst = ps.stages[static_cast<std::size_t>(k)];
+        EXPECT_EQ(pst.peers, st.peers) << "rank " << r << " stage " << k;
+        EXPECT_EQ(pst.my_idx, static_cast<int>(i));
+        EXPECT_EQ(pst.parent.lo, st.parent.lo);
+        EXPECT_EQ(pst.parent.hi, st.parent.hi);
+      }
+      prev = st.range;
+    }
+  }
+}
+
+TEST(ShardPlan, FinalShardsTileThePayload) {
+  // After the last RS stage, the 64 ranks' shards partition [0, count).
+  mach::RealMachine m(topo::epyc2p(), 64);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  constexpr std::size_t kCount = 100003;  // odd: exercises remainders
+  std::set<std::size_t> edges;
+  std::size_t covered = 0;
+  for (int r = 0; r < 64; ++r) {
+    const ShardSchedule sched = tree.shard_plan().schedule(r, kCount, 4);
+    const ElemRange own = sched.stages.back().range;
+    covered += own.size();
+    edges.insert(own.lo);
+  }
+  EXPECT_EQ(covered, kCount);          // no overlap, no gap (with the edge
+  EXPECT_EQ(edges.size(), 64u);        // starts pairwise distinct)
+}
+
+TEST(ShardSchedule, SlotTimeline) {
+  mach::RealMachine m(topo::epyc2p(), 64);
+  CommTree tree(m, topo::parse_sensitivity("numa+socket"));
+  const ShardSchedule sched = tree.shard_plan().schedule(0, 1024, 4);
+  const std::size_t bytes = 1024 * 4;
+  EXPECT_EQ(sched.bytes, bytes);
+  ASSERT_EQ(sched.n_stages(), 3);
+  // RS slots count up from 0; AG slots continue where RS ended, outermost
+  // stage first (u = L-1 executes first).
+  EXPECT_EQ(sched.rs_slot(0), 0u);
+  EXPECT_EQ(sched.rs_slot(1), bytes);
+  EXPECT_EQ(sched.rs_slot(2), 2 * bytes);
+  EXPECT_EQ(sched.ag_slot(2), 3 * bytes);
+  EXPECT_EQ(sched.ag_slot(1), 4 * bytes);
+  EXPECT_EQ(sched.ag_slot(0), 5 * bytes);
+  EXPECT_EQ(sched.total(), 6 * bytes);
+}
+
+TEST(ShardPlan, FlatHierarchyIsSingleStage) {
+  mach::RealMachine m(topo::mini8(), 8);
+  CommTree tree(m, {});  // flat: one level holding all ranks
+  ASSERT_TRUE(tree.shard_plan().uniform());
+  const ShardSchedule sched = tree.shard_plan().schedule(3, 80, 4);
+  ASSERT_EQ(sched.n_stages(), 1);
+  EXPECT_EQ(sched.stages[0].peers.size(), 8u);
+  EXPECT_EQ(sched.stages[0].peers[3], 3);
+}
+
+}  // namespace
+}  // namespace xhc::core

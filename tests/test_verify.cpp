@@ -228,6 +228,42 @@ TEST(VerifyLayout, GroupCtlRegistersCleanWithExpectedFig10Finding) {
   }
 }
 
+TEST(VerifyLayout, ShardPlaneRegistersCleanPerRankSlots) {
+  // The large-message shard/stripe plane: every slot flag is registered
+  // under the "shards." prefix, cache-line padded, so the predictive lint
+  // must stay silent and tracking must cover all three arrays.
+  sim::SimMachine m(topo::mini8(), 8);
+  core::CtlArena arena;
+  core::ShardCtl ctl = arena.add_shard_plane(m, 8);
+  const verify::Summary s = m.verify_ledger().summary();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_GE(s.flags_tracked, 3u * 8u);
+
+  verify::Ledger& ledger = m.verify_ledger();
+  ledger.set_abort_on_violation(false);
+  // Slot ownership is per global rank: the owner may advance its own
+  // progress flag, any other rank writing it is a protocol escape.
+  ledger.on_store(&*ctl.prog[2], /*rank=*/2, 64);
+  EXPECT_TRUE(ledger.violations().empty());
+  ledger.on_store(&*ctl.prog[2], /*rank=*/3, 128);  // deliberate violation
+  auto vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, verify::Kind::kSecondWriter);
+  EXPECT_EQ(vs[0].rank, 3);
+  EXPECT_TRUE(contains(vs[0].describe(), "shards.prog[2]"))
+      << vs[0].describe();
+
+  // The shard timeline is cumulative: a stage that "rewinds" a peer's
+  // progress would un-publish bytes a waiter may already have consumed.
+  ledger.on_store(&*ctl.stripe_ready[5], /*rank=*/5, 4096);
+  ledger.on_store(&*ctl.stripe_ready[5], /*rank=*/5, 1024);  // deliberate
+  vs = ledger.violations();
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[1].kind, verify::Kind::kNonMonotonic);
+  EXPECT_TRUE(contains(vs[1].describe(), "shards.stripe_ready[5]"))
+      << vs[1].describe();
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end through Machine flag traffic (checked builds only: the
 // per-operation hooks are compiled out otherwise).
