@@ -22,6 +22,13 @@
 #                               # assertions, --coherence determinism,
 #                               # zero-cost contract, model tests under
 #                               # TSan + the threads backend
+#   scripts/check.sh lint       # full static pass: flag-protocol lints
+#                               # (incl. --selftest) + run-clang-tidy over
+#                               # src/ with warnings-as-errors (skipped
+#                               # with a note when clang-tidy is absent)
+#   scripts/check.sh analyze    # static schedule verification: the
+#                               # analyzer sweep over every preset x op x
+#                               # size class (build/bench/analyze_protocol)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh thread -R Obs
@@ -211,10 +218,49 @@ case "$mode" in
     echo "coherence gate: OK"
     exit 0
     ;;
+  lint)
+    # Full static pass: the flag-protocol lints (plus their self-test, so a
+    # broken rule 5 can't silently pass) and run-clang-tidy over all of
+    # src/ with every finding promoted to an error. The tidy pass needs a
+    # compilation database, so configure the plain build first; when the
+    # tool itself is absent the pass is skipped with a note (lint_flags.sh
+    # already ran its narrower clang-tidy core pass the same way).
+    scripts/lint_flags.sh --selftest
+    scripts/lint_flags.sh
+    cmake -B build -S . > /dev/null
+    tidy=""
+    for t in run-clang-tidy run-clang-tidy.py; do
+      if command -v "$t" > /dev/null 2>&1; then
+        tidy="$t"
+        break
+      fi
+    done
+    if [ -n "$tidy" ]; then
+      echo "== run-clang-tidy over src/ (warnings-as-errors) =="
+      "$tidy" -p build -quiet -warnings-as-errors='*' "^$(pwd)/src/"
+    else
+      echo "note: run-clang-tidy not installed; skipping the enforced" >&2
+      echo "tidy pass over src/ (grep lints above still gate)" >&2
+    fi
+    echo "lint gate: OK"
+    exit 0
+    ;;
+  analyze)
+    # Static schedule verification (DESIGN.md § Static analysis): build the
+    # analyzer driver and sweep every preset x op x size class, verifying
+    # single-writer discipline, monotonicity, threshold reachability,
+    # deadlock-freedom (acyclicity), slot reuse, and payload coverage on
+    # the pre-execution schedules. Extra args are forwarded to the driver
+    # (e.g. --preset=mini8 --op=bcast --json).
+    cmake -B build -S .
+    cmake --build build -j --target analyze_protocol
+    build/bench/analyze_protocol "$@"
+    exit $?
+    ;;
   *)
     echo "usage: $0" \
-         "[thread|address|undefined|verify|fault|bench|largemsg|coherence]" \
-         "[ctest args...]" >&2
+         "[thread|address|undefined|verify|fault|bench|largemsg|coherence|" \
+         "lint|analyze] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -237,7 +283,7 @@ ctest --output-on-failure -j "$(nproc)" "$@"
 if [ "$mode" = "" ] || [ "$mode" = thread ]; then
   echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
   XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
-    -R 'Sim|Backend|Sched|Collectives|Fault' "$@"
+    -R 'Sim|Backend|Sched|Collectives|Fault|Check' "$@"
 fi
 
 # The default full run also walks the quick sweeps through the perf gate.

@@ -5,12 +5,77 @@
 # or reaches for seq_cst (the paper's protocol is release/acquire plus
 # whitelisted acq_rel RMW — a seq_cst access is always a smell here).
 #
-#   scripts/lint_flags.sh        # grep passes + clang-tidy (if installed)
+#   scripts/lint_flags.sh             # grep passes + clang-tidy (if installed)
+#   scripts/lint_flags.sh --selftest  # prove rule 5 can fail: a seeded
+#                                     # unregistered wait must be rejected
 #
 # Exits nonzero on any violation.
 set -euo pipefail
 shopt -s inherit_errexit
 cd "$(dirname "$0")/.."
+
+# --- rule 5 machinery (defined early so --selftest can reuse it) -----------
+#
+# Registered flag fields: every identifier that appears as the flag operand
+# of a verify::Ledger::register_flag call (src/verify/layout.cpp for the
+# XHC control blocks, plus the shm/p2p components' own registrations).
+reg_fields=$(grep -RhoE 'register_flag\(&\*?[A-Za-z_][A-Za-z0-9_>.-]*' \
+    src/verify src/core src/base src/p2p src/smsc 2> /dev/null \
+  | sed -E 's/.*[.>]([A-Za-z_][A-Za-z0-9_]*)$/\1/' \
+  | grep -vE '[(&*]' | sort -u)
+fields_re=$(echo "$reg_fields" | paste -sd'|' -)
+
+# Every blocking wait site must name a ledger-registered flag: the wait's
+# flag operand has to reference one of the registered control-block fields.
+# A wait on a scratch flag is invisible to both the runtime ledger and the
+# static schedule analyzer (src/check/), so the deadlock/threshold analyses
+# would silently lose coverage. Excluded: src/mach + src/sim (the machine
+# implementations the API bottoms out in) and src/check (the interpreter
+# replays model events on fresh flags it registers itself at runtime).
+check_wait_sites() {
+  local root="$1"
+  local sites bad=""
+  sites=$(grep -RnE 'flag_wait_ge\(' "$root/src" 2> /dev/null \
+    | grep -vE "^$root/src/(mach|sim|check)/" \
+    | grep -vE ':[0-9]+: *(//|\*|///)' || true)
+  while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    if ! echo "$line" | grep -qE "flag_wait_ge\([^,]*\b($fields_re)\b"; then
+      bad+="$line"$'\n'
+    fi
+  done <<< "$sites"
+  if [ -n "$bad" ]; then
+    echo "error: blocking wait on a flag that is never registered with the" >&2
+    echo "verify ledger (register it so the protocol ledger and the static" >&2
+    echo "schedule analyzer can see it):" >&2
+    printf '%s' "$bad" >&2
+    return 1
+  fi
+  return 0
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/src/core"
+  cat > "$tmp/src/core/seeded.cpp" << 'EOF'
+void seeded(xhc::mach::Ctx& ctx, xhc::mach::Flag& scratch) {
+  ctx.flag_wait_ge(scratch, 1);  // seeded violation: unregistered flag
+}
+EOF
+  if check_wait_sites "$tmp" > /dev/null 2>&1; then
+    echo "lint_flags --selftest: FAILED (seeded unregistered wait passed)" >&2
+    exit 1
+  fi
+  cat > "$tmp/src/core/seeded.cpp" << 'EOF'
+void fine(xhc::mach::Ctx& ctx, xhc::core::GroupCtl& ctl) {
+  ctx.flag_wait_ge(*ctl.seq[0], 1);
+}
+EOF
+  check_wait_sites "$tmp"
+  echo "lint_flags --selftest: OK (seeded violation caught, registered wait passes)"
+  exit 0
+fi
 
 fail=0
 
@@ -76,9 +141,16 @@ if [ -n "$unreg" ]; then
   fail=1
 fi
 
-# 5. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
+# 5. Blocking wait sites name ledger-registered flags (machinery above;
+#    self-testable via --selftest).
+if ! check_wait_sites .; then
+  fail=1
+fi
+
+# 6. clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*)
 #    over the verifier and machine layers, when the tool and a compilation
-#    database are available.
+#    database are available. `scripts/check.sh lint` widens this to all of
+#    src/ via run-clang-tidy with -warnings-as-errors.
 tidy_db=""
 for d in build build-verify build-tsan; do
   if [ -f "$d/compile_commands.json" ]; then

@@ -1,0 +1,342 @@
+#include "check/mutate.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/prng.h"
+#include "verify/verify.h"
+
+namespace xhc::check {
+
+const char* to_string(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::kThresholdLow:
+      return "threshold-low";
+    case MutationKind::kThresholdHigh:
+      return "threshold-high";
+    case MutationKind::kDroppedPublish:
+      return "dropped-publish";
+    case MutationKind::kSwappedStageOrder:
+      return "swapped-stage-order";
+    case MutationKind::kWidenedWriter:
+      return "widened-writer";
+  }
+  return "?";
+}
+
+bool MutantInfo::killed_by(const Finding& f) const {
+  if (std::find(expect.begin(), expect.end(), f.property) == expect.end()) {
+    return false;
+  }
+  if (!flag.empty() && f.flag != flag) return false;
+  if (rank >= 0 && f.rank != rank) return false;
+  return true;
+}
+
+namespace {
+
+struct Ref {
+  int rank = -1;
+  int idx = -1;
+};
+
+Event& at(ScheduleModel& m, Ref ref) {
+  return m.per_rank[static_cast<std::size_t>(ref.rank)]
+                   [static_cast<std::size_t>(ref.idx)];
+}
+
+struct Use {
+  std::vector<Ref> pubs;  ///< (rank, idx) order = writer program order
+  std::vector<Ref> rmws;
+  verify::WriterPolicy policy = verify::WriterPolicy::kFixed;
+  std::string name;
+};
+
+std::map<const mach::Flag*, Use> index_flags(const ScheduleModel& m,
+                                             const verify::Ledger& names) {
+  std::map<const mach::Flag*, Use> out;
+  for (int r = 0; r < m.n_ranks; ++r) {
+    const auto& stream = m.per_rank[static_cast<std::size_t>(r)];
+    for (int i = 0; i < static_cast<int>(stream.size()); ++i) {
+      const Event& e = stream[static_cast<std::size_t>(i)];
+      Use& u = out[e.flag];
+      if (u.name.empty()) {
+        u.name = names.flag_name(e.flag);
+        u.policy = names.flag_policy(e.flag).value_or(
+            verify::WriterPolicy::kFixed);
+      }
+      if (e.kind == EvKind::kPublish) u.pubs.push_back(Ref{r, i});
+      if (e.kind == EvKind::kRmw) u.rmws.push_back(Ref{r, i});
+    }
+  }
+  return out;
+}
+
+/// True when `need` lies inside the union of the coverage rank `writer`
+/// has declared up to and including event `upto` — the same rule the
+/// analyzer applies, reused here so threshold-low candidates are only
+/// sites where the lowered wait genuinely outruns the data.
+bool covered(const ScheduleModel& m, int writer, int upto,
+             const DataRange& need) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  const auto& stream = m.per_rank[static_cast<std::size_t>(writer)];
+  for (int i = 0; i <= upto; ++i) {
+    const Event& e = stream[static_cast<std::size_t>(i)];
+    if (e.kind != EvKind::kPublish) continue;
+    for (const DataRange& wr : e.writes) {
+      if (wr.buf == need.buf && wr.epoch >= need.epoch) {
+        got.emplace_back(wr.lo, wr.hi);
+      }
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::uint64_t pos = need.lo;
+  for (const auto& [lo, hi] : got) {
+    if (lo > pos) break;
+    pos = std::max(pos, hi);
+  }
+  return pos >= need.hi;
+}
+
+/// Deterministic scan of every wait event, innermost loop over ranks then
+/// program order, feeding the per-kind candidate filters below.
+template <typename Fn>
+void each_wait(ScheduleModel& m, Fn&& fn) {
+  for (int r = 0; r < m.n_ranks; ++r) {
+    const int n =
+        static_cast<int>(m.per_rank[static_cast<std::size_t>(r)].size());
+    for (int i = 0; i < n; ++i) {
+      if (at(m, Ref{r, i}).kind == EvKind::kWait) fn(Ref{r, i});
+    }
+  }
+}
+
+MutantInfo threshold_low(ScheduleModel& m, std::uint64_t seed,
+                         std::map<const mach::Flag*, Use>& flags) {
+  std::vector<Ref> cands;
+  each_wait(m, [&](Ref w) {
+    const Event& we = at(m, w);
+    if (we.needs.empty()) return;
+    const Use& u = flags[we.flag];
+    if (u.policy == verify::WriterPolicy::kShared || u.pubs.empty()) return;
+    const Event& fp = at(m, u.pubs.front());
+    if (fp.value >= we.value) return;
+    for (const DataRange& need : we.needs) {
+      if (!covered(m, u.pubs.front().rank, u.pubs.front().idx, need)) {
+        cands.push_back(w);
+        return;
+      }
+    }
+  });
+  MutantInfo info;
+  info.kind = MutationKind::kThresholdLow;
+  if (cands.empty()) return info;
+  const Ref w = cands[util::SplitMix64(seed).next_below(cands.size())];
+  Event& we = at(m, w);
+  const Use& u = flags[we.flag];
+  const std::uint64_t old = we.value;
+  we.value = at(m, u.pubs.front()).value;
+  info.applied = true;
+  info.flag = u.name;
+  info.rank = w.rank;
+  info.expect = {Property::kCoverage, Property::kSlotReuse};
+  info.detail = "lowered " + std::string(we.site) + " threshold on " +
+                u.name + " from " + std::to_string(old) + " to " +
+                std::to_string(we.value);
+  return info;
+}
+
+MutantInfo threshold_high(ScheduleModel& m, std::uint64_t seed,
+                          std::map<const mach::Flag*, Use>& flags) {
+  std::vector<Ref> cands;
+  each_wait(m, [&](Ref w) { cands.push_back(w); });
+  MutantInfo info;
+  info.kind = MutationKind::kThresholdHigh;
+  if (cands.empty()) return info;
+  const Ref w = cands[util::SplitMix64(seed).next_below(cands.size())];
+  Event& we = at(m, w);
+  const Use& u = flags[we.flag];
+  std::uint64_t reach = 0;
+  if (u.policy == verify::WriterPolicy::kShared) {
+    for (const Ref p : u.rmws) reach += at(m, p).value;
+  } else {
+    for (const Ref p : u.pubs) reach = std::max(reach, at(m, p).value);
+  }
+  const std::uint64_t old = we.value;
+  we.value = reach + 1;
+  info.applied = true;
+  info.flag = u.name;
+  info.rank = w.rank;
+  info.expect = {Property::kUnreachableThreshold};
+  info.detail = "raised " + std::string(we.site) + " threshold on " + u.name +
+                " from " + std::to_string(old) + " to " +
+                std::to_string(we.value);
+  return info;
+}
+
+MutantInfo dropped_publish(ScheduleModel& m, std::uint64_t seed,
+                           std::map<const mach::Flag*, Use>& flags) {
+  std::vector<Ref> cands;
+  each_wait(m, [&](Ref w) {
+    const Event& we = at(m, w);
+    const Use& u = flags[we.flag];
+    if (u.policy == verify::WriterPolicy::kShared) return;
+    for (const Ref p : u.pubs) {
+      if (at(m, p).value >= we.value) {
+        cands.push_back(w);
+        return;
+      }
+    }
+  });
+  MutantInfo info;
+  info.kind = MutationKind::kDroppedPublish;
+  if (cands.empty()) return info;
+  const Ref w = cands[util::SplitMix64(seed).next_below(cands.size())];
+  const Event& we = at(m, w);
+  const mach::Flag* flag = we.flag;
+  const std::uint64_t threshold = we.value;
+  const Use& u = flags[flag];
+  info.applied = true;
+  info.flag = u.name;
+  info.rank = w.rank;
+  info.expect = {Property::kUnreachableThreshold};
+  info.detail = "dropped every publish >= " + std::to_string(threshold) +
+                " on " + u.name;
+  // Erase highest index first so earlier refs stay valid; all publishes of
+  // a single-writer flag live in one rank's stream.
+  std::vector<Ref> drop;
+  for (const Ref p : u.pubs) {
+    if (at(m, p).value >= threshold) drop.push_back(p);
+  }
+  std::sort(drop.begin(), drop.end(), [](const Ref& a, const Ref& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.idx > b.idx;
+  });
+  for (const Ref p : drop) {
+    auto& stream = m.per_rank[static_cast<std::size_t>(p.rank)];
+    stream.erase(stream.begin() + p.idx);
+  }
+  return info;
+}
+
+MutantInfo swapped_stage_order(ScheduleModel& m, std::uint64_t seed,
+                               std::map<const mach::Flag*, Use>& flags) {
+  // Candidate: publish P (rank r) that is the ONLY satisfier of wait W
+  // (rank q != r), with a later wait V of r whose earliest satisfier is a
+  // publish of q issued after W. Moving P behind V makes the two ranks
+  // wait on each other.
+  struct Cand {
+    Ref pub;
+    Ref wait;
+  };
+  std::vector<Cand> cands;
+  each_wait(m, [&](Ref w) {
+    const Event& we = at(m, w);
+    const Use& u = flags[we.flag];
+    if (u.policy == verify::WriterPolicy::kShared) return;
+    Ref p{-1, -1};
+    int n_sat = 0;
+    for (const Ref cand : u.pubs) {
+      if (at(m, cand).value >= we.value) {
+        p = cand;
+        ++n_sat;
+      }
+    }
+    if (n_sat != 1 || p.rank == w.rank) return;
+    const int r = p.rank;
+    const int q = w.rank;
+    const auto& rs = m.per_rank[static_cast<std::size_t>(r)];
+    for (int i = p.idx + 1; i < static_cast<int>(rs.size()); ++i) {
+      const Event& ve = rs[static_cast<std::size_t>(i)];
+      if (ve.kind != EvKind::kWait || ve.flag == we.flag) continue;
+      const Use& vu = flags[ve.flag];
+      if (vu.policy == verify::WriterPolicy::kShared) continue;
+      for (const Ref vp : vu.pubs) {
+        if (at(m, vp).value < ve.value) continue;
+        if (vp.rank == q && vp.idx > w.idx) cands.push_back(Cand{p, w});
+        break;  // earliest satisfier decided
+      }
+      if (!cands.empty() && cands.back().pub.rank == p.rank &&
+          cands.back().pub.idx == p.idx) {
+        return;  // one candidate per W is enough
+      }
+    }
+  });
+  MutantInfo info;
+  info.kind = MutationKind::kSwappedStageOrder;
+  if (cands.empty()) return info;
+  const Cand c = cands[util::SplitMix64(seed).next_below(cands.size())];
+  auto& stream = m.per_rank[static_cast<std::size_t>(c.pub.rank)];
+  Event moved = std::move(stream[static_cast<std::size_t>(c.pub.idx)]);
+  const Use& u = flags[moved.flag];
+  info.applied = true;
+  info.expect = {Property::kWaitCycle};
+  info.detail = "deferred r" + std::to_string(c.pub.rank) + " " +
+                std::string(moved.site) + " publish of " + u.name +
+                " past its dependent waits";
+  stream.erase(stream.begin() + c.pub.idx);
+  stream.push_back(std::move(moved));
+  return info;
+}
+
+MutantInfo widened_writer(ScheduleModel& m, std::uint64_t seed,
+                          std::map<const mach::Flag*, Use>& flags) {
+  std::vector<Ref> cands;
+  for (int r = 0; r < m.n_ranks; ++r) {
+    const int n =
+        static_cast<int>(m.per_rank[static_cast<std::size_t>(r)].size());
+    for (int i = 0; i < n; ++i) {
+      const Event& e = at(m, Ref{r, i});
+      if (e.kind != EvKind::kPublish) continue;
+      if (flags[e.flag].policy == verify::WriterPolicy::kShared) continue;
+      cands.push_back(Ref{r, i});
+    }
+  }
+  MutantInfo info;
+  info.kind = MutationKind::kWidenedWriter;
+  if (cands.empty()) return info;
+  util::SplitMix64 rng(seed);
+  const Ref p = cands[rng.next_below(cands.size())];
+  const int other =
+      (p.rank + 1 +
+       static_cast<int>(rng.next_below(
+           static_cast<std::uint64_t>(m.n_ranks - 1)))) %
+      m.n_ranks;
+  Event dup = at(m, p);
+  const Use& u = flags[dup.flag];
+  const int owner_pubs = static_cast<int>(std::count_if(
+      u.pubs.begin(), u.pubs.end(),
+      [&](const Ref ref) { return ref.rank == p.rank; }));
+  info.applied = true;
+  info.flag = u.name;
+  // The analyzer blames the minority writer (fewest publishes, lowest rank
+  // on a tie); predict the same rank here.
+  info.rank = owner_pubs > 1 ? other : std::min(p.rank, other);
+  info.expect = {Property::kSingleWriter};
+  info.detail = "duplicated " + std::string(dup.site) + " publish of " +
+                u.name + " into rank " + std::to_string(other);
+  m.per_rank[static_cast<std::size_t>(other)].push_back(std::move(dup));
+  return info;
+}
+
+}  // namespace
+
+MutantInfo apply_mutation(ScheduleModel& m, MutationKind kind,
+                          std::uint64_t seed, const verify::Ledger& names) {
+  auto flags = index_flags(m, names);
+  switch (kind) {
+    case MutationKind::kThresholdLow:
+      return threshold_low(m, seed, flags);
+    case MutationKind::kThresholdHigh:
+      return threshold_high(m, seed, flags);
+    case MutationKind::kDroppedPublish:
+      return dropped_publish(m, seed, flags);
+    case MutationKind::kSwappedStageOrder:
+      return swapped_stage_order(m, seed, flags);
+    case MutationKind::kWidenedWriter:
+      return widened_writer(m, seed, flags);
+  }
+  return MutantInfo{};
+}
+
+}  // namespace xhc::check

@@ -1,0 +1,77 @@
+// Mutation self-test harness: seeded protocol defects for the analyzer.
+//
+// Confidence in a verifier comes from watching it fail things. Each
+// mutation below injects one classic synchronization bug into a
+// ScheduleModel — the kind a refactor of core/ could realistically
+// introduce — and reports exactly which Finding the analyzer must produce
+// (property, flag, rank). The mutation tests (tests/test_check.cpp) then
+// assert a 100% kill score: every applied mutant yields the predicted
+// finding. Several of these bugs are invisible to the runtime suite under
+// the default schedule (an off-by-one threshold that the default
+// interleaving happens to tolerate); the static pass must catch them
+// anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/analyzer.h"
+#include "check/schedule_model.h"
+
+namespace xhc::verify {
+class Ledger;
+}
+
+namespace xhc::check {
+
+enum class MutationKind {
+  /// Lower a wait threshold to the flag's first published value: the wait
+  /// releases before the payload it reads is covered (off-by-one /
+  /// premature-read bug). Expected: coverage (or slot-reuse on the slotted
+  /// shard timelines).
+  kThresholdLow,
+  /// Raise a wait threshold past every publish: the wait can never be
+  /// satisfied (forgotten final publish / wrong count). Expected:
+  /// unreachable-threshold.
+  kThresholdHigh,
+  /// Delete every publish that satisfies a chosen wait (dropped release
+  /// store). Expected: unreachable-threshold.
+  kDroppedPublish,
+  /// Move a publish that another rank's wait uniquely depends on to the end
+  /// of its writer's stream, after a wait of the writer that transitively
+  /// depends back on the stalled rank (stage reordering). Expected:
+  /// wait-cycle (deadlock).
+  kSwappedStageOrder,
+  /// Duplicate a publish into a second rank's stream (writer-discipline
+  /// breach). Expected: single-writer, attributed to the minority writer.
+  kWidenedWriter,
+};
+const char* to_string(MutationKind k) noexcept;
+
+/// What the analyzer is expected to report for one applied mutant.
+struct MutantInfo {
+  MutationKind kind = MutationKind::kThresholdLow;
+  bool applied = false;  ///< false: the model offers no candidate site
+  /// Expected finding coordinates; empty flag / rank -1 mean "any"
+  /// (kSwappedStageOrder: the cycle's anchor wait is schedule-dependent).
+  std::string flag;
+  int rank = -1;
+  /// Acceptable properties for the kill, primary first.
+  std::vector<Property> expect;
+  std::string detail;  ///< human-readable description of the injected bug
+
+  /// True when `f` matches this mutant's expectation.
+  bool killed_by(const Finding& f) const;
+};
+
+/// Applies one seeded mutation of `kind` to `m` in place. Candidate sites
+/// are enumerated in deterministic (rank, program-index) order and the
+/// seed selects among them, so every (model, kind, seed) triple names one
+/// reproducible bug. `names` resolves flag names/policies for candidate
+/// filtering and the expectation. Returns applied=false (model untouched)
+/// when the schedule has no site for this bug class.
+MutantInfo apply_mutation(ScheduleModel& m, MutationKind kind,
+                          std::uint64_t seed, const verify::Ledger& names);
+
+}  // namespace xhc::check

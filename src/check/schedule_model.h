@@ -1,0 +1,110 @@
+// Static schedule model: the flag protocol of one collective, extracted
+// without running it.
+//
+// The runtime protocols (core/bcast.cpp, core/allreduce.cpp,
+// core/xhc_component.cpp) synchronize exclusively through monotone
+// cumulative flags whose writers, waiters and thresholds are pure functions
+// of structures that exist before any rank executes: the comm tree, the
+// GroupCtl/ShardCtl registration, the ShardPlan timelines and the tuning.
+// extract_schedule() walks those same structures and emits, per rank in
+// program order, every flag publish (with the payload coverage it
+// guarantees), every blocking wait (with its threshold and the payload
+// bytes read after resume), and every RMW — producing a model the analyzer
+// (analyzer.h) can prove properties about and the explorer (explore.h) can
+// execute under systematic interleaving.
+//
+// The model describes the FIRST operation on a fresh component: every
+// cumulative base is zero and the op sequence number is 1. That is exactly
+// the state a newly built XhcComponent is in, which is what lets the
+// conformance test replay the same operation for real and compare
+// per-flag event streams byte for byte.
+//
+// Payload coverage uses abstract buffer ids (BufKind x rank) and an
+// `epoch` lattice encoding reduction progress:
+//   0          raw contribution bytes
+//   1 .. L     subtree partial through level e-1 (latency reduce), or
+//              reduce-scatter stage e-1 complete (rs_ag path)
+//   final = L  fully reduced / payload available (plain bcast uses 1)
+// A publish covering (buf, range, e) also satisfies any need at epoch <= e.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mach/flag.h"
+
+namespace xhc::core {
+class XhcComponent;
+}
+
+namespace xhc::check {
+
+enum class Op { kBcast, kAllreduce, kReduce, kBarrier };
+const char* to_string(Op op) noexcept;
+
+enum class EvKind : unsigned char { kPublish, kWait, kRmw };
+
+/// Abstract payload buffers, one set per rank.
+enum class BufKind : unsigned char {
+  kUser,         ///< bcast buffer / allreduce-reduce result (rbuf)
+  kContrib,      ///< reduction contribution (sbuf)
+  kCicoContrib,  ///< CICO segment, contribution half
+  kCicoResult,   ///< CICO segment, result half
+};
+
+/// Byte range of one abstract buffer at one reduction epoch.
+struct DataRange {
+  int buf = -1;  ///< ScheduleModel::buf_id()
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  int epoch = 0;
+};
+
+/// One protocol event of one rank.
+struct Event {
+  EvKind kind = EvKind::kPublish;
+  mach::Flag* flag = nullptr;
+  /// Published value / wait threshold / RMW delta.
+  std::uint64_t value = 0;
+  /// Stable protocol-site label ("bcast.announce", "rs.chunk_wait", ...).
+  const char* site = "";
+  /// kPublish: payload bytes guaranteed readable once this value is seen.
+  std::vector<DataRange> writes;
+  /// kWait: payload bytes read after the wait resumes.
+  std::vector<DataRange> needs;
+};
+
+struct ScheduleModel {
+  Op op = Op::kBcast;
+  std::size_t bytes = 0;
+  int root = 0;
+  int n_ranks = 0;
+  int final_epoch = 1;  ///< epoch meaning "fully reduced / available"
+  /// Program-order event stream of every rank.
+  std::vector<std::vector<Event>> per_rank;
+
+  int buf_id(BufKind kind, int rank) const noexcept {
+    return static_cast<int>(kind) * n_ranks + rank;
+  }
+  /// Inverse of buf_id, for reports.
+  std::string buf_name(int id) const;
+
+  std::size_t n_events() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : per_rank) n += s.size();
+    return n;
+  }
+};
+
+/// Extracts the first-op schedule of (op, bytes, root) from `comp`'s comm
+/// tree, control-block registration, shard plan and tuning — without
+/// executing a collective; the component is only read. `bytes` must be a
+/// multiple of 8 for the reduction ops (the model fixes the element size at
+/// 8, matching the conformance runs' f64 payloads); the root is ignored for
+/// allreduce (internal root 0) and barrier.
+ScheduleModel extract_schedule(core::XhcComponent& comp, Op op,
+                               std::size_t bytes, int root = 0);
+
+}  // namespace xhc::check

@@ -270,6 +270,10 @@ class FiberScheduler final : public VirtualScheduler {
     state_.set_channel_namer(std::move(namer));
   }
 
+  void set_pick_hook(PickHook hook) override {
+    state_.set_pick_hook(std::move(hook));
+  }
+
   int n_ranks() const noexcept override { return state_.n(); }
   SimBackend backend() const noexcept override { return SimBackend::kFiber; }
 

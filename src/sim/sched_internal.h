@@ -13,6 +13,7 @@
 // lists. The previous implementation scanned all n ranks for both.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -78,7 +79,45 @@ class ReadyHeap {
     const int rank = h_[0].rank;
     h_[0] = h_.back();
     h_.pop_back();
+    sift_down(0);
+    return rank;
+  }
+
+  /// Removes a specific rank, wherever it sits (linear scan + sift).
+  /// Only the exploration pick hook uses this — never the default path —
+  /// and only on tiny topologies, so O(n) is fine.
+  void extract(int rank) {
     std::size_t i = 0;
+    while (i < h_.size() && h_[i].rank != rank) ++i;
+    if (i == h_.size()) return;
+    h_[i] = h_.back();
+    h_.pop_back();
+    if (i == h_.size()) return;
+    // Restore heap order from i: the replacement may violate either way.
+    std::size_t j = i;
+    while (j > 0) {
+      const std::size_t parent = (j - 1) / 2;
+      if (!less(h_[j], h_[parent])) break;
+      std::swap(h_[j], h_[parent]);
+      j = parent;
+    }
+    if (j == i) sift_down(i);
+  }
+
+  /// Appends every ready rank to `out` (heap order, not sorted).
+  void ranks_into(std::vector<int>& out) const {
+    for (const Entry& e : h_) out.push_back(e.rank);
+  }
+
+ private:
+  struct Entry {
+    double vtime;
+    int rank;
+  };
+  static bool less(const Entry& a, const Entry& b) noexcept {
+    return a.vtime < b.vtime || (a.vtime == b.vtime && a.rank < b.rank);
+  }
+  void sift_down(std::size_t i) {
     while (true) {
       const std::size_t l = 2 * i + 1;
       const std::size_t r = l + 1;
@@ -89,16 +128,6 @@ class ReadyHeap {
       std::swap(h_[i], h_[m]);
       i = m;
     }
-    return rank;
-  }
-
- private:
-  struct Entry {
-    double vtime;
-    int rank;
-  };
-  static bool less(const Entry& a, const Entry& b) noexcept {
-    return a.vtime < b.vtime || (a.vtime == b.vtime && a.rank < b.rank);
   }
   std::vector<Entry> h_;
 };
@@ -136,12 +165,15 @@ class SchedState {
            ranks_.size();
   }
 
-  /// Pops the minimal ready rank and marks it Running.
-  int begin_first() {
-    const int first = heap_.pop();
-    rank(first).status = Status::kRunning;
-    return first;
+  /// Installs the exploration hook (see VirtualScheduler::PickHook). Null
+  /// — the default — leaves every decision to the minimal-(vtime, rank)
+  /// policy, bit-identical to the unhooked engine.
+  void set_pick_hook(VirtualScheduler::PickHook hook) {
+    pick_hook_ = std::move(hook);
   }
+
+  /// Pops the minimal ready rank and marks it Running.
+  int begin_first() { return take_next(); }
 
   /// Scheduling point of a rank that stays runnable (advance / lift /
   /// post-wait resume): promotes notified waiters, then either keeps the
@@ -150,6 +182,17 @@ class SchedState {
   int yield_point(int r) {
     promote_dirty();
     RankState& self = rank(r);
+    if (pick_hook_ && !heap_.empty()) {
+      const int ch = consult_hook(r);
+      if (ch >= 0) {
+        if (ch == r) return r;
+        self.status = Status::kReady;
+        heap_.push(self.vtime, r);
+        heap_.extract(ch);
+        rank(ch).status = Status::kRunning;
+        return ch;
+      }
+    }
     if (heap_.at_most_top(self.vtime, r)) return r;
     self.status = Status::kReady;
     heap_.push(self.vtime, r);
@@ -187,9 +230,7 @@ class SchedState {
     if (heap_.empty()) {
       return n_done_ == n() ? kAllDone : kDeadlock;
     }
-    const int next = heap_.pop();
-    rank(next).status = Status::kRunning;
-    return next;
+    return take_next();
   }
 
   /// Marks every rank blocked on `channel` dirty (O(waiters)).
@@ -295,9 +336,42 @@ class SchedState {
  private:
   int pick_or_deadlock() {
     if (heap_.empty()) return kDeadlock;
+    return take_next();
+  }
+
+  /// Takes the next rank off the ready heap — the hook's choice when one is
+  /// installed and answers with a rank, the minimum otherwise — and marks
+  /// it Running. Heap must be non-empty.
+  int take_next() {
+    if (pick_hook_) {
+      const int ch = consult_hook(-1);
+      if (ch >= 0) {
+        heap_.extract(ch);
+        rank(ch).status = Status::kRunning;
+        return ch;
+      }
+    }
     const int next = heap_.pop();
     rank(next).status = Status::kRunning;
     return next;
+  }
+
+  /// Presents the runnable candidates (ready heap plus `extra` when >= 0,
+  /// ascending) to the hook. Returns the hook's choice, or -1 for "use the
+  /// default policy" — which is also the answer for a choice that is not
+  /// actually a candidate, so a buggy hook degrades to the deterministic
+  /// schedule instead of corrupting the heap.
+  int consult_hook(int extra) {
+    cand_.clear();
+    heap_.ranks_into(cand_);
+    if (extra >= 0) cand_.push_back(extra);
+    std::sort(cand_.begin(), cand_.end());
+    const int ch = pick_hook_(cand_);
+    if (ch < 0) return -1;
+    for (const int c : cand_) {
+      if (c == ch) return ch;
+    }
+    return -1;
   }
 
   /// Re-evaluates the predicates of notified blocked ranks; engaged ones
@@ -342,6 +416,8 @@ class SchedState {
 
   std::vector<RankState> ranks_;
   std::function<std::string(const void*)> namer_;
+  VirtualScheduler::PickHook pick_hook_;
+  std::vector<int> cand_;  ///< scratch candidate list for the hook
   ReadyHeap heap_;
   std::unordered_map<const void*, std::vector<int>> waiters_;
   std::vector<int> dirty_;  ///< notified ranks pending re-evaluation

@@ -110,6 +110,10 @@ class ThreadScheduler final : public VirtualScheduler {
     state_.set_channel_namer(std::move(namer));
   }
 
+  void set_pick_hook(PickHook hook) override {
+    state_.set_pick_hook(std::move(hook));
+  }
+
  private:
   void worker(const std::function<void(int)>& body, int r) {
     bool started = false;

@@ -36,6 +36,7 @@
 #include <optional>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 namespace xhc::sim {
 
@@ -61,6 +62,16 @@ class VirtualScheduler {
   /// Non-capturing predicate thunk: called with the context pointer given
   /// to wait_until_raw; returns the resume time when the condition holds.
   using PredFn = std::optional<double> (*)(void*);
+
+  /// Exploration hook (src/check/): consulted at every scheduling decision
+  /// with the runnable candidate ranks in ascending order (at a running
+  /// rank's yield point the list includes that rank itself). Returns the
+  /// rank to run next, or -1 to defer to the default minimal-(vtime, rank)
+  /// policy. Null — the default — keeps the schedule bit-identical to the
+  /// unhooked engine. The hook perturbs only execution (wall) order; flag
+  /// visibility stays virtual-time-filtered, so hooked runs still satisfy
+  /// every timestamp invariant.
+  using PickHook = std::function<int(const std::vector<int>&)>;
 
   static std::unique_ptr<VirtualScheduler> create(int n, double epoch,
                                                   SimBackend backend);
@@ -119,6 +130,9 @@ class VirtualScheduler {
   /// raw address. Empty result falls back to the address. Call before run().
   virtual void set_channel_namer(
       std::function<std::string(const void*)> namer) = 0;
+
+  /// Installs the exploration pick hook (see PickHook). Call before run().
+  virtual void set_pick_hook(PickHook hook) = 0;
 
   // -- observers ------------------------------------------------------------
   virtual int n_ranks() const noexcept = 0;

@@ -89,6 +89,10 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const double d = m_->price_read(src_block, core_, n, t, 1.0);
     util::copy_payload(dst, src, n);
     if (dst_block != nullptr) m_->cache_.on_write(dst_block->id, core_);
+    if (m_->access_ != nullptr) {
+      m_->access_->on_data(rank_, src, n, /*write=*/false);
+      m_->access_->on_data(rank_, dst, n, /*write=*/true);
+    }
     m_->sched_->advance(rank_, d);
   }
 
@@ -105,6 +109,10 @@ class SimMachine::SimCtx final : public mach::Ctx {
     const double d2 = m_->price_read(dst_block, core_, n, t + d1, 1.0);
     mach::reduce_apply(dst, src, count, dtype, op);
     if (dst_block != nullptr) m_->cache_.on_write(dst_block->id, core_);
+    if (m_->access_ != nullptr) {
+      m_->access_->on_data(rank_, src, n, /*write=*/false);
+      m_->access_->on_data(rank_, dst, n, /*write=*/true);
+    }
     m_->sched_->advance(rank_, d1 + d2);
   }
 
@@ -112,6 +120,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     util::fill_pattern(dst, n, seed);
     const auto* block = m_->registry_.find(dst);
     if (block != nullptr) m_->cache_.on_write(block->id, core_);
+    if (m_->access_ != nullptr) {
+      m_->access_->on_data(rank_, dst, n, /*write=*/true);
+    }
     const double d = m_->params_.copy_base +
                      static_cast<double>(n) / m_->params_.intra_numa.bw;
     m_->sched_->advance(rank_, d);
@@ -127,6 +138,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     // read-side cross-check compares like with like.
     m_->verify_ledger().on_store(&f, rank_, v, done);
 #endif
+    if (m_->access_ != nullptr) {
+      m_->access_->on_flag(rank_, &f, AccessSink::FlagOp::kStore, v);
+    }
     m_->sched_->notify(&f);
     m_->sched_->advance(rank_, done - t);
   }
@@ -138,11 +152,17 @@ class SimMachine::SimCtx final : public mach::Ctx {
 #if XHC_VERIFY_ENABLED
     m_->verify_ledger().on_observe(&f, rank_, value, done);
 #endif
+    if (m_->access_ != nullptr) {
+      m_->access_->on_flag(rank_, &f, AccessSink::FlagOp::kRead, value);
+    }
     m_->sched_->advance(rank_, done - t);
     return value;
   }
 
   void flag_wait_ge(const mach::Flag& f, std::uint64_t v) override {
+    if (m_->access_ != nullptr) {
+      m_->access_->on_flag(rank_, &f, AccessSink::FlagOp::kWaitEnter, v);
+    }
     FlagHist& hist = m_->flag_hist_[&f];
     // Fast path: the value is already published — the fetch overlaps with
     // the surrounding reads (a scan over set flags exposes only part of the
@@ -202,6 +222,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
 #if XHC_VERIFY_ENABLED
     m_->verify_ledger().on_rmw(&f, rank_, next, done);
 #endif
+    if (m_->access_ != nullptr) {
+      m_->access_->on_flag(rank_, &f, AccessSink::FlagOp::kRmw, next);
+    }
     m_->sched_->notify(&f);
     m_->sched_->advance(rank_, done - t);
     return prev;
@@ -288,18 +311,23 @@ void SimMachine::free(void* p) {
     // Stale publish history on a reused address would poison the ledger
     // cross-check, so checked builds scrub it. The plain build keeps the
     // historical behavior so virtual-time output stays bit-identical.
-    for (auto it = flag_hist_.begin(); it != flag_hist_.end();) {
-      const auto* a = reinterpret_cast<const std::byte*>(it->first);
-      if (a >= block->base && a < block->base + block->bytes) {
-        it = flag_hist_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    forget_flag_history(block->base, block->bytes);
 #endif
   }
   registry_.erase(p);
   std::free(p);
+}
+
+void SimMachine::forget_flag_history(const void* base, std::size_t bytes) {
+  const auto* lo = static_cast<const std::byte*>(base);
+  for (auto it = flag_hist_.begin(); it != flag_hist_.end();) {
+    const auto* a = reinterpret_cast<const std::byte*>(it->first);
+    if (a >= lo && a < lo + bytes) {
+      it = flag_hist_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 double SimMachine::price_read(const mach::AllocRegistry::Block* block,
@@ -485,6 +513,7 @@ mach::RunResult SimMachine::run(const std::function<void(mach::Ctx&)>& fn) {
   // registry (flag waits use the flag's address as the channel).
   sched_->set_channel_namer(
       [this](const void* chan) { return verify_ledger().flag_name(chan); });
+  if (pick_hook_) sched_->set_pick_hook(pick_hook_);
 
   mach::RunResult result;
   result.rank_time.assign(static_cast<std::size_t>(n), 0.0);

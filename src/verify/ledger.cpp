@@ -353,6 +353,17 @@ std::string Ledger::flag_name(const void* addr) const {
   return it->second.name;
 }
 
+std::optional<WriterPolicy> Ledger::flag_policy(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.upper_bound(addr);
+  if (it == records_.begin()) return std::nullopt;
+  --it;
+  const auto* base = static_cast<const char*>(it->first);
+  const auto* p = static_cast<const char*>(addr);
+  if (p < base || p >= base + sizeof(mach::Flag)) return std::nullopt;
+  return it->second.policy;
+}
+
 std::string Ledger::flag_snapshot(const void* addr) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.upper_bound(addr);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -159,6 +160,11 @@ class Ledger {
   /// it — flags are registered by base address), or "" when untracked. Used
   /// by the watchdog / deadlock reports to name blocked channels.
   std::string flag_name(const void* addr) const;
+  /// Registered writer policy of the flag covering `addr` (same lookup as
+  /// flag_name), or std::nullopt when untracked. The static schedule
+  /// analyzer (src/check/) pairs each modeled flag with its declared
+  /// discipline through this.
+  std::optional<WriterPolicy> flag_policy(const void* addr) const;
   /// One-line dump of the record covering `addr` (name, writer, last value)
   /// for stall diagnostics; "" when untracked.
   std::string flag_snapshot(const void* addr) const;
