@@ -1,0 +1,128 @@
+// Multi-tenant service soak (DESIGN.md § Multi-tenant service).
+//
+// Drives the svc:: layer with the deterministic loadgen: N overlapping
+// communicators over one node, seed-driven open-loop arrivals of mixed
+// bcast/allreduce/reduce/barrier streams with sizes straddling the 128 KiB
+// large-path thresholds, admission control + backpressure against a shared
+// Arbiter budget, per-request payload integrity verification, and
+// p50/p99/p999 completion latency per op class.
+//
+// Expected shapes: barrier < bcast < reduce < allreduce at the median; tail
+// percentiles grow with --arrival as op-token backoff engages; shed counts
+// stay zero until the offered load crosses the deadline/queue budget.
+//
+// Knobs beyond the standard set: --comms=<n> tenants, --arrival=<req/s>
+// offered load (virtual time), --duration=<n> total requests,
+// --integrity=<0|1> payload verification, --inflight=<n> op tokens,
+// --seed=<n> stream seed, --budget-mb=<n> shared-segment budget (0 = size
+// it to fit every tenant undegraded; set it low to drive the degradation
+// chain and admission rejections).
+#include "bench/bench_common.h"
+#include "svc/loadgen.h"
+
+namespace {
+
+struct LoadgenArgs {
+  xhc::bench::BenchArgs base;
+  xhc::svc::LoadgenConfig cfg;
+  xhc::svc::Budget budget;
+  long budget_mb = 0;  ///< 0 = auto-size per system
+};
+
+LoadgenArgs parse(int argc, char** argv) {
+  using namespace xhc;
+  LoadgenArgs a;
+  a.base = bench::BenchArgs::parse(argc, argv);
+  util::Args args(argc, argv);
+  a.cfg.n_comms = static_cast<int>(args.get_long("comms", 8));
+  a.cfg.arrival_rate = args.get_double("arrival", 2e4);
+  a.cfg.requests = static_cast<std::uint64_t>(
+      args.get_long("duration", a.base.quick ? 2000 : 20000));
+  a.cfg.integrity = args.get_long("integrity", 1) != 0;
+  a.cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  a.cfg.faults = a.base.faults;
+  a.cfg.fault_seed = a.base.fault_seed;
+  a.budget.inflight_ops = static_cast<int>(args.get_long("inflight", 8));
+  a.budget_mb = args.get_long("budget-mb", 0);
+  XHC_REQUIRE(a.budget_mb >= 0, "--budget-mb must be >= 0");
+  XHC_REQUIRE(a.cfg.n_comms >= 1, "--comms must be >= 1");
+  XHC_REQUIRE(a.cfg.requests >= 1, "--duration must be >= 1");
+  XHC_REQUIRE(a.cfg.arrival_rate > 0.0, "--arrival must be > 0");
+  return a;
+}
+
+std::string count(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+static int run(int argc, char** argv) {
+  using namespace xhc;
+  const LoadgenArgs a = parse(argc, argv);
+  const auto systems = a.base.systems();
+
+  // One independent point per system: each owns a private machine, arbiter
+  // and registry, so the worker pool keeps the tables byte-identical to a
+  // sequential sweep under any --jobs.
+  std::vector<svc::LoadgenResult> results(systems.size());
+  osu::run_points(systems.size(), a.base.effective_jobs(), [&](std::size_t i) {
+    auto machine = bench::make_system(systems[i]);
+    coll::Tuning tuning;
+    a.base.apply_tuning(tuning);
+    bench::wire_coherence(a.base, *machine);
+    svc::Budget budget = a.budget;
+    if (a.budget_mb > 0) {
+      budget.segment_bytes = static_cast<std::size_t>(a.budget_mb) << 20;
+    } else {
+      // Auto-size: fit every tenant at full segment size even if all spanned
+      // the whole node (subset tenants leave headroom). The budget is
+      // accounting, not host memory, so generous costs nothing.
+      budget.segment_bytes =
+          static_cast<std::size_t>(machine->n_ranks()) *
+          static_cast<std::size_t>(a.cfg.n_comms) *
+          (tuning.cico_segment_bytes + svc::Arbiter::kCtlBytesPerRank);
+    }
+    results[i] = svc::run_soak(*machine, a.cfg, budget, tuning);
+  });
+
+  std::uint64_t total_integrity_failures = 0;
+  for (std::size_t si = 0; si < systems.size(); ++si) {
+    const svc::LoadgenResult& r = results[si];
+    total_integrity_failures += r.integrity_failures;
+    util::Table table({"Class", "count", "shed", "integrity_fail", "p50_us",
+                       "p99_us", "p999_us", "mean_us"});
+    for (int k = 0; k < svc::kNumOpClasses; ++k) {
+      const auto& pc = r.per_class[static_cast<std::size_t>(k)];
+      table.add_row({svc::to_string(static_cast<svc::OpClass>(k)),
+                     count(pc.completed), count(pc.shed),
+                     count(pc.integrity_failures),
+                     bench::us(pc.latency.percentile(0.50) * 1e6),
+                     bench::us(pc.latency.percentile(0.99) * 1e6),
+                     bench::us(pc.latency.percentile(0.999) * 1e6),
+                     bench::us(pc.latency.mean() * 1e6)});
+    }
+    std::string title = "Loadgen: service latency per op class, ";
+    title += systems[si];
+    bench::emit(a.base, table, title);
+
+    util::Table totals({"Class", "completed", "shed", "integrity_fail",
+                        "backoff_stalls", "makespan_us"});
+    totals.add_row({"all", count(r.completed), count(r.shed),
+                    count(r.integrity_failures), count(r.backoff_stalls),
+                    bench::us(r.makespan * 1e6)});
+    std::string ttitle = "Loadgen: service totals, ";
+    ttitle += systems[si];
+    bench::emit(a.base, totals, ttitle);
+  }
+  // Shedding under pressure is expected service behavior; corrupted
+  // payloads never are — fail the run so soak gates can't pass silently.
+  if (total_integrity_failures != 0) {
+    std::fprintf(stderr, "bench_loadgen: %llu integrity failures\n",
+                 static_cast<unsigned long long>(total_integrity_failures));
+    return 1;
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return xhc::osu::guarded_main([&] { return run(argc, argv); });
+}

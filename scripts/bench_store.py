@@ -11,10 +11,12 @@ Options:
     --store=FILE     append the run to FILE (default BENCH_perf.json)
     --out=FILE       write a one-run candidate store to FILE instead
     --build=DIR      build tree holding bench/ binaries (default build)
-    --targets=LIST   comma list of fig8,fig11,fig10,fig4,fig8L,fig11L
+    --targets=LIST   comma list of fig8,fig11,fig10,fig4,fig8L,fig11L,svc
                      (default all; the L variants re-run the bcast and
                      allreduce sweeps with --large appended, extending the
-                     size axis to 256K/1M/4M for the bandwidth-path gate)
+                     size axis to 256K/1M/4M for the bandwidth-path gate;
+                     svc runs the multi-tenant service loadgen and stores
+                     per-op-class latency percentiles and shed counts)
     --presets=LIST   comma list of topology presets ('' = bench defaults)
     --quick          pass --quick to the benches (default on; --full negates)
     --k=N            repetitions per target, median per point (default 3)
@@ -44,6 +46,7 @@ TARGETS = {
     "fig4": ("bench_fig4_atomics", []),
     "fig8L": ("bench_fig8_bcast", ["--large"]),
     "fig11L": ("bench_fig11_allreduce", ["--large"]),
+    "svc": ("bench_loadgen", []),
 }
 
 
@@ -57,7 +60,7 @@ def parse_args(argv):
         "store": "BENCH_perf.json",
         "out": None,
         "build": "build",
-        "targets": "fig8,fig11,fig10,fig4,fig8L,fig11L",
+        "targets": "fig8,fig11,fig10,fig4,fig8L,fig11L,svc",
         "presets": "",
         "quick": True,
         "k": 3,
@@ -93,8 +96,9 @@ def parse_csv_sections(text, fig):
         Size,xhc,xhc-flat,...
         4,0.82,0.53,...
     fig4 keys its rows by rank count ("Ranks") and appends an "x" suffix to
-    its ratio column; both are normalized here. Non-section chatter (trace/
-    hist/coherence notices) is skipped.
+    its ratio column; both are normalized here. The svc loadgen tables key
+    rows by op class ("Class"). Non-section chatter (trace/hist/coherence
+    notices) is skipped.
     """
     points = {}
     preset = None
@@ -109,7 +113,7 @@ def parse_csv_sections(text, fig):
             continue
         cells = line.split(",")
         if header is None:
-            if cells[0] not in ("Size", "Ranks"):
+            if cells[0] not in ("Size", "Ranks", "Class"):
                 fail("expected CSV header after section, got %r" % line)
             header = cells[1:]
             continue

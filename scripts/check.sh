@@ -22,6 +22,13 @@
 #                               # assertions, --coherence determinism,
 #                               # zero-cost contract, model tests under
 #                               # TSan + the threads backend
+#   scripts/check.sh service    # multi-tenant service gate: svc + fault
+#                               # suites, a 100k-request/8-tenant soak with
+#                               # byte-determinism across reruns and the
+#                               # threads backend, seeded-fault soaks
+#                               # (incl. comm=-filtered clauses), a
+#                               # wider-node soak, and the svc tests under
+#                               # TSan
 #   scripts/check.sh lint       # full static pass: flag-protocol lints
 #                               # (incl. --selftest) + run-clang-tidy over
 #                               # src/ with warnings-as-errors (skipped
@@ -218,6 +225,53 @@ case "$mode" in
     echo "coherence gate: OK"
     exit 0
     ;;
+  service)
+    # Multi-tenant service gate (DESIGN.md § Multi-tenant service): the
+    # svc unit/property suites plus the comm-aware fault tests, then a
+    # 100k-request soak across 8 overlapping tenants on mini8 — run twice
+    # and once under the threads backend, all three tables byte-identical —
+    # then seeded chaos soaks (including a comm=-filtered straggler clause)
+    # proving integrity holds under injected faults, a moderate soak on the
+    # wider epyc2p node, and the svc + fault suites again under TSan.
+    # bench_loadgen exits non-zero on any payload integrity mismatch, so
+    # every soak line is a gate, not a smoke run.
+    scripts/lint_flags.sh
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Svc|FaultSpec|FaultDrop|ServiceSoakQuick' "$@")
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== 100k-request soak: 8 tenants, mini8 =="
+    soak=(build/bench/bench_loadgen --preset=mini8 --comms=8
+          --duration=100000 --csv --jobs=0)
+    "${soak[@]}" > "$tmp/soak.a"
+    "${soak[@]}" > "$tmp/soak.b"
+    diff "$tmp/soak.a" "$tmp/soak.b"
+    XHC_SIM_BACKEND=threads "${soak[@]}" > "$tmp/soak.t"
+    diff "$tmp/soak.a" "$tmp/soak.t"
+    echo "soak: clean, byte-deterministic (rerun + threads backend)"
+    echo "== seeded chaos soaks =="
+    spec='attach,prob=0.05;regmiss,prob=0.2;straggler,prob=0.1,delay=2e-6'
+    spec+=';flagdelay,prob=0.05,delay=1e-6'
+    spec+=';straggler,comm=3,prob=0.5,delay=1e-5'
+    for seed in 1 42 1337; do
+      build/bench/bench_loadgen --preset=mini8 --comms=8 --duration=20000 \
+        --fault="$spec" --fault-seed="$seed" > /dev/null
+      echo "seed $seed: ok"
+    done
+    echo "== wider-node soak: 8 tenants, epyc2p =="
+    build/bench/bench_loadgen --preset=epyc2p --comms=8 --duration=5000 \
+      > /dev/null
+    echo "epyc2p: ok"
+    echo "== TSan =="
+    cmake -B build-tsan -S . -DXHC_SANITIZE=thread
+    cmake --build build-tsan -j
+    (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Svc|FaultSpec|FaultDrop' "$@")
+    echo "service gate: OK"
+    exit 0
+    ;;
   lint)
     # Full static pass: the flag-protocol lints (plus their self-test, so a
     # broken rule 5 can't silently pass) and run-clang-tidy over all of
@@ -260,7 +314,7 @@ case "$mode" in
   *)
     echo "usage: $0" \
          "[thread|address|undefined|verify|fault|bench|largemsg|coherence|" \
-         "lint|analyze] [ctest args...]" >&2
+         "service|lint|analyze] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -283,7 +337,7 @@ ctest --output-on-failure -j "$(nproc)" "$@"
 if [ "$mode" = "" ] || [ "$mode" = thread ]; then
   echo "== re-running sim tests under XHC_SIM_BACKEND=threads =="
   XHC_SIM_BACKEND=threads ctest --output-on-failure -j "$(nproc)" \
-    -R 'Sim|Backend|Sched|Collectives|Fault|Check' "$@"
+    -R 'Sim|Backend|Sched|Collectives|Fault|Check|Svc' "$@"
 fi
 
 # The default full run also walks the quick sweeps through the perf gate.

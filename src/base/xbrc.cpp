@@ -114,19 +114,23 @@ void XbrcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
   const std::uint64_t s = ++rs.op_seq;
   core::GroupCtl& ctl = tree_.ctl(0);
 
+  // The mailbox is the root's own slot (flat group: slot index == rank), so
+  // rotating roots never share one: root N+1 publishing cannot clobber the
+  // pointer a straggler of root N's bcast has yet to read, and every slot
+  // keeps a single fixed writer for the ledger.
   if (r == root) {
     rs.endpoint->expose(ctx, buf, bytes);
-    ctl.info[0]->buf = buf;
-    ctx.flag_store(*ctl.seq[0], s);
-    ctx.flag_store(*ctl.announce[0], rs.bytes_base + bytes);
+    ctl.info[root]->buf = buf;
+    ctx.flag_store(*ctl.seq[root], s);
+    ctx.flag_store(*ctl.announce[root], rs.bytes_base + bytes);
     for (int j = 0; j < n; ++j) {
       if (j != root) ctx.flag_wait_ge(*ctl.ack[j], s);
     }
   } else {
-    ctx.flag_wait_ge(*ctl.seq[0], s);
-    ctx.flag_wait_ge(*ctl.announce[0], rs.bytes_base + bytes);
+    ctx.flag_wait_ge(*ctl.seq[root], s);
+    ctx.flag_wait_ge(*ctl.announce[root], rs.bytes_base + bytes);
     const void* src =
-        rs.endpoint->attach(ctx, root, ctl.info[0]->buf, bytes);
+        rs.endpoint->attach(ctx, root, ctl.info[root]->buf, bytes);
     rs.endpoint->charge_op(ctx, bytes, n);
     ctx.copy(buf, src, bytes);
     record_traffic(root, r);

@@ -179,7 +179,8 @@ class Extractor {
     const core::GroupShape& shape = tree_.shape(m.ctl_id);
     switch (tun_.flag_layout) {
       case coll::FlagLayout::kSingle:
-        publish(r, *ctl.announce[0], v, site, std::move(writes));
+        publish(r, *ctl.announce[m.leader_slot], v, site,
+                std::move(writes));
         return;
       case coll::FlagLayout::kMultiSharedLine:
         for (const int j : m.members) {
@@ -200,7 +201,7 @@ class Extractor {
     GroupCtl& ctl = tree_.ctl(m.ctl_id);
     switch (tun_.flag_layout) {
       case coll::FlagLayout::kSingle:
-        wait(r, *ctl.announce[0], v, site, std::move(needs));
+        wait(r, *ctl.announce[m.leader_slot], v, site, std::move(needs));
         return;
       case coll::FlagLayout::kMultiSharedLine:
         wait(r, ctl.announce_shared[m.my_slot], v, site, std::move(needs));
@@ -242,7 +243,7 @@ class Extractor {
     const BufKind src = result_kind(true);  // leader always leads something
     const BufKind dst = result_kind(leads_any);
 
-    wait(r, *top_ctl.seq[0], kSeq, "pull.seq_wait");
+    wait(r, *top_ctl.seq[top.leader_slot], kSeq, "pull.seq_wait");
     const std::size_t chunk =
         std::max<std::size_t>(tun_.chunk_for_level(top.level), 1);
     for (std::size_t lo = 0; lo < m_.bytes;) {
@@ -271,7 +272,7 @@ class Extractor {
       const BufKind src = result_kind(/*leads_any=*/true);
       for (const auto& m : ms) {
         GroupCtl& ctl = tree_.ctl(m.ctl_id);
-        publish(r, *ctl.seq[0], kSeq, "bcast.seq");
+        publish(r, *ctl.seq[m.my_slot], kSeq, "bcast.seq");
         announce_publish(r, m, m_.bytes, "bcast.announce",
                          {range(src, r, 0, m_.bytes, 1)});
       }
@@ -279,7 +280,7 @@ class Extractor {
     } else {
       for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
         GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
-        publish(r, *ctl.seq[0], kSeq, "bcast.seq");
+        publish(r, *ctl.seq[ms[i].my_slot], kSeq, "bcast.seq");
       }
       model_pull_bcast(view, r, /*epoch=*/1);
     }
@@ -299,7 +300,7 @@ class Extractor {
     if (r == m_.root) {
       for (const auto& m : ms) {
         GroupCtl& ctl = tree_.ctl(m.ctl_id);
-        publish(r, *ctl.seq[0], kSeq, "stripe.seq");
+        publish(r, *ctl.seq[m.my_slot], kSeq, "stripe.seq");
         if (m.ctl_id != top.ctl_id) {
           announce_publish(r, m, m_.bytes, "stripe.root_announce",
                            {range(BufKind::kUser, r, 0, m_.bytes, 1)});
@@ -319,7 +320,7 @@ class Extractor {
 
     for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
       GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
-      publish(r, *ctl.seq[0], kSeq, "stripe.seq");
+      publish(r, *ctl.seq[ms[i].my_slot], kSeq, "stripe.seq");
     }
     publish(r, *sc.shard_seq[r], kSeq, "stripe.join");
 
@@ -453,7 +454,7 @@ class Extractor {
                 {range(cn, r, 0, m_.bytes, 0)});
       }
       if (m.is_leader) {
-        publish(r, *ctl.seq[0], kSeq, "reduce.seq");
+        publish(r, *ctl.seq[m.my_slot], kSeq, "reduce.seq");
       }
     }
 
@@ -480,7 +481,7 @@ class Extractor {
     const bool active = my_idx < n_red;
     const BufKind lres = result_kind(/*leads_any=*/true);  // leader's target
 
-    wait(r, *ctl.seq[0], kSeq, "reduce.seq_wait");
+    wait(r, *ctl.seq[top.leader_slot], kSeq, "reduce.seq_wait");
     if (active) {
       for (std::size_t i = 0; i < reducers.size(); ++i) {
         const int j = reducers[i];

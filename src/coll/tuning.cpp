@@ -68,6 +68,14 @@ void apply_param(Tuning& t, std::string_view assignment) {
     XHC_CHECK(end != nullptr && *end == '\0' && !value.empty() && v > 0,
               "xhc_reg_cache_entries: bad capacity '", value, "'");
     t.reg_cache_entries = static_cast<std::size_t>(v);
+  } else if (key == "xhc_comm_name") {
+    t.comm_name = value;
+  } else if (key == "xhc_comm_id") {
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    XHC_CHECK(end != nullptr && *end == '\0' && !value.empty() && v >= -1,
+              "xhc_comm_id: bad id '", value, "'");
+    t.comm_id = static_cast<int>(v);
   } else if (key == "xhc_rs_ag_threshold") {
     t.rs_ag_threshold = parse_bytes(key, value);
   } else if (key == "xhc_stripe_threshold") {

@@ -91,6 +91,16 @@ struct Tuning {
   /// Seed of the per-rank fault decision streams.
   std::uint64_t fault_seed = 1;
 
+  /// Multi-tenant identity (DESIGN.md § Multi-tenant service). `comm_name`
+  /// prefixes every ledger flag name of the component's control planes
+  /// ("comm3'training'/ctl0/h0/announce"), so watchdog aborts and sim
+  /// deadlock reports name the owning communicator; empty (the default)
+  /// keeps the historical single-communicator names byte-identical.
+  /// `comm_id` is matched against `comm=` fault-clause filters; -1 (the
+  /// default) matches only clauses with no comm filter.
+  std::string comm_name;
+  int comm_id = -1;
+
   /// Size-class dispatcher (DESIGN.md § Large-message paths). Allreduce
   /// payloads strictly larger than `rs_ag_threshold` bytes take the
   /// hierarchical reduce-scatter + allgather path; bcast payloads strictly

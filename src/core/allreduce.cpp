@@ -201,8 +201,8 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
           rs.reduce_base[static_cast<std::size_t>(m.ctl_id)] + bytes);
     }
     if (m.is_leader) {
-      ctl.info[0]->buf = plan.result;
-      ctx.flag_store(*ctl.seq[0], s);
+      ctl.info[m.my_slot]->buf = plan.result;
+      ctx.flag_store(*ctl.seq[m.my_slot], s);
     }
   }
 
@@ -241,7 +241,7 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
     // Leader's result buffer (destination of the group partial).
     {
       WaitObs obs(*this, ctx, "seq_wait", top.level, top.leader);
-      ctx.flag_wait_ge(*ctl.seq[0], s);
+      ctx.flag_wait_ge(*ctl.seq[top.leader_slot], s);
     }
     std::byte* dst;
     const std::byte* leader_contrib = nullptr;
@@ -249,7 +249,8 @@ void XhcComponent::reduce_impl(mach::Ctx& ctx, const void* sbuf, void* rbuf,
       dst = cico_[static_cast<std::size_t>(top.leader)].result;
     } else {
       dst = static_cast<std::byte*>(rs.endpoint->attach_mut(
-          ctx, top.leader, const_cast<void*>(ctl.info[0]->buf), bytes));
+          ctx, top.leader, const_cast<void*>(ctl.info[top.leader_slot]->buf),
+          bytes));
     }
     // Source operands: every non-leader member's contribution (including
     // this rank's own), plus — at the leaf — the leader's contribution used

@@ -26,16 +26,18 @@ void XhcComponent::pull_bcast(mach::Ctx& ctx, const CommView& view,
   RankState& rs = state(r);
   GroupCtl& top_ctl = tree_.ctl(top.ctl_id);
 
-  // Wait for the leader to join this op and publish its buffer.
+  // Wait for the leader to join this op and publish its buffer. The wait is
+  // exact: seq/info are indexed by the leader's slot, so a later op under a
+  // different leader can never satisfy it or clobber the pointer (GroupCtl).
   {
     WaitObs obs(*this, ctx, "seq_wait", top.level, top.leader);
-    ctx.flag_wait_ge(*top_ctl.seq[0], s);
+    ctx.flag_wait_ge(*top_ctl.seq[top.leader_slot], s);
   }
   const void* src;
   if (cico) {
     src = cico_[static_cast<std::size_t>(top.leader)].result;
   } else {
-    const void* leader_buf = top_ctl.info[0]->buf;
+    const void* leader_buf = top_ctl.info[top.leader_slot]->buf;
     src = rs.endpoint->attach(ctx, top.leader, leader_buf, bytes);
   }
 
@@ -143,8 +145,8 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
     // publish the complete range at once (children still pull chunk-wise).
     for (const auto& m : ms) {
       GroupCtl& ctl = tree_.ctl(m.ctl_id);
-      ctl.info[0]->buf = src;
-      ctx.flag_store(*ctl.seq[0], s);
+      ctl.info[m.my_slot]->buf = src;
+      ctx.flag_store(*ctl.seq[m.my_slot], s);
       const std::uint64_t base =
           rs.bcast_base[static_cast<std::size_t>(m.ctl_id)];
       announce_publish(ctx, m, base + bytes);
@@ -163,8 +165,8 @@ void XhcComponent::bcast(mach::Ctx& ctx, void* buf, std::size_t bytes,
     }
     for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
       GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
-      ctl.info[0]->buf = my_pub;
-      ctx.flag_store(*ctl.seq[0], s);
+      ctl.info[ms[i].my_slot]->buf = my_pub;
+      ctx.flag_store(*ctl.seq[ms[i].my_slot], s);
     }
     pull_bcast(ctx, view, buf, bytes, cico, s);
   }
@@ -203,8 +205,8 @@ void XhcComponent::bcast_striped(mach::Ctx& ctx, const CommView& view,
     // owners pull their stripes without further handshakes.
     for (const auto& m : ms) {
       GroupCtl& ctl = tree_.ctl(m.ctl_id);
-      ctl.info[0]->buf = buf;
-      ctx.flag_store(*ctl.seq[0], s);
+      ctl.info[m.my_slot]->buf = buf;
+      ctx.flag_store(*ctl.seq[m.my_slot], s);
       if (m.ctl_id != top.ctl_id) {
         announce_publish(
             ctx, m,
@@ -229,8 +231,8 @@ void XhcComponent::bcast_striped(mach::Ctx& ctx, const CommView& view,
   // as bytes land.
   for (std::size_t i = 0; i + 1 < ms.size(); ++i) {
     GroupCtl& ctl = tree_.ctl(ms[i].ctl_id);
-    ctl.info[0]->buf = buf;
-    ctx.flag_store(*ctl.seq[0], s);
+    ctl.info[ms[i].my_slot]->buf = buf;
+    ctx.flag_store(*ctl.seq[ms[i].my_slot], s);
   }
   sc.sinfo[r]->result = buf;
   ctx.flag_store(*sc.shard_seq[r], s);

@@ -15,10 +15,13 @@ int GroupShape::slot_of(int rank) const {
 }
 
 CommTree::CommTree(mach::Machine& machine,
-                   std::vector<topo::Domain> sensitivity)
-    : machine_(&machine), sensitivity_(std::move(sensitivity)) {
+                   std::vector<topo::Domain> sensitivity, std::string scope)
+    : machine_(&machine),
+      sensitivity_(std::move(sensitivity)),
+      scope_(std::move(scope)) {
   build_shapes();
-  shard_ctl_ = arena_.add_shard_plane(*machine_, machine_->n_ranks());
+  shard_ctl_ =
+      arena_.add_shard_plane(*machine_, machine_->n_ranks(), scope_);
   shard_plan_ = std::make_unique<ShardPlan>(*this);
 }
 
@@ -68,7 +71,7 @@ void CommTree::build_shapes() {
       shape.home_rank = shape.domain_ranks.front();
       ctls_.push_back(arena_.add_group(
           *machine_, shape.home_rank,
-          static_cast<int>(shape.domain_ranks.size())));
+          static_cast<int>(shape.domain_ranks.size()), scope_));
       shapes_.push_back(std::move(shape));
     }
   }

@@ -66,8 +66,11 @@ class CommView {
 class CommTree {
  public:
   /// Builds shapes and control blocks for `machine`'s rank map under the
-  /// given sensitivity (empty = flat).
-  CommTree(mach::Machine& machine, std::vector<topo::Domain> sensitivity);
+  /// given sensitivity (empty = flat). `scope` prefixes every ledger flag
+  /// name of the tree's control planes (see CtlArena::add_group); empty
+  /// keeps the historical single-communicator names.
+  CommTree(mach::Machine& machine, std::vector<topo::Domain> sensitivity,
+           std::string scope = {});
   ~CommTree();  // out-of-line: ShardPlan is incomplete here
 
   int n_ranks() const noexcept { return machine_->n_ranks(); }
@@ -97,6 +100,7 @@ class CommTree {
 
   mach::Machine* machine_;
   std::vector<topo::Domain> sensitivity_;
+  std::string scope_;
   int n_levels_ = 0;
   std::vector<GroupShape> shapes_;
   std::vector<GroupCtl> ctls_;

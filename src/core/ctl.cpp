@@ -33,18 +33,18 @@ CtlArena::~CtlArena() {
   }
 }
 
-GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
+GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots,
+                             const std::string& scope) {
   XHC_REQUIRE(slots > 0, "group needs at least one slot");
   const auto n = static_cast<std::size_t>(slots);
 
-  // Layout: leader line(s), then per-member arrays, then variant areas.
+  // Layout: leader-slot arrays, then per-member arrays, then variant areas.
   const std::size_t bytes =
-      round_line(sizeof(util::CachePadded<mach::Flag>)) * 3 +  // seq, announce,
-                                                               // atomic_ctr
-      round_line(sizeof(util::CachePadded<LeaderInfo>)) +
-      round_line(sizeof(util::CachePadded<mach::Flag>)) * 0 +
-      round_line(sizeof(util::CachePadded<mach::Flag>) * n) * 5 +  // ack,
-          // member_seq, reduce_ready, reduce_done, announce_sep
+      round_line(sizeof(util::CachePadded<mach::Flag>)) +  // atomic_ctr
+      round_line(sizeof(util::CachePadded<mach::Flag>) * n) * 7 +  // seq,
+          // announce, ack, member_seq, reduce_ready, reduce_done,
+          // announce_sep
+      round_line(sizeof(util::CachePadded<LeaderInfo>) * n) +
       round_line(sizeof(util::CachePadded<MemberInfo>) * n) +
       round_line(sizeof(mach::Flag) * n);  // announce_shared (packed)
 
@@ -56,10 +56,10 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
 
   GroupCtl ctl;
   ctl.slots = slots;
-  ctl.seq = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
-  ctl.announce = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
+  ctl.seq = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
+  ctl.announce = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
   ctl.atomic_ctr = place_array<util::CachePadded<mach::Flag>>(base, offset, 1);
-  ctl.info = place_array<util::CachePadded<LeaderInfo>>(base, offset, 1);
+  ctl.info = place_array<util::CachePadded<LeaderInfo>>(base, offset, n);
   ctl.ack = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
   ctl.member_seq = place_array<util::CachePadded<mach::Flag>>(base, offset, n);
   ctl.minfo = place_array<util::CachePadded<MemberInfo>>(base, offset, n);
@@ -78,12 +78,13 @@ GroupCtl CtlArena::add_group(mach::Machine& m, int home_rank, int slots) {
   // The index keys diagnostics; addresses disambiguate across arenas.
   verify::register_group_ctl(
       m.verify_ledger(), m.topology(), ctl,
-      "ctl" + std::to_string(allocations_.size() - 1) + "/h" +
+      scope + "ctl" + std::to_string(allocations_.size() - 1) + "/h" +
           std::to_string(home_rank));
   return ctl;
 }
 
-ShardCtl CtlArena::add_shard_plane(mach::Machine& m, int slots) {
+ShardCtl CtlArena::add_shard_plane(mach::Machine& m, int slots,
+                                   const std::string& scope) {
   XHC_REQUIRE(slots > 0, "shard plane needs at least one slot");
   const auto n = static_cast<std::size_t>(slots);
 
@@ -108,7 +109,8 @@ ShardCtl CtlArena::add_shard_plane(mach::Machine& m, int slots) {
   XHC_CHECK(offset <= bytes, "shard plane layout overflow: ", offset, " > ",
             bytes);
 
-  verify::register_shard_ctl(m.verify_ledger(), m.topology(), ctl, "shards");
+  verify::register_shard_ctl(m.verify_ledger(), m.topology(), ctl,
+                             scope + "shards");
   return ctl;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mach/flag.h"
@@ -38,13 +39,25 @@ struct MemberInfo {
 /// Typed view over one group's shared control block. The pointers target a
 /// single machine allocation owned by the group's home rank; constructed by
 /// CtlArena.
+///
+/// Leadership is root-dependent (the root leads every group it belongs to,
+/// paper §IV), so the leader-published plane is indexed by the *leader's*
+/// member slot rather than being a single rotating mailbox. With a single
+/// mailbox, op N's leader can overwrite the buffer pointer while a straggler
+/// member of op N-1 — whose own leader is still collecting acks — has not
+/// read it yet: the straggler's `seq >= s` wait passes on the newer value and
+/// it pulls from the wrong (possibly unwritten) buffer. Per-slot mailboxes
+/// close that window without extra synchronization: a rank reuses its own
+/// slot only after collecting its previous op's acks, and a stale slot value
+/// is always below the waiter's threshold (bases are cumulative), so waits
+/// are exact.
 struct GroupCtl {
-  // --- leader-written ------------------------------------------------------
-  util::CachePadded<mach::Flag>* seq = nullptr;       ///< op sequence
-  util::CachePadded<mach::Flag>* announce = nullptr;  ///< cumulative bytes
-                                                      ///< published (single-
-                                                      ///< flag layout)
-  util::CachePadded<LeaderInfo>* info = nullptr;
+  // --- leader-written, indexed by the leader's slot ------------------------
+  util::CachePadded<mach::Flag>* seq = nullptr;       ///< [slots] op sequence
+  util::CachePadded<mach::Flag>* announce = nullptr;  ///< [slots] cumulative
+                                                      ///< bytes published
+                                                      ///< (single-flag layout)
+  util::CachePadded<LeaderInfo>* info = nullptr;      ///< [slots]
 
   // --- per-member slots (each member writes only its own slot) -------------
   util::CachePadded<mach::Flag>* ack = nullptr;          ///< [slots]
@@ -96,13 +109,19 @@ class CtlArena {
   CtlArena& operator=(const CtlArena&) = delete;
 
   /// Builds a control block for a group with `slots` member slots; the
-  /// allocation is owned by `home_rank` (placed on its NUMA node).
-  GroupCtl add_group(mach::Machine& m, int home_rank, int slots);
+  /// allocation is owned by `home_rank` (placed on its NUMA node). `scope`
+  /// prefixes the ledger names of every flag in the block — empty (the
+  /// default, single-communicator case) keeps the historical "ctlN/hM"
+  /// names; multi-tenant service communicators pass "comm<id>'<name>'/" so
+  /// watchdog and deadlock diagnostics name the owning communicator.
+  GroupCtl add_group(mach::Machine& m, int home_rank, int slots,
+                     const std::string& scope = {});
 
   /// Builds the per-communicator shard/stripe plane with one slot per rank
   /// (owned by rank 0's NUMA node; every slot is cache-line padded, so home
   /// placement only affects line-fetch distance, not sharing).
-  ShardCtl add_shard_plane(mach::Machine& m, int slots);
+  ShardCtl add_shard_plane(mach::Machine& m, int slots,
+                           const std::string& scope = {});
 
   /// Observability accessors (obs::Gauge::kCtlBytes / kCtlGroups).
   std::size_t total_bytes() const noexcept { return total_bytes_; }

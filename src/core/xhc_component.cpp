@@ -12,9 +12,11 @@ XhcComponent::XhcComponent(mach::Machine& machine, coll::Tuning tuning,
     : machine_(&machine),
       tuning_(std::move(tuning)),
       name_(std::move(name)),
-      tree_(machine, topo::parse_sensitivity(tuning_.sensitivity)) {
+      tree_(machine, topo::parse_sensitivity(tuning_.sensitivity),
+            tuning_.comm_name) {
   const int n = machine.n_ranks();
-  fault_ = fault::make_injector(tuning_.faults, tuning_.fault_seed, n);
+  fault_ = fault::make_injector(tuning_.faults, tuning_.fault_seed, n,
+                                tuning_.comm_id);
   ranks_.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     auto rs = std::make_unique<RankState>();
@@ -174,7 +176,10 @@ void XhcComponent::announce_publish(mach::Ctx& ctx,
   const GroupShape& shape = tree_.shape(m.ctl_id);
   switch (tuning_.flag_layout) {
     case coll::FlagLayout::kSingle:
-      ctx.flag_store(*ctl.announce[0], value);
+      // The publisher is always m's current leader, so my_slot ==
+      // leader_slot here; the slot index keeps the writer fixed across
+      // root changes (see GroupCtl).
+      ctx.flag_store(*ctl.announce[m.leader_slot], value);
       return;
     case coll::FlagLayout::kMultiSharedLine:
       for (const int j : m.members) {
@@ -198,7 +203,7 @@ void XhcComponent::announce_wait(mach::Ctx& ctx,
   GroupCtl& ctl = tree_.ctl(m.ctl_id);
   switch (tuning_.flag_layout) {
     case coll::FlagLayout::kSingle:
-      ctx.flag_wait_ge(*ctl.announce[0], value);
+      ctx.flag_wait_ge(*ctl.announce[m.leader_slot], value);
       return;
     case coll::FlagLayout::kMultiSharedLine:
       ctx.flag_wait_ge(ctl.announce_shared[m.my_slot], value);

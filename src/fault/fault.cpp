@@ -97,6 +97,9 @@ Plan Plan::parse(std::string_view spec) {
         c.owner = static_cast<int>(parse_int(key, val));
       } else if (key == "level") {
         c.level = static_cast<int>(parse_int(key, val));
+      } else if (key == "comm") {
+        c.comm = static_cast<int>(parse_int(key, val));
+        XHC_CHECK(c.comm >= 0, "fault spec: comm must be >= 0, got ", c.comm);
       } else if (key == "after") {
         c.after = parse_u64(key, val);
       } else if (key == "count") {
@@ -135,6 +138,7 @@ std::string Plan::to_string() const {
     if (c.rank >= 0) s += ",rank=" + std::to_string(c.rank);
     if (c.owner >= 0) s += ",owner=" + std::to_string(c.owner);
     if (c.level >= 0) s += ",level=" + std::to_string(c.level);
+    if (c.comm >= 0) s += ",comm=" + std::to_string(c.comm);
     if (c.after != 0) s += ",after=" + std::to_string(c.after);
     if (c.count != std::numeric_limits<std::uint64_t>::max()) {
       s += ",count=" + std::to_string(c.count);
@@ -147,8 +151,8 @@ std::string Plan::to_string() const {
   return util::join(parts, ";");
 }
 
-Injector::Injector(Plan plan, std::uint64_t seed, int n_ranks)
-    : plan_(std::move(plan)), seed_(seed) {
+Injector::Injector(Plan plan, std::uint64_t seed, int n_ranks, int comm_id)
+    : plan_(std::move(plan)), seed_(seed), comm_id_(comm_id) {
   XHC_REQUIRE(n_ranks > 0, "injector needs at least one rank");
   rows_.reserve(static_cast<std::size_t>(n_ranks));
   for (int r = 0; r < n_ranks; ++r) {
@@ -160,6 +164,10 @@ Injector::Injector(Plan plan, std::uint64_t seed, int n_ranks)
 
 bool Injector::decide(Row& row, std::size_t ci) {
   const Clause& c = plan_.clauses[ci];
+  // Tenant filter: a clause aimed at another communicator is invisible —
+  // it consumes no opportunity and no rng draw, so the remaining clauses'
+  // decision streams match a plan without it.
+  if (c.comm >= 0 && c.comm != comm_id_) return false;
   ClauseState& st = row.st[ci];
   ++st.seen;
   if (st.seen <= c.after) return false;
@@ -245,10 +253,11 @@ FlagAction Injector::on_publish(int rank) {
 }
 
 std::unique_ptr<Injector> make_injector(const std::string& spec,
-                                        std::uint64_t seed, int n_ranks) {
+                                        std::uint64_t seed, int n_ranks,
+                                        int comm_id) {
   Plan plan = Plan::parse(spec);
   if (plan.empty()) return nullptr;
-  return std::make_unique<Injector>(std::move(plan), seed, n_ranks);
+  return std::make_unique<Injector>(std::move(plan), seed, n_ranks, comm_id);
 }
 
 void* alloc_with_retry(mach::Machine& machine, Injector* injector, int owner,

@@ -49,6 +49,9 @@ struct Clause {
   int rank = -1;    ///< only this rank (-1: any)
   int owner = -1;   ///< attach/regmiss: only this peer's buffers (-1: any)
   int level = -1;   ///< straggler: only this hierarchy level (-1: any)
+  int comm = -1;    ///< only the communicator with this id (-1: any) —
+                    ///< matched against the injector's comm id so chaos
+                    ///< runs can target one tenant (Tuning::comm_id)
   std::uint64_t after = 0;  ///< skip the first `after` opportunities per rank
   std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
                             ///< fire at most `count` times per rank
@@ -84,7 +87,12 @@ struct FlagAction {
 /// before the parallel region.
 class Injector {
  public:
-  Injector(Plan plan, std::uint64_t seed, int n_ranks);
+  /// `comm_id` identifies the owning communicator for `comm=` clause
+  /// filters: a clause with comm>=0 fires only when comm == comm_id (and
+  /// consumes no rng while filtered out, so decision streams match a plan
+  /// without the clause). The default -1 (single-communicator components)
+  /// matches only unfiltered clauses.
+  Injector(Plan plan, std::uint64_t seed, int n_ranks, int comm_id = -1);
 
   /// 0: attach succeeds. 1: fail, degrade the owner to the next mechanism.
   /// 2: fail, degrade the owner straight to the CICO bounce path.
@@ -100,6 +108,7 @@ class Injector {
   const Plan& plan() const noexcept { return plan_; }
   std::uint64_t seed() const noexcept { return seed_; }
   int n_ranks() const noexcept { return static_cast<int>(rows_.size()); }
+  int comm_id() const noexcept { return comm_id_; }
 
   Injector(const Injector&) = delete;
   Injector& operator=(const Injector&) = delete;
@@ -122,13 +131,15 @@ class Injector {
 
   Plan plan_;
   std::uint64_t seed_;
+  int comm_id_;
   std::vector<Row> rows_;
 };
 
 /// Injector from a tuning spec; null when the spec is empty (components keep
 /// a null pointer and every fault site stays a single branch).
 std::unique_ptr<Injector> make_injector(const std::string& spec,
-                                        std::uint64_t seed, int n_ranks);
+                                        std::uint64_t seed, int n_ranks,
+                                        int comm_id = -1);
 
 /// Allocates `bytes` owned by `owner`, retrying up to `max_attempts` times
 /// when the injector fails the attempt (modeling transient shm exhaustion).

@@ -1,0 +1,113 @@
+#include "svc/registry.h"
+
+#include <new>
+#include <utility>
+
+#include "coll/registry.h"
+
+namespace xhc::svc {
+
+namespace {
+
+std::uint64_t verdict_value(std::uint64_t index, bool admitted) {
+  return 2 * (index + 1) + (admitted ? 0 : 1);
+}
+
+}  // namespace
+
+void Communicator::publish_verdict(mach::Ctx& parent_ctx, std::uint64_t index,
+                                   bool admitted) {
+  XHC_REQUIRE(machine_->local_rank(parent_ctx.rank()) == 0,
+              scope_, "verdicts are published by communicator rank 0 only");
+  // Wait out the member acks of the previous verdict first: no member may
+  // ever observe a verdict beyond the index it awaits (see registry.h).
+  const auto members = static_cast<std::uint64_t>(machine_->n_ranks() - 1);
+  if (index > 0 && members > 0) {
+    parent_ctx.flag_wait_ge(ack_->value, index * members);
+  }
+  parent_ctx.flag_store(verdict_->value, verdict_value(index, admitted));
+}
+
+bool Communicator::await_verdict(mach::Ctx& parent_ctx, std::uint64_t index) {
+  parent_ctx.flag_wait_ge(verdict_->value, verdict_value(index, true));
+  // Exact read: the leader cannot have published past `index` without this
+  // member's ack below.
+  const bool admitted =
+      parent_ctx.flag_read(verdict_->value) == verdict_value(index, true);
+  parent_ctx.fetch_add(ack_->value, 1);
+  return admitted;
+}
+
+Communicator& CommRegistry::create(const CommSpec& spec) {
+  auto comm = std::unique_ptr<Communicator>(new Communicator());
+  comm->id_ = n_comms();
+  comm->name_ = spec.name;
+  comm->scope_ =
+      "comm" + std::to_string(comm->id_) + "'" + spec.name + "'/";
+
+  coll::Tuning tuning = spec.tuning;
+  tuning.comm_name = comm->scope_;
+  tuning.comm_id = comm->id_;
+
+  // Count ranks as the tenant machine will (deduplicated) so the arbiter
+  // charge matches the build.
+  auto machine = std::make_unique<TenantMachine>(*parent_, spec.ranks,
+                                                 comm->scope_);
+  tuning = arbiter_->admit(comm->scope_, machine->n_ranks(), tuning,
+                           &comm->degradation_);
+  comm->tuning_ = tuning;
+  comm->machine_ = std::move(machine);
+
+  try {
+    comm->comp_ =
+        coll::make_component(spec.component, *comm->machine_, tuning);
+  } catch (const AdmissionError&) {
+    arbiter_->release(comm->scope_);
+    throw;
+  } catch (const util::Error& e) {
+    // Component setup failed past the degradation chain (e.g. injected shm
+    // exhaustion below the segment floor): surface it as a named admission
+    // rejection instead of a bare error.
+    arbiter_->release(comm->scope_);
+    throw AdmissionError(comm->scope_, "create", e.what());
+  }
+
+  // Admission plane: the single-writer verdict flag owned by communicator
+  // rank 0 plus the shared member-ack counter, one padded line each.
+  void* raw =
+      comm->machine_->alloc(0, 2 * sizeof(util::CachePadded<mach::Flag>),
+                            util::kCacheLine);
+  comm->verdict_buf_ = mach::Buffer(
+      *comm->machine_, raw, 2 * sizeof(util::CachePadded<mach::Flag>));
+  auto* lines = new (raw) util::CachePadded<mach::Flag>[2];
+  comm->verdict_ = &lines[0];
+  comm->ack_ = &lines[1];
+  parent_->verify_ledger().register_flag(&comm->verdict_->value,
+                                         comm->scope_ + "admission/verdict",
+                                         verify::WriterPolicy::kFixed);
+  parent_->verify_ledger().register_flag(&comm->ack_->value,
+                                         comm->scope_ + "admission/ack",
+                                         verify::WriterPolicy::kShared);
+
+  comms_.push_back(std::move(comm));
+  return *comms_.back();
+}
+
+CommRegistry::~CommRegistry() {
+  // Components and tenant machines die with their Communicator; give each
+  // creation-time charge back so a successor registry over the same arbiter
+  // starts from a clean pool.
+  for (auto& c : comms_) {
+    if (c != nullptr) arbiter_->release(c->scope());
+  }
+}
+
+std::vector<int> CommRegistry::comm_ids_of(int parent_rank) const {
+  std::vector<int> ids;
+  for (const auto& c : comms_) {
+    if (c->is_member(parent_rank)) ids.push_back(c->id());
+  }
+  return ids;
+}
+
+}  // namespace xhc::svc

@@ -1,0 +1,147 @@
+// CommRegistry: N concurrent communicators over one machine
+// (DESIGN.md § Multi-tenant service).
+//
+// Each communicator owns a TenantMachine over its (possibly overlapping)
+// rank subset, an XhcComponent-backed collective component whose control
+// planes are registered in the shared verify ledger under a per-communicator
+// scope ("comm3'training'/ctl0/h0/announce"), and a one-flag admission
+// plane. All shared-segment and regcache charges go through the Arbiter at
+// creation; failures surface as AdmissionError, never as a hang.
+//
+// Admission protocol (per request stream, per communicator): communicator
+// rank 0 is the admission leader. It decides request i (acquire an op token
+// with deadline-aware exponential backoff, check the backlog bound) and
+// publishes the verdict on the single-writer `admission/verdict` flag as
+// value 2*(i+1)+shed_bit. Members wait for >= 2*(i+1), decode
+//
+//   v == 2*(i+1)  ->  admitted: join the collective
+//   v == 2*(i+1)+1 -> request i was shed: skip it
+//
+// and then bump the shared `admission/ack` counter. The leader publishes
+// verdict i+1 only after all size-1 member acks for verdict i have arrived
+// ((i+1)*(size-1) cumulative), so a member can never observe a verdict
+// beyond the request it is waiting on — the read above is exact, even
+// though a collective's root may complete and race ahead of its slowest
+// member. Both flags are monotone; verdict is single-writer (kFixed) and
+// ack is a shared fetch-add counter (kShared), so the ledger polices the
+// admission plane exactly like the collective control flags.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/component.h"
+#include "svc/arbiter.h"
+#include "svc/tenant.h"
+#include "util/cacheline.h"
+
+namespace xhc::svc {
+
+/// Everything needed to create one communicator.
+struct CommSpec {
+  std::string name;            ///< human-readable tenant name
+  std::vector<int> ranks;      ///< parent ranks (any order; deduplicated)
+  coll::Tuning tuning;         ///< base tuning; comm_name/comm_id are set by
+                               ///< the registry, the rest may be degraded by
+                               ///< the arbiter
+  std::string component = "xhc";  ///< coll registry name
+};
+
+class Communicator {
+ public:
+  int id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  /// Ledger scope prefix: "comm<id>'<name>'/".
+  const std::string& scope() const noexcept { return scope_; }
+  int size() const noexcept { return machine_->n_ranks(); }
+  const std::vector<int>& ranks() const noexcept { return machine_->ranks(); }
+  bool is_member(int parent_rank) const noexcept {
+    return machine_->local_rank(parent_rank) >= 0;
+  }
+  int local_rank(int parent_rank) const noexcept {
+    return machine_->local_rank(parent_rank);
+  }
+
+  TenantMachine& machine() noexcept { return *machine_; }
+  coll::Component& component() noexcept { return *comp_; }
+  /// Effective tuning after arbiter degradation.
+  const coll::Tuning& tuning() const noexcept { return tuning_; }
+  /// One line per degradation step the arbiter took; empty when the
+  /// requested configuration fit as-is.
+  const std::string& degradation() const noexcept { return degradation_; }
+
+  // --- admission verdict plane (see file header) ---------------------------
+  /// Leader side (communicator rank 0 only): publish the verdict for
+  /// per-communicator request index `index`.
+  void publish_verdict(mach::Ctx& parent_ctx, std::uint64_t index,
+                       bool admitted);
+  /// Member side: block until the verdict for `index` is out and ack it;
+  /// true when the request was admitted (the member must then join the
+  /// collective). Every member must await every index in order — acks are
+  /// what let the leader move to the next verdict.
+  bool await_verdict(mach::Ctx& parent_ctx, std::uint64_t index);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+ private:
+  friend class CommRegistry;
+  Communicator() = default;
+
+  int id_ = 0;
+  std::string name_;
+  std::string scope_;
+  std::string degradation_;
+  coll::Tuning tuning_;
+  std::unique_ptr<TenantMachine> machine_;
+  std::unique_ptr<coll::Component> comp_;
+  mach::Buffer verdict_buf_;  ///< owns the admission plane lines
+  util::CachePadded<mach::Flag>* verdict_ = nullptr;
+  util::CachePadded<mach::Flag>* ack_ = nullptr;
+};
+
+class CommRegistry {
+ public:
+  /// Both `parent` and `arbiter` must outlive the registry.
+  CommRegistry(mach::Machine& parent, Arbiter& arbiter)
+      : parent_(&parent), arbiter_(&arbiter) {}
+  ~CommRegistry();
+
+  /// Creates a communicator: charges the arbiter (degrading the tuning along
+  /// the chain when needed), builds the tenant machine and component, and
+  /// registers the admission plane in the ledger. Throws AdmissionError when
+  /// the budget cannot fit even the degraded configuration, or when the
+  /// component's own setup fails (e.g. injected shm exhaustion) — named
+  /// with the communicator, never a hang.
+  Communicator& create(const CommSpec& spec);
+
+  Communicator& comm(int id) {
+    XHC_REQUIRE(id >= 0 && id < n_comms(), "communicator id ", id,
+                " out of range [0, ", n_comms(), ")");
+    return *comms_[static_cast<std::size_t>(id)];
+  }
+  const Communicator& comm(int id) const {
+    XHC_REQUIRE(id >= 0 && id < n_comms(), "communicator id ", id,
+                " out of range [0, ", n_comms(), ")");
+    return *comms_[static_cast<std::size_t>(id)];
+  }
+  int n_comms() const noexcept { return static_cast<int>(comms_.size()); }
+
+  /// Ids of the communicators `parent_rank` belongs to, ascending.
+  std::vector<int> comm_ids_of(int parent_rank) const;
+
+  mach::Machine& parent() noexcept { return *parent_; }
+  Arbiter& arbiter() noexcept { return *arbiter_; }
+
+  CommRegistry(const CommRegistry&) = delete;
+  CommRegistry& operator=(const CommRegistry&) = delete;
+
+ private:
+  mach::Machine* parent_;
+  Arbiter* arbiter_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+}  // namespace xhc::svc

@@ -1,0 +1,69 @@
+#include "svc/tenant.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xhc::svc {
+
+namespace {
+
+/// Local rank -> core list for the sub-map: communicator rank r keeps the
+/// core its parent rank runs on, so topology distances and NUMA homes are
+/// unchanged under the renumbering.
+std::vector<int> cores_of(const mach::Machine& parent,
+                          const std::vector<int>& ranks) {
+  std::vector<int> cores;
+  cores.reserve(ranks.size());
+  for (const int r : ranks) cores.push_back(parent.map().core_of(r));
+  return cores;
+}
+
+std::vector<int> sorted_unique(std::vector<int> ranks) {
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  return ranks;
+}
+
+}  // namespace
+
+TenantMachine::TenantMachine(mach::Machine& parent, std::vector<int> ranks,
+                             std::string scope)
+    : parent_(&parent),
+      ranks_(sorted_unique(std::move(ranks))),
+      scope_(std::move(scope)),
+      map_(parent.topology(), cores_of(parent, ranks_),
+           parent.map().policy()) {
+  XHC_REQUIRE(!ranks_.empty(), "tenant '", scope_, "' needs at least one rank");
+  XHC_REQUIRE(ranks_.front() >= 0 && ranks_.back() < parent.n_ranks(),
+              "tenant '", scope_, "' rank out of parent range [0, ",
+              parent.n_ranks(), ")");
+  local_of_.assign(static_cast<std::size_t>(parent.n_ranks()), -1);
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    local_of_[static_cast<std::size_t>(ranks_[i])] = static_cast<int>(i);
+  }
+}
+
+mach::RunResult TenantMachine::run(
+    const std::function<void(mach::Ctx&)>& /*fn*/) {
+  XHC_CHECK(false, "tenant '", scope_,
+            "': run() is not available — the service drives the parent "
+            "machine's run and wraps its contexts in TenantCtx");
+  return {};  // unreachable
+}
+
+int TenantMachine::parent_rank(int local) const {
+  XHC_REQUIRE(local >= 0 && local < n_ranks(), "tenant '", scope_,
+              "': local rank ", local, " out of range [0, ", n_ranks(), ")");
+  return ranks_[static_cast<std::size_t>(local)];
+}
+
+int TenantMachine::local_rank(int parent_rank) const noexcept {
+  if (parent_rank < 0 ||
+      parent_rank >= static_cast<int>(local_of_.size())) {
+    return -1;
+  }
+  return local_of_[static_cast<std::size_t>(parent_rank)];
+}
+
+}  // namespace xhc::svc

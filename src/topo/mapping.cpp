@@ -54,6 +54,21 @@ RankMap::RankMap(const Topology& topo, int n_ranks, MapPolicy policy)
   }
 }
 
+RankMap::RankMap(const Topology& topo, std::vector<int> cores,
+                 MapPolicy policy)
+    : rank_to_core_(std::move(cores)), policy_(policy) {
+  XHC_REQUIRE(!rank_to_core_.empty(), "need at least one rank");
+  core_to_rank_.assign(static_cast<std::size_t>(topo.n_cores()), -1);
+  for (int r = 0; r < n_ranks(); ++r) {
+    const int core = rank_to_core_[static_cast<std::size_t>(r)];
+    XHC_REQUIRE(core >= 0 && core < topo.n_cores(), "core ", core,
+                " out of range for topology '", topo.name(), "'");
+    XHC_REQUIRE(core_to_rank_[static_cast<std::size_t>(core)] == -1,
+                "core ", core, " assigned to two ranks");
+    core_to_rank_[static_cast<std::size_t>(core)] = r;
+  }
+}
+
 int RankMap::core_of(int rank) const {
   XHC_REQUIRE(rank >= 0 && rank < n_ranks(), "rank ", rank, " out of range");
   return rank_to_core_[static_cast<std::size_t>(rank)];

@@ -21,6 +21,12 @@ class RankMap {
  public:
   RankMap(const Topology& topo, int n_ranks, MapPolicy policy);
 
+  /// Explicit assignment: rank r runs on `cores[r]`. Used by facade machines
+  /// over a rank subset (svc::TenantMachine), whose communicator ranks must
+  /// land on exactly the parent ranks' cores. Cores must be distinct and
+  /// valid for `topo`; `policy` is carried through for diagnostics only.
+  RankMap(const Topology& topo, std::vector<int> cores, MapPolicy policy);
+
   int n_ranks() const noexcept { return static_cast<int>(rank_to_core_.size()); }
   int core_of(int rank) const;
   /// Rank running on `core`, or -1 when the core hosts no rank.

@@ -148,12 +148,16 @@ void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
     return prefix + "." + field + "[" + std::to_string(i) + "]";
   };
 
-  ledger.register_flag(&*ctl.seq[0], prefix + ".seq", WriterPolicy::kRotating);
-  ledger.register_flag(&*ctl.announce[0], prefix + ".announce",
-                       WriterPolicy::kRotating);
   ledger.register_flag(&*ctl.atomic_ctr[0], prefix + ".atomic_ctr",
                        WriterPolicy::kShared);
   for (int i = 0; i < n; ++i) {
+    // seq/announce slot i is published only by the rank occupying slot i
+    // while it leads the group for the current root — a fixed writer even
+    // under rotating roots (the single-mailbox kRotating design let op N's
+    // leader clobber the pointer a straggler of op N-1 had yet to read).
+    ledger.register_flag(&*ctl.seq[i], name("seq", i), WriterPolicy::kFixed);
+    ledger.register_flag(&*ctl.announce[i], name("announce", i),
+                         WriterPolicy::kFixed);
     ledger.register_flag(&*ctl.ack[i], name("ack", i), WriterPolicy::kFixed);
     ledger.register_flag(&*ctl.member_seq[i], name("member_seq", i),
                          WriterPolicy::kFixed);
@@ -170,13 +174,13 @@ void register_group_ctl(Ledger& ledger, const topo::Topology& topo,
   // Layout lint: one item per flag, with the writer/spinner identity the
   // protocol assigns.
   std::vector<LintItem> items;
-  items.reserve(static_cast<std::size_t>(3 + 6 * n));
-  items.push_back({&*ctl.seq[0], kLeader, kAny, "seq", false});
-  items.push_back({&*ctl.announce[0], kLeader, kAny, "announce", false});
+  items.reserve(static_cast<std::size_t>(1 + 8 * n));
   items.push_back({&*ctl.atomic_ctr[0], kNone, kAny, "atomic_ctr", false});
   // Field names for slot arrays stay stable strings (LintItem keeps a
   // pointer); the slot index is recoverable from the reported addresses.
   for (int i = 0; i < n; ++i) {
+    items.push_back({&*ctl.seq[i], i, kAny, "seq", false});
+    items.push_back({&*ctl.announce[i], i, kAny, "announce", false});
     items.push_back({&*ctl.ack[i], i, kLeader, "ack", false});
     items.push_back({&*ctl.member_seq[i], i, kLeader, "member_seq", false});
     items.push_back({&*ctl.reduce_ready[i], i, kLeader, "reduce_ready", false});

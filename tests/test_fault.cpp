@@ -18,6 +18,9 @@
 #include "obs/observer.h"
 #include "osu/harness.h"
 #include "sim/sim_machine.h"
+#include "svc/arbiter.h"
+#include "svc/registry.h"
+#include "svc/tenant.h"
 #include "topo/presets.h"
 #include "util/check.h"
 #include "util/prng.h"
@@ -32,12 +35,34 @@ TEST(FaultSpec, RoundTripsThroughCanonicalForm) {
   const std::string spec =
       "attach,rank=1,owner=0,count=1,chain=2;"
       "straggler,level=0,prob=0.25,delay=1e-05;"
-      "flagdrop,rank=2,after=10;regmiss,owner=3;expose;shm,count=4;"
+      "flagdrop,rank=2,after=10,comm=3;regmiss,owner=3;expose;shm,count=4;"
       "flagdelay,delay=2e-06";
   const fault::Plan plan = fault::Plan::parse(spec);
   ASSERT_EQ(plan.clauses.size(), 7u);
   const std::string canon = plan.to_string();
   EXPECT_EQ(fault::Plan::parse(canon).to_string(), canon);
+}
+
+TEST(FaultSpec, CommFilterParsesAndRoundTrips) {
+  const fault::Plan plan = fault::Plan::parse("flagdrop,comm=2,rank=1");
+  ASSERT_EQ(plan.clauses.size(), 1u);
+  EXPECT_EQ(plan.clauses[0].comm, 2);
+  EXPECT_EQ(plan.clauses[0].rank, 1);
+  const std::string canon = plan.to_string();
+  EXPECT_NE(canon.find("comm=2"), std::string::npos) << canon;
+  EXPECT_EQ(fault::Plan::parse(canon).to_string(), canon);
+  // Default: no filter.
+  EXPECT_EQ(fault::Plan::parse("flagdrop").clauses.at(0).comm, -1);
+}
+
+TEST(FaultSpec, CommFilterTargetsOneInjector) {
+  fault::Plan plan = fault::Plan::parse("flagdrop,comm=1");
+  fault::Injector hit(plan, 1, 2, /*comm_id=*/1);
+  fault::Injector miss(plan, 1, 2, /*comm_id=*/0);
+  fault::Injector unset(plan, 1, 2);  // single-communicator default (-1)
+  EXPECT_TRUE(hit.on_publish(0).drop);
+  EXPECT_FALSE(miss.on_publish(0).drop);
+  EXPECT_FALSE(unset.on_publish(0).drop);
 }
 
 TEST(FaultSpec, ParsesFieldsIntoClauses) {
@@ -69,6 +94,8 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(fault::Plan::parse("attach,chain=3"), util::Error);
   EXPECT_THROW(fault::Plan::parse("attach,rank="), util::Error);
   EXPECT_THROW(fault::Plan::parse("attach,=1"), util::Error);
+  EXPECT_THROW(fault::Plan::parse("flagdrop,comm=-1"), util::Error);
+  EXPECT_THROW(fault::Plan::parse("flagdrop,comm=notanumber"), util::Error);
 }
 
 // ---------------------------------------------------------------------------
@@ -320,6 +347,99 @@ TEST(FaultDrop, RealWatchdogNamesRankAndFlag) {
     EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
     EXPECT_NE(msg.find("announce"), std::string::npos) << msg;
     EXPECT_NE(msg.find("rank"), std::string::npos) << msg;
+  }
+}
+
+// Two-tenant registry helper: comm0 'wide' spans the node, comm1 'narrow'
+// the first half; `faults` (typically with a comm= filter) reaches every
+// tenant's injector, which filters by its own comm id.
+template <typename MachineT>
+std::unique_ptr<svc::CommRegistry> two_tenants(MachineT& machine,
+                                               svc::Arbiter& arbiter,
+                                               const std::string& faults) {
+  auto reg = std::make_unique<svc::CommRegistry>(machine, arbiter);
+  coll::Tuning tuning;
+  tuning.faults = faults;
+  svc::CommSpec wide;
+  wide.name = "wide";
+  wide.tuning = tuning;
+  for (int r = 0; r < machine.n_ranks(); ++r) wide.ranks.push_back(r);
+  svc::CommSpec narrow;
+  narrow.name = "narrow";
+  narrow.tuning = tuning;
+  for (int r = 0; r < machine.n_ranks() / 2; ++r) narrow.ranks.push_back(r);
+  reg->create(wide);
+  reg->create(narrow);
+  return reg;
+}
+
+TEST(FaultDrop, SimDeadlockReportNamesTheOwningCommunicator) {
+  constexpr int kRanks = 8;
+  constexpr std::size_t kBytes = 65536;
+  sim::SimMachine machine(topo::mini8(), kRanks);
+  svc::Arbiter arbiter(svc::Budget{});
+  // Drop every publication of comm1's rank 0 — comm0 shares that rank but
+  // must stay untouched (the clause is filtered by comm id).
+  auto reg = two_tenants(machine, arbiter, "flagdrop,comm=1,rank=0");
+
+  svc::Communicator& wide = reg->comm(0);
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < kRanks; ++r) bufs.emplace_back(machine, r, kBytes);
+  util::fill_pattern(bufs[0].get(), kBytes, 0xAB);
+  machine.run([&](mach::Ctx& ctx) {
+    svc::TenantCtx tctx(ctx, wide.machine());
+    wide.component().bcast(tctx, bufs[static_cast<std::size_t>(ctx.rank())].get(),
+                           kBytes, 0);
+  });
+  std::vector<std::byte> expect(kBytes);
+  util::fill_pattern(expect.data(), kBytes, 0xAB);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].get(),
+                          expect.data(), kBytes),
+              0)
+        << "comm=1 fault leaked into comm0, rank " << r;
+  }
+
+  // The same collective on comm1 strands its members; the deadlock report
+  // must name the stranded flag under the owning communicator's scope.
+  svc::Communicator& narrow = reg->comm(1);
+  try {
+    machine.run([&](mach::Ctx& ctx) {
+      if (narrow.local_rank(ctx.rank()) < 0) return;
+      svc::TenantCtx tctx(ctx, narrow.machine());
+      narrow.component().bcast(
+          tctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes, 0);
+    });
+    FAIL() << "expected a deadlock report";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("comm1'narrow'"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultDrop, RealWatchdogNamesTheOwningCommunicator) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kBytes = 65536;
+  mach::RealMachine machine(topo::mini8(), kRanks);
+  machine.set_wait_timeout(0.5);
+  svc::Arbiter arbiter(svc::Budget{});
+  auto reg = two_tenants(machine, arbiter, "flagdrop,comm=1,rank=0");
+  svc::Communicator& narrow = reg->comm(1);
+  std::vector<mach::Buffer> bufs;
+  for (int r = 0; r < kRanks; ++r) bufs.emplace_back(machine, r, kBytes);
+  try {
+    machine.run([&](mach::Ctx& ctx) {
+      if (narrow.local_rank(ctx.rank()) < 0) return;
+      svc::TenantCtx tctx(ctx, narrow.machine());
+      narrow.component().bcast(
+          tctx, bufs[static_cast<std::size_t>(ctx.rank())].get(), kBytes, 0);
+    });
+    FAIL() << "expected the watchdog to abort the run";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("comm1'narrow'"), std::string::npos) << msg;
   }
 }
 

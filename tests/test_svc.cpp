@@ -1,0 +1,364 @@
+// Multi-tenant collective service (DESIGN.md § Multi-tenant service):
+// tenant rank renumbering, the arbiter's admission/degradation chain,
+// overlapping communicators policed by one shared ledger, backpressure and
+// deadline shedding under the loadgen, payload integrity under injected
+// faults, byte-determinism across runs and host backends, and systematic
+// interleaving exploration of two overlapping communicators.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/explore.h"
+#include "mach/machine.h"
+#include "sim/sim_machine.h"
+#include "svc/arbiter.h"
+#include "svc/loadgen.h"
+#include "svc/registry.h"
+#include "svc/tenant.h"
+#include "topo/presets.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace xhc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tenant facade
+
+TEST(SvcTenant, RanksAreRenumberedAndDeduplicated) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::TenantMachine tenant(machine, {5, 1, 3, 1}, "t/");
+  ASSERT_EQ(tenant.n_ranks(), 3);
+  EXPECT_EQ(tenant.ranks(), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(tenant.parent_rank(0), 1);
+  EXPECT_EQ(tenant.parent_rank(2), 5);
+  EXPECT_EQ(tenant.local_rank(3), 1);
+  EXPECT_EQ(tenant.local_rank(0), -1);
+  // Tenants share the parent's ledger and never execute themselves.
+  EXPECT_EQ(&tenant.verify_ledger(), &machine.verify_ledger());
+  EXPECT_THROW(tenant.run([](mach::Ctx&) {}), util::Error);
+}
+
+TEST(SvcTenant, CtxRenumbersAndForbidsSubsetBarrier) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::TenantMachine tenant(machine, {2, 4}, "t/");
+  machine.run([&](mach::Ctx& ctx) {
+    if (tenant.local_rank(ctx.rank()) < 0) return;
+    svc::TenantCtx tctx(ctx, tenant);
+    EXPECT_EQ(tctx.size(), 2);
+    EXPECT_EQ(tctx.rank(), ctx.rank() == 2 ? 0 : 1);
+    EXPECT_THROW(tctx.barrier(), util::Error);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Admission: degradation chain, then a named error — never a hang
+
+TEST(SvcArbiter, DegradesSegmentsBeforeShedding) {
+  svc::Budget budget;
+  // Room for ~half a default communicator: forces segment halving.
+  coll::Tuning probe;
+  budget.segment_bytes =
+      8 * (probe.cico_segment_bytes / 4 + svc::Arbiter::kCtlBytesPerRank);
+  svc::Arbiter arbiter(budget);
+  std::string trail;
+  const coll::Tuning got = arbiter.admit("comm0'a'/", 8, probe, &trail);
+  EXPECT_LT(got.cico_segment_bytes, probe.cico_segment_bytes);
+  EXPECT_NE(trail.find("halved"), std::string::npos) << trail;
+  arbiter.release("comm0'a'/");
+  EXPECT_EQ(arbiter.segment_bytes_free(), budget.segment_bytes);
+}
+
+TEST(SvcRegistry, ExhaustionRaisesNamedAdmissionError) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::Budget budget;
+  budget.segment_bytes = 4096;  // below any communicator's floor
+  svc::Arbiter arbiter(budget);
+  svc::CommRegistry reg(machine, arbiter);
+  svc::CommSpec spec;
+  spec.name = "greedy";
+  for (int r = 0; r < 8; ++r) spec.ranks.push_back(r);
+  try {
+    reg.create(spec);
+    FAIL() << "expected AdmissionError";
+  } catch (const svc::AdmissionError& e) {
+    EXPECT_NE(e.comm().find("comm0'greedy'"), std::string::npos) << e.comm();
+    EXPECT_EQ(e.op(), "create");
+    EXPECT_NE(e.reason().find("segment budget exhausted"), std::string::npos)
+        << e.reason();
+  }
+  // The failed admission must not leak a charge.
+  EXPECT_EQ(arbiter.segment_bytes_free(), budget.segment_bytes);
+  EXPECT_EQ(reg.n_comms(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Overlapping communicators in one parent run
+
+TEST(SvcRegistry, OverlappingCommsInterleaveInOneRun) {
+  constexpr int kRanks = 8;
+  constexpr std::size_t kBytes = 30000;
+  sim::SimMachine machine(topo::mini8(), kRanks);
+  svc::Arbiter arbiter(svc::Budget{});
+  svc::CommRegistry reg(machine, arbiter);
+  svc::CommSpec a;
+  a.name = "a";
+  for (int r = 0; r < kRanks; ++r) a.ranks.push_back(r);
+  svc::CommSpec b;
+  b.name = "b";
+  for (int r = 2; r < kRanks - 1; ++r) b.ranks.push_back(r);
+  svc::Communicator& ca = reg.create(a);
+  svc::Communicator& cb = reg.create(b);
+  EXPECT_EQ(reg.comm_ids_of(3), (std::vector<int>{0, 1}));
+  EXPECT_EQ(reg.comm_ids_of(0), (std::vector<int>{0}));
+
+  // Distinct payload streams per communicator; both collectives run inside
+  // ONE parent run, so ranks 2..6 carry both protocols back to back and the
+  // shared ledger polices the single-writer discipline across them.
+  std::vector<mach::Buffer> ba, bb;
+  for (int r = 0; r < kRanks; ++r) {
+    ba.emplace_back(machine, r, kBytes);
+    bb.emplace_back(machine, r, kBytes);
+  }
+  util::fill_pattern(ba[0].get(), kBytes, 11);
+  util::fill_pattern(bb[3].get(), kBytes, 22);  // comm b local root 1
+  machine.run([&](mach::Ctx& ctx) {
+    const auto i = static_cast<std::size_t>(ctx.rank());
+    {
+      svc::TenantCtx tctx(ctx, ca.machine());
+      ca.component().bcast(tctx, ba[i].get(), kBytes, 0);
+    }
+    if (cb.local_rank(ctx.rank()) >= 0) {
+      svc::TenantCtx tctx(ctx, cb.machine());
+      cb.component().bcast(tctx, bb[i].get(), kBytes, 1);
+    }
+  });
+
+  std::vector<std::byte> ea(kBytes), eb(kBytes);
+  util::fill_pattern(ea.data(), kBytes, 11);
+  util::fill_pattern(eb.data(), kBytes, 22);
+  for (int r = 0; r < kRanks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    EXPECT_EQ(std::memcmp(ba[i].get(), ea.data(), kBytes), 0) << "a rank " << r;
+    if (cb.local_rank(r) >= 0) {
+      EXPECT_EQ(std::memcmp(bb[i].get(), eb.data(), kBytes), 0)
+          << "b rank " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen: plan/schedule shape, backpressure, integrity, determinism
+
+TEST(SvcLoadgen, CommPlanOverlapsAndScheduleIsSorted) {
+  svc::LoadgenConfig cfg;
+  cfg.n_comms = 6;
+  cfg.requests = 600;
+  const auto plan = svc::make_comm_plan(8, cfg, coll::Tuning{});
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan[0].ranks.size(), 8u);  // tenant 0 spans the node
+  for (const auto& spec : plan) {
+    EXPECT_GE(spec.ranks.size(), 2u) << spec.name;
+  }
+
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::Arbiter arbiter(svc::Budget{});
+  svc::CommRegistry reg(machine, arbiter);
+  for (const auto& spec : plan) reg.create(spec);
+  const auto sched = svc::make_schedule(cfg, reg);
+  ASSERT_EQ(sched.size(), 600u);
+  std::vector<std::uint64_t> next_index(6, 0);
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    EXPECT_EQ(sched[i].id, i);
+    if (i > 0) EXPECT_GE(sched[i].arrival, sched[i - 1].arrival);
+    // Per-communicator stream indices appear in order (verdict epochs).
+    EXPECT_EQ(sched[i].index,
+              next_index[static_cast<std::size_t>(sched[i].comm)]++);
+    if (sched[i].op == svc::OpClass::kBarrier) {
+      EXPECT_EQ(sched[i].bytes, 0u);
+    } else {
+      EXPECT_GE(sched[i].bytes, cfg.min_bytes);
+      EXPECT_LE(sched[i].bytes, cfg.max_bytes);
+      EXPECT_LT(sched[i].root, reg.comm(sched[i].comm).size());
+    }
+  }
+}
+
+svc::LoadgenConfig small_soak_config() {
+  svc::LoadgenConfig cfg;
+  cfg.n_comms = 4;
+  cfg.requests = 400;
+  cfg.arrival_rate = 2e4;
+  cfg.max_bytes = 256u << 10;
+  cfg.large_fraction = 0.05;
+  return cfg;
+}
+
+svc::Budget generous_budget(int n_ranks, int n_comms,
+                            const coll::Tuning& base) {
+  svc::Budget budget;
+  budget.segment_bytes =
+      static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_comms) *
+      (base.cico_segment_bytes + svc::Arbiter::kCtlBytesPerRank);
+  return budget;
+}
+
+TEST(SvcLoadgen, SoakCompletesCleanOnMini8) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  const svc::LoadgenConfig cfg = small_soak_config();
+  const svc::LoadgenResult r =
+      svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+  EXPECT_EQ(r.completed + r.shed, cfg.requests);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_GT(r.makespan, 0.0);
+  std::uint64_t per_class = 0;
+  for (const auto& pc : r.per_class) per_class += pc.completed + pc.shed;
+  EXPECT_EQ(per_class, cfg.requests);
+}
+
+TEST(SvcLoadgen, BackpressureShedsBeyondBudgetWithoutCorruption) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::LoadgenConfig cfg = small_soak_config();
+  cfg.arrival_rate = 1e5;  // beyond one token's service rate
+  svc::Budget budget = generous_budget(8, cfg.n_comms, {});
+  // One op token and an effectively unbounded queue: the token pool is the
+  // bottleneck, so leaders must back off, and requests that outwait the
+  // deadline while backing off are shed.
+  budget.inflight_ops = 1;
+  budget.queue_capacity = 100000;
+  budget.deadline = 5e-4;
+  const svc::LoadgenResult r = svc::run_soak(machine, cfg, budget);
+  EXPECT_EQ(r.completed + r.shed, cfg.requests);
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_GT(r.completed, 0u);  // shedding is partial, not collapse
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_GT(r.backoff_stalls, 0u);
+}
+
+TEST(SvcLoadgen, IntegrityHoldsUnderInjectedFaults) {
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::LoadgenConfig cfg = small_soak_config();
+  cfg.requests = 200;
+  // Degradations and perturbations only — no dropped publications, so the
+  // soak must terminate with every payload intact.
+  cfg.faults =
+      "attach,prob=0.05;regmiss,prob=0.2;straggler,prob=0.1,delay=2e-6;"
+      "flagdelay,prob=0.05,delay=1e-6;straggler,comm=1,prob=0.5,delay=1e-5";
+  const svc::LoadgenResult r =
+      svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+  EXPECT_EQ(r.completed + r.shed, cfg.requests);
+  EXPECT_EQ(r.integrity_failures, 0u);
+}
+
+TEST(SvcLoadgen, SoakIsByteDeterministicAcrossRunsAndBackends) {
+  const svc::LoadgenConfig cfg = small_soak_config();
+  const auto soak = [&](sim::SimBackend backend) {
+    sim::SimMachine machine(topo::mini8(), 8);
+    machine.set_backend(backend);
+    return svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+  };
+  const svc::LoadgenResult a = soak(sim::SimBackend::kFiber);
+  const svc::LoadgenResult b = soak(sim::SimBackend::kFiber);
+  const svc::LoadgenResult c = soak(sim::SimBackend::kThreads);
+  for (const svc::LoadgenResult* r : {&b, &c}) {
+    EXPECT_EQ(a.completed, r->completed);
+    EXPECT_EQ(a.shed, r->shed);
+    EXPECT_EQ(a.integrity_failures, r->integrity_failures);
+    EXPECT_EQ(a.backoff_stalls, r->backoff_stalls);
+    EXPECT_EQ(a.makespan, r->makespan);  // bit-equal virtual time
+    for (int k = 0; k < svc::kNumOpClasses; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      EXPECT_EQ(a.per_class[kk].completed, r->per_class[kk].completed);
+      EXPECT_EQ(a.per_class[kk].latency.percentile(0.99),
+                r->per_class[kk].latency.percentile(0.99));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Systematic interleaving exploration: two overlapping communicators
+
+TEST(SvcCheck, TwoCommInterleavingsNeverCorrupt) {
+  constexpr std::size_t kBytes = 512;
+  constexpr int kRanks = 4;
+  sim::SimMachine machine(topo::flat(kRanks), kRanks);
+  svc::Arbiter arbiter(svc::Budget{});
+  svc::CommRegistry reg(machine, arbiter);
+  svc::CommSpec a;
+  a.name = "a";
+  for (int r = 0; r < kRanks; ++r) a.ranks.push_back(r);
+  svc::CommSpec b;
+  b.name = "b";
+  b.ranks = {1, 2, 3};
+  svc::Communicator& ca = reg.create(a);
+  svc::Communicator& cb = reg.create(b);
+
+  std::vector<mach::Buffer> ba, bb;
+  for (int r = 0; r < kRanks; ++r) {
+    ba.emplace_back(machine, r, kBytes);
+    bb.emplace_back(machine, r, kBytes);
+  }
+  std::vector<unsigned char> ea(kBytes), eb(kBytes);
+  util::fill_pattern(ea.data(), kBytes, 5);
+  util::fill_pattern(eb.data(), kBytes, 9);
+
+  const check::Runner run = [&](const sim::VirtualScheduler::PickHook& hook,
+                                sim::AccessSink* sink) {
+    for (int r = 0; r < kRanks; ++r) {
+      std::memset(ba[static_cast<std::size_t>(r)].get(), 0, kBytes);
+      std::memset(bb[static_cast<std::size_t>(r)].get(), 0, kBytes);
+    }
+    std::memcpy(ba[0].get(), ea.data(), kBytes);
+    std::memcpy(bb[2].get(), eb.data(), kBytes);  // comm b local root 1
+    machine.set_pick_hook(hook);
+    machine.set_access_sink(sink);
+    check::RunOutcome out;
+    try {
+      machine.run([&](mach::Ctx& ctx) {
+        const auto i = static_cast<std::size_t>(ctx.rank());
+        {
+          svc::TenantCtx tctx(ctx, ca.machine());
+          ca.component().bcast(tctx, ba[i].get(), kBytes, 0);
+        }
+        if (cb.local_rank(ctx.rank()) >= 0) {
+          svc::TenantCtx tctx(ctx, cb.machine());
+          cb.component().bcast(tctx, bb[i].get(), kBytes, 1);
+        }
+      });
+      for (int r = 0; r < kRanks && !out.failed; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (std::memcmp(ba[i].get(), ea.data(), kBytes) != 0) {
+          out.failed = true;
+          out.diag = "comm a payload mismatch on rank " + std::to_string(r);
+        } else if (cb.local_rank(r) >= 0 &&
+                   std::memcmp(bb[i].get(), eb.data(), kBytes) != 0) {
+          out.failed = true;
+          out.diag = "comm b payload mismatch on rank " + std::to_string(r);
+        }
+      }
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.diag = e.what();
+    }
+    machine.set_pick_hook(nullptr);
+    machine.set_access_sink(nullptr);
+    return out;
+  };
+
+  check::ExploreOptions opts;
+  opts.max_branch_depth = 4;
+  opts.max_executions = 1500;
+  opts.random_walks = 64;
+  const check::ExploreStats st = check::explore(run, opts);
+  EXPECT_GT(st.executions, 1);
+  EXPECT_GT(st.branch_points, 0);
+  EXPECT_EQ(st.failures, 0)
+      << (st.witnesses.empty() ? "" : st.witnesses.front());
+}
+
+}  // namespace
+}  // namespace xhc
