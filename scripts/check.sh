@@ -29,6 +29,13 @@
 #                               # (incl. comm=-filtered clauses), a
 #                               # wider-node soak, and the svc tests under
 #                               # TSan
+#   scripts/check.sh telemetry  # service telemetry gate: obs/svc telemetry
+#                               # suites, off-path bit-identity for fig8 +
+#                               # loadgen with the plane disabled, byte-
+#                               # determinism of every export across reruns
+#                               # and the threads backend, table invariance
+#                               # with the plane attached, and the SLO gate
+#                               # self-test (seeded straggler must trip it)
 #   scripts/check.sh lint       # full static pass: flag-protocol lints
 #                               # (incl. --selftest) + run-clang-tidy over
 #                               # src/ with warnings-as-errors (skipped
@@ -270,6 +277,60 @@ case "$mode" in
     (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
       -R 'Svc|FaultSpec|FaultDrop' "$@")
     echo "service gate: OK"
+    exit 0
+    ;;
+  telemetry)
+    # Service telemetry gate (DESIGN.md § Service telemetry plane): the
+    # time-series and telemetry unit suites, the off-path contract (fig8
+    # and the quick soak bit-identical with the plane disabled vs a plain
+    # run; the soak's service tables unchanged when the plane is attached),
+    # byte-determinism of every export (reqlog, windows JSON, interference
+    # report, chrome trace) across reruns and the threads backend, and the
+    # SLO gate self-test proving the monitor can fail.
+    scripts/lint_flags.sh
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Obs|SvcTelemetry|Hist|Metrics|TelemetryGateSelfTest' "$@")
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== off-path contract: quick tables with and without telemetry =="
+    base=(build/bench/bench_loadgen --quick --preset=mini8 --csv --jobs=0)
+    "${base[@]}" > "$tmp/soak.plain"
+    # With the plane attached, the service tables (everything before the
+    # interference report) must be byte-identical: recording never charges.
+    "${base[@]}" --windows=0.01 --reqlog="$tmp/req.json" \
+      --windows-out="$tmp/win.json" \
+      | sed '/^== Interference/,$d' | awk 'NF' > "$tmp/soak.tele"
+    diff <(awk 'NF' "$tmp/soak.plain") "$tmp/soak.tele"
+    echo "loadgen: service tables identical with the plane attached"
+    build/bench/bench_fig8_bcast --quick --preset=mini8 --csv --jobs=0 \
+      > "$tmp/f8.plain"
+    build/bench/bench_fig8_bcast --quick --preset=mini8 --csv --jobs=0 \
+      --trace-out="$tmp/f8.trace.json" \
+      | grep -v '^trace written' > "$tmp/f8.traced"
+    diff "$tmp/f8.plain" "$tmp/f8.traced"
+    echo "fig8: tables identical with tracing on (trace line stripped)"
+    echo "== export byte-determinism: rerun + threads backend =="
+    tele=(build/bench/bench_loadgen --quick --preset=mini8 --csv --jobs=0
+          --windows=0.01 --slo='*:p99=5s' --metrics --hist --critpath)
+    run_tele() {  # $1 = tag; exports land in a per-tag dir so names match
+      mkdir -p "$tmp/$1"
+      "${tele[@]}" --reqlog="$tmp/$1/req.json" \
+        --windows-out="$tmp/$1/win.json" \
+        --trace-out="$tmp/$1/trace.json" > "$tmp/$1/stdout"
+      # Drop the export confirmation lines (their paths embed the tag).
+      grep -v 'written: ' "$tmp/$1/stdout" > "$tmp/$1/stdout.cmp"
+      rm "$tmp/$1/stdout"
+    }
+    run_tele a
+    run_tele b
+    (export XHC_SIM_BACKEND=threads; run_tele t)
+    diff -r "$tmp/a" "$tmp/b"
+    diff -r "$tmp/a" "$tmp/t"
+    echo "exports: byte-deterministic (rerun + threads backend)"
+    scripts/telemetry_gate_selftest.sh build
+    echo "telemetry gate: OK"
     exit 0
     ;;
   lint)

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Proves the SLO monitor actually gates: a clean quick soak under a tight-
+# but-satisfiable p99 target must exit 0, and the same soak with a seeded
+# straggler fault (2 ms delay, p=0.5) must blow the target and exit
+# non-zero. Runs on the deterministic simulator, so both verdicts are exact
+# and the test has no flake margin. Used by `scripts/check.sh telemetry`
+# and the TelemetryGateSelfTest ctest.
+#
+#   scripts/telemetry_gate_selftest.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+common=("$build"/bench/bench_loadgen --quick --preset=mini8
+        --windows=0.01 --slo='*:p99=5ms')
+
+echo "== telemetry gate self-test ($build, mini8) =="
+"${common[@]}" > /dev/null
+echo "clean soak: SLO monitor passes (exit 0)"
+
+if "${common[@]}" --fault='straggler,delay=2e-3,prob=0.5' > /dev/null; then
+  echo "telemetry gate self-test: FAIL — straggler soak passed the SLO" >&2
+  exit 1
+fi
+echo "straggler soak: SLO monitor trips (non-zero exit)"
+echo "telemetry gate self-test: ok (clean passes, straggler fails)"

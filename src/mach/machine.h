@@ -33,6 +33,7 @@
 namespace xhc::obs {
 struct CohReport;  // obs/coh.h
 class Metrics;     // obs/metrics.h
+class TimeSeries;  // obs/timeseries.h
 }  // namespace xhc::obs
 
 namespace xhc::mach {
@@ -176,6 +177,20 @@ class Machine {
   void set_wait_hist(obs::HistSet* h) noexcept { wait_hist_ = h; }
   obs::HistSet* wait_hist() const noexcept { return wait_hist_; }
 
+  /// Attaches a windowed wait-time series (obs::TimeSeries sized to this
+  /// machine's ranks): both machines' flag_wait_ge slow paths additionally
+  /// record each blocked duration into series `sid` at the resume
+  /// timestamp, tagging *when* synchronization stalls happened — the core
+  /// wait-site feed of the service telemetry plane. Same contract as
+  /// set_wait_hist: observational only, set outside parallel regions, the
+  /// series must outlive the runs using it; null disables.
+  void set_wait_series(obs::TimeSeries* s, int sid) noexcept {
+    wait_series_ = s;
+    wait_series_id_ = sid;
+  }
+  obs::TimeSeries* wait_series() const noexcept { return wait_series_; }
+  int wait_series_id() const noexcept { return wait_series_id_; }
+
   /// Modeled coherence observatory (overridden by SimMachine; the defaults
   /// keep consumers free of machine downcasts — RealMachine has no modeled
   /// counters). Tracking toggles accounting only, never virtual-time costs.
@@ -197,6 +212,8 @@ class Machine {
  private:
   verify::Ledger verify_ledger_;
   obs::HistSet* wait_hist_ = nullptr;
+  obs::TimeSeries* wait_series_ = nullptr;
+  int wait_series_id_ = 0;
 };
 
 /// Typed convenience wrapper around Machine::alloc.

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/timeseries.h"
 #include "topo/presets.h"
 #include "util/cacheline.h"
 #include "util/check.h"
@@ -95,7 +96,8 @@ class RealMachine::RealCtx final : public Ctx {
  public:
   RealCtx(int rank, int size, int core, Clock::time_point t0,
           CentralBarrier* barrier, verify::Ledger* ledger, WaitShared* wait,
-          double wait_timeout, obs::HistSet* wait_hist)
+          double wait_timeout, obs::HistSet* wait_hist,
+          obs::TimeSeries* wait_series, int wait_series_id)
       : rank_(rank),
         size_(size),
         core_(core),
@@ -104,7 +106,9 @@ class RealMachine::RealCtx final : public Ctx {
         ledger_(ledger),
         wait_(wait),
         wait_timeout_(wait_timeout),
-        wait_hist_(wait_hist) {}
+        wait_hist_(wait_hist),
+        wait_series_(wait_series),
+        wait_series_id_(wait_series_id) {}
 
   int rank() const noexcept override { return rank_; }
   int size() const noexcept override { return size_; }
@@ -152,10 +156,12 @@ class RealMachine::RealCtx final : public Ctx {
 
   void flag_wait_ge(const Flag& f, std::uint64_t v) override {
     if (f.v.load(std::memory_order_acquire) >= v) return;
-    // Blocking path: when histograms are attached, the wall-clock blocked
-    // duration lands in the per-rank kFlagWait histogram.
+    // Blocking path: when histograms or the windowed wait series are
+    // attached, the wall-clock blocked duration lands in the per-rank
+    // kFlagWait histogram / the plane's wait series.
+    const bool timed = wait_hist_ != nullptr || wait_series_ != nullptr;
     const Clock::time_point wait_t0 =
-        wait_hist_ != nullptr ? Clock::now() : Clock::time_point{};
+        timed ? Clock::now() : Clock::time_point{};
     WaitSlot& slot = wait_->slots[static_cast<std::size_t>(rank_)];
     slot.need.store(v, std::memory_order_relaxed);
     slot.chan.store(&f, std::memory_order_release);
@@ -177,6 +183,10 @@ class RealMachine::RealCtx final : public Ctx {
     if (wait_hist_ != nullptr) {
       wait_hist_->record(rank_, obs::HistKind::kFlagWait,
                          seconds_since(wait_t0));
+    }
+    if (wait_series_ != nullptr) {
+      wait_series_->record(rank_, wait_series_id_, seconds_since(t0_),
+                           seconds_since(wait_t0));
     }
   }
 
@@ -273,6 +283,8 @@ class RealMachine::RealCtx final : public Ctx {
   WaitShared* const wait_;
   const double wait_timeout_;
   obs::HistSet* const wait_hist_;
+  obs::TimeSeries* const wait_series_;
+  const int wait_series_id_;
 };
 
 RealMachine::RealMachine(topo::Topology topo, int n_ranks,
@@ -324,7 +336,7 @@ RunResult RealMachine::run(const std::function<void(Ctx&)>& fn) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       RealCtx ctx(r, n, map_.core_of(r), t0, &barrier, &verify_ledger(), &wait,
-                  wait_timeout_, wait_hist());
+                  wait_timeout_, wait_hist(), wait_series(), wait_series_id());
       try {
         fn(ctx);
       } catch (...) {

@@ -9,11 +9,9 @@
 
 namespace xhc::obs {
 
-namespace {
-
 /// Minimal JSON string escaping; span names are static literals, but the
 /// caller-supplied label is arbitrary.
-void write_escaped(std::ostream& os, const char* s) {
+void write_json_escaped(std::ostream& os, const char* s) {
   os << '"';
   for (; *s != '\0'; ++s) {
     const char c = *s;
@@ -41,7 +39,7 @@ void write_escaped(std::ostream& os, const char* s) {
   os << '"';
 }
 
-void write_number(std::ostream& os, double v) {
+void write_json_number(std::ostream& os, double v) {
   // NaN/Inf have no JSON representation ("%.6f" would emit "nan"/"inf" and
   // corrupt the file); clamp so one bad span can't break the whole trace.
   if (!std::isfinite(v)) {
@@ -57,7 +55,7 @@ void write_number(std::ostream& os, double v) {
 
 /// Full-precision variant for values in seconds (histogram bounds go down
 /// to 2^-44 s; fixed-point formatting would flatten them to zero).
-void write_number_exact(std::ostream& os, double v) {
+void write_json_number_exact(std::ostream& os, double v) {
   if (!std::isfinite(v)) {
     os << (std::isnan(v) ? "0" : (v > 0.0 ? "1e308" : "-1e308"));
     return;
@@ -66,8 +64,6 @@ void write_number_exact(std::ostream& os, double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   os << buf;
 }
-
-}  // namespace
 
 void write_chrome_trace(std::ostream& os, const Recorder& rec,
                         const std::string& label, const Metrics* metrics) {
@@ -79,21 +75,21 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec,
     first = false;
     os << "{\"ph\":\"M\",\"pid\":" << r
        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
-    write_escaped(os, (label + " rank " + std::to_string(r)).c_str());
+    write_json_escaped(os, (label + " rank " + std::to_string(r)).c_str());
     os << "}},{\"ph\":\"M\",\"pid\":" << r
        << ",\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":";
-    write_escaped(os, ("rank " + std::to_string(r)).c_str());
+    write_json_escaped(os, ("rank " + std::to_string(r)).c_str());
     os << "}}";
 
     for (const Span& s : rec.spans(r)) {
       os << ",{\"ph\":\"X\",\"pid\":" << r << ",\"tid\":0,\"cat\":";
-      write_escaped(os, s.cat);
+      write_json_escaped(os, s.cat);
       os << ",\"name\":";
-      write_escaped(os, s.name);
+      write_json_escaped(os, s.name);
       os << ",\"ts\":";
-      write_number(os, s.t0 * 1e6);
+      write_json_number(os, s.t0 * 1e6);
       os << ",\"dur\":";
-      write_number(os, (s.t1 - s.t0) * 1e6);
+      write_json_number(os, (s.t1 - s.t0) * 1e6);
       os << ",\"args\":{\"arg\":" << s.arg << "}}";
     }
 
@@ -106,7 +102,7 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec,
         const std::uint64_t v = metrics->value(r, c);
         if (v == 0) continue;
         os << ",{\"ph\":\"C\",\"pid\":" << r << ",\"tid\":0,\"name\":";
-        write_escaped(os, to_string(c));
+        write_json_escaped(os, to_string(c));
         os << ",\"ts\":0,\"args\":{\"value\":" << v << "}}";
       }
     }
@@ -141,7 +137,7 @@ util::Table hist_table(const std::vector<NamedHist>& hists) {
 void write_hist_json(std::ostream& os, const std::vector<NamedHist>& hists,
                      const std::string& label) {
   os << "{\"label\":";
-  write_escaped(os, label.c_str());
+  write_json_escaped(os, label.c_str());
   os << ",\"unit\":\"seconds\",\"histograms\":[";
   bool first = true;
   for (const NamedHist& nh : hists) {
@@ -149,19 +145,19 @@ void write_hist_json(std::ostream& os, const std::vector<NamedHist>& hists,
     if (!first) os << ',';
     first = false;
     os << "{\"name\":";
-    write_escaped(os, nh.name.c_str());
+    write_json_escaped(os, nh.name.c_str());
     os << ",\"count\":" << h.count() << ",\"sum\":";
-    write_number_exact(os, h.sum());
+    write_json_number_exact(os, h.sum());
     os << ",\"min\":";
-    write_number_exact(os, h.min());
+    write_json_number_exact(os, h.min());
     os << ",\"max\":";
-    write_number_exact(os, h.max());
+    write_json_number_exact(os, h.max());
     os << ",\"p50\":";
-    write_number_exact(os, h.percentile(0.50));
+    write_json_number_exact(os, h.percentile(0.50));
     os << ",\"p90\":";
-    write_number_exact(os, h.percentile(0.90));
+    write_json_number_exact(os, h.percentile(0.90));
     os << ",\"p99\":";
-    write_number_exact(os, h.percentile(0.99));
+    write_json_number_exact(os, h.percentile(0.99));
     os << ",\"buckets\":[";
     bool first_b = true;
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -170,7 +166,7 @@ void write_hist_json(std::ostream& os, const std::vector<NamedHist>& hists,
       if (!first_b) os << ',';
       first_b = false;
       os << '[';
-      write_number_exact(os, Histogram::bucket_upper(i));
+      write_json_number_exact(os, Histogram::bucket_upper(i));
       os << ',' << c << ']';
     }
     os << "]}";

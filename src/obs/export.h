@@ -22,6 +22,16 @@
 
 namespace xhc::obs {
 
+// JSON building blocks shared by every exporter in the observability layer
+// (traces, histograms, time series, the service telemetry plane). Escaping
+// is minimal-but-safe; the number writers clamp NaN/Inf (no JSON spelling)
+// so one bad value cannot corrupt a whole document.
+void write_json_escaped(std::ostream& os, const char* s);
+/// Fixed-point %.6f — microsecond timestamps at picosecond resolution.
+void write_json_number(std::ostream& os, double v);
+/// Full-precision %.17g — round-trips any double, byte-deterministic.
+void write_json_number_exact(std::ostream& os, double v);
+
 /// Writes the full trace (all ranks' retained spans) as Chrome trace-event
 /// JSON. `label` prefixes the per-rank process names ("<label> rank 3").
 /// When `metrics` is non-null, each rank's non-zero modeled coherence

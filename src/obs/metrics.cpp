@@ -84,6 +84,10 @@ const char* to_string(Counter c) noexcept {
       return "coh_block_memory";
     case Counter::kCohBlockInval:
       return "coh_block_invalidations";
+    case Counter::kSloWindowsChecked:
+      return "slo_windows_checked";
+    case Counter::kSloViolations:
+      return "slo_violations";
     case Counter::kCount_:
       break;
   }

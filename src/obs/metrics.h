@@ -67,6 +67,9 @@ enum class Counter : int {
   kCohBlockProducerLlc,  ///< payload read served from the producer's LLC
   kCohBlockMemory,       ///< payload read served from home NUMA memory
   kCohBlockInval,        ///< payload version bumps over live cached copies
+  // SLO monitor (svc::Telemetry): per-window latency-target evaluation.
+  kSloWindowsChecked,    ///< (rule, window) pairs with at least one sample
+  kSloViolations,        ///< (rule, window) pairs exceeding their target
   kCount_  // sentinel
 };
 

@@ -1,0 +1,190 @@
+#include "obs/timeseries.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/export.h"
+#include "util/check.h"
+
+namespace xhc::obs {
+
+TimeSeries::TimeSeries(int n_ranks, double window_seconds, int max_windows)
+    : window_(window_seconds), max_windows_(max_windows) {
+  XHC_REQUIRE(n_ranks > 0, "time series need at least one rank");
+  XHC_REQUIRE(window_seconds > 0.0, "window width must be positive, got ",
+              window_seconds);
+  XHC_REQUIRE(max_windows > 0, "need at least one window");
+  rows_ = std::vector<Row>(static_cast<std::size_t>(n_ranks));
+}
+
+int TimeSeries::add_series(std::string name) {
+  const int sid = n_series();
+  names_.push_back(std::move(name));
+  for (Row& row : rows_) {
+    row.cells.resize(static_cast<std::size_t>(n_series() * max_windows_));
+  }
+  return sid;
+}
+
+void TimeSeries::watch_counters(const Metrics* m, std::vector<int> row_of) {
+  XHC_REQUIRE(m != nullptr, "cannot watch a null metrics registry");
+  if (row_of.empty()) {
+    // Identity: plane rank r samples m's row r (when it exists).
+    row_of.resize(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      row_of[r] = static_cast<int>(r) < m->n_ranks() ? static_cast<int>(r) : -1;
+    }
+  }
+  XHC_REQUIRE(row_of.size() == rows_.size(), "row_of must map every rank");
+  Watcher w;
+  w.m = m;
+  w.row_of = std::move(row_of);
+  w.marks.assign(rows_.size() * static_cast<std::size_t>(kNumCounters), 0);
+  watchers_.push_back(std::move(w));
+  // The counter lane is lazily sized on the first watcher so sample-only
+  // planes pay nothing for it.
+  for (Row& row : rows_) {
+    row.counters.assign(
+        static_cast<std::size_t>(kNumCounters) *
+            static_cast<std::size_t>(max_windows_),
+        0.0);
+  }
+}
+
+void TimeSeries::sample_counters(int rank, double now) noexcept {
+  if (watchers_.empty()) return;
+  Row& row = rows_[static_cast<std::size_t>(rank)];
+  const int w = window_of(now);
+  bool touched = false;
+  for (Watcher& wt : watchers_) {
+    const int mrow = wt.row_of[static_cast<std::size_t>(rank)];
+    if (mrow < 0) continue;
+    const std::size_t base =
+        static_cast<std::size_t>(rank) * static_cast<std::size_t>(kNumCounters);
+    for (int c = 0; c < kNumCounters; ++c) {
+      const std::uint64_t cur = wt.m->value(mrow, static_cast<Counter>(c));
+      std::uint64_t& mark = wt.marks[base + static_cast<std::size_t>(c)];
+      // Watermark (publish_delta) semantics: a value below the mark means
+      // the registry was reset mid-stream; the delta restarts from zero
+      // instead of underflowing.
+      const std::uint64_t delta = cur >= mark ? cur - mark : cur;
+      mark = cur;
+      if (delta != 0) {
+        row.counters[static_cast<std::size_t>(c * max_windows_ + w)] +=
+            static_cast<double>(delta);
+        touched = true;
+      }
+    }
+  }
+  if (touched && w >= row.used) row.used = w + 1;
+}
+
+int TimeSeries::used_windows() const noexcept {
+  int used = 0;
+  for (const Row& row : rows_) {
+    if (row.used > used) used = row.used;
+  }
+  return used;
+}
+
+TimeSeries::Cell TimeSeries::merged(int sid, int w) const noexcept {
+  Cell out;
+  for (const Row& row : rows_) {
+    out.merge(row.cells[static_cast<std::size_t>(sid * max_windows_ + w)]);
+  }
+  return out;
+}
+
+double TimeSeries::counter_sum(Counter c, int w) const noexcept {
+  double sum = 0.0;
+  for (const Row& row : rows_) {
+    if (row.counters.empty()) continue;
+    sum += row.counters[static_cast<std::size_t>(
+        static_cast<int>(c) * max_windows_ + w)];
+  }
+  return sum;
+}
+
+double TimeSeries::counter_total(Counter c) const noexcept {
+  double sum = 0.0;
+  for (int w = 0; w < max_windows_; ++w) sum += counter_sum(c, w);
+  return sum;
+}
+
+void TimeSeries::clear() noexcept {
+  for (Row& row : rows_) {
+    for (Cell& cell : row.cells) cell = Cell{};
+    for (double& v : row.counters) v = 0.0;
+    row.used = 0;
+  }
+  for (Watcher& wt : watchers_) {
+    for (std::uint64_t& m : wt.marks) m = 0;
+  }
+}
+
+void write_timeseries_json(std::ostream& os, const TimeSeries& ts,
+                           const std::string& label) {
+  const int used = ts.used_windows();
+  os << "{\"label\":";
+  write_json_escaped(os, label.c_str());
+  os << ",\"window_seconds\":";
+  write_json_number_exact(os, ts.window_seconds());
+  os << ",\"windows\":" << used << ",\"series\":[";
+  bool first = true;
+  for (int sid = 0; sid < ts.n_series(); ++sid) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_json_escaped(os, ts.series_name(sid).c_str());
+    os << ",\"kind\":\"sample\",\"windows\":[";
+    bool first_w = true;
+    for (int w = 0; w < used; ++w) {
+      const TimeSeries::Cell cell = ts.merged(sid, w);
+      if (cell.count == 0) continue;
+      if (!first_w) os << ',';
+      first_w = false;
+      os << '[' << w << ',' << cell.count << ',';
+      write_json_number_exact(os, cell.sum);
+      os << ',';
+      write_json_number_exact(os, cell.min);
+      os << ',';
+      write_json_number_exact(os, cell.max);
+      os << ']';
+    }
+    os << "]}";
+  }
+  if (ts.n_watchers() > 0) {
+    for (int c = 0; c < kNumCounters; ++c) {
+      const auto counter = static_cast<Counter>(c);
+      if (ts.counter_total(counter) == 0.0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":";
+      write_json_escaped(os, to_string(counter));
+      os << ",\"kind\":\"counter\",\"windows\":[";
+      bool first_w = true;
+      for (int w = 0; w < used; ++w) {
+        const double sum = ts.counter_sum(counter, w);
+        if (sum == 0.0) continue;
+        if (!first_w) os << ',';
+        first_w = false;
+        os << '[' << w << ',';
+        write_json_number_exact(os, sum);
+        os << ']';
+      }
+      os << "]}";
+    }
+  }
+  os << "]}\n";
+}
+
+void write_timeseries_json_file(const std::string& path, const TimeSeries& ts,
+                                const std::string& label) {
+  std::ofstream os(path, std::ios::trunc);
+  XHC_CHECK(os.good(), "cannot open time-series file ", path);
+  write_timeseries_json(os, ts, label);
+  os.flush();
+  XHC_CHECK(os.good(), "failed writing time-series file ", path);
+}
+
+}  // namespace xhc::obs

@@ -1,0 +1,175 @@
+// Windowed time-series plane (observability layer, DESIGN.md § Service
+// telemetry plane).
+//
+// Every other observability surface (spans, counters, hists) reports
+// end-of-run aggregates; a TimeSeries slices the run into fixed-width
+// windows of run time (virtual on SimMachine, wall on RealMachine) so
+// consumers — the service interference report, the SLO monitor, the
+// ROADMAP-item-3 autotuner — can see *when* things happened.
+//
+// Two kinds of data land in the plane:
+//
+//   * sample series (`add_series` + `record`): per-rank value samples
+//     (latencies, wait durations) aggregated per window as
+//     count/sum/min/max. Recording is allocation-free and single-writer
+//     per rank (line-padded rows, no atomics), the same discipline as
+//     obs::Metrics and obs::HistSet.
+//   * counter series (`watch_counters` + `sample_counters`): windowed
+//     deltas of an obs::Metrics registry. Each watcher keeps its own
+//     per-(rank, counter) watermark — the publish_delta pattern of
+//     sim::CohStats — so repeated sampling, a concurrent end-of-run
+//     `--metrics` read of the same registry, and Metrics::reset_counters
+//     all compose without double counting (a value below the watermark is
+//     treated as a reset: the delta restarts from zero). Sampling rank r
+//     reads only rows written by rank r (the `row_of` map), so per-rank
+//     self-sampling mid-run is race-free and backend-deterministic.
+//
+// Post-run, `merged` folds ranks in rank order (deterministic) and
+// write_timeseries_json emits a byte-deterministic sparse JSON document.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/cacheline.h"
+
+namespace xhc::obs {
+
+class TimeSeries {
+ public:
+  /// One window's aggregate of a sample series.
+  struct Cell {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void add(double v) noexcept {
+      if (count == 0 || v < min) min = v;
+      if (count == 0 || v > max) max = v;
+      ++count;
+      sum += v;
+    }
+    /// Fold `o` in; commutative up to FP addition order, so fold in a
+    /// fixed (rank) order for byte determinism.
+    void merge(const Cell& o) noexcept {
+      if (o.count == 0) return;
+      if (count == 0 || o.min < min) min = o.min;
+      if (count == 0 || o.max > max) max = o.max;
+      count += o.count;
+      sum += o.sum;
+    }
+  };
+
+  /// Windows cover [0, window_seconds * max_windows); later timestamps
+  /// clamp into the last window (a soak that overruns the plane loses
+  /// resolution, never data).
+  TimeSeries(int n_ranks, double window_seconds, int max_windows = 256);
+
+  int n_ranks() const noexcept { return static_cast<int>(rows_.size()); }
+  double window_seconds() const noexcept { return window_; }
+  int max_windows() const noexcept { return max_windows_; }
+
+  /// Window holding timestamp `t` (clamped into [0, max_windows)).
+  int window_of(double t) const noexcept {
+    if (!(t > 0.0)) return 0;
+    const double w = t / window_;
+    const auto iw = w >= static_cast<double>(max_windows_ - 1)
+                        ? max_windows_ - 1
+                        : static_cast<int>(w);
+    return iw;
+  }
+
+  // --- sample series -------------------------------------------------------
+
+  /// Registers a sample series. Pre-run only (reallocates the rank rows);
+  /// returns the series id `record` takes.
+  int add_series(std::string name);
+
+  int n_series() const noexcept { return static_cast<int>(names_.size()); }
+  const std::string& series_name(int sid) const {
+    return names_[static_cast<std::size_t>(sid)];
+  }
+
+  /// Records one sample at timestamp `t` into `rank`'s row. Allocation-free;
+  /// must be called from the thread executing `rank` (single-writer rows).
+  void record(int rank, int sid, double t, double v) noexcept {
+    Row& row = rows_[static_cast<std::size_t>(rank)];
+    const int w = window_of(t);
+    row.cells[static_cast<std::size_t>(sid * max_windows_ + w)].add(v);
+    if (w >= row.used) row.used = w + 1;
+  }
+
+  // --- counter series (watermarked Metrics deltas) -------------------------
+
+  /// Registers `m` for windowed delta sampling. `row_of` maps a sampling
+  /// rank of *this* plane to its row in `m` (-1 = not represented; empty =
+  /// identity). Pre-run only; `m` must outlive the sampling.
+  void watch_counters(const Metrics* m, std::vector<int> row_of = {});
+
+  int n_watchers() const noexcept { return static_cast<int>(watchers_.size()); }
+
+  /// Folds the watched registries' deltas since `rank`'s previous sample
+  /// into the window holding `now`. Reads only rows `row_of` assigns to
+  /// `rank`, so calling this from the rank's own thread mid-run is
+  /// race-free. Allocation-free.
+  void sample_counters(int rank, double now) noexcept;
+
+  // --- post-run readers ----------------------------------------------------
+
+  /// Highest touched window + 1, over every rank, series and counter.
+  int used_windows() const noexcept;
+
+  /// Sample-series cell merged over ranks (rank order, deterministic).
+  Cell merged(int sid, int w) const noexcept;
+
+  /// Counter delta sum for window `w`, merged over ranks.
+  double counter_sum(Counter c, int w) const noexcept;
+  /// Sum over all windows (equals the watched registries' totals when every
+  /// increment happened between the first and last sample).
+  double counter_total(Counter c) const noexcept;
+
+  /// Forgets all samples, deltas and watermarks (series registrations and
+  /// watchers persist).
+  void clear() noexcept;
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+ private:
+  struct alignas(util::kCacheLine) Row {
+    std::vector<Cell> cells;       ///< [sid * max_windows + w]
+    std::vector<double> counters;  ///< [counter * max_windows + w]
+    int used = 0;                  ///< highest touched window + 1
+  };
+
+  struct Watcher {
+    const Metrics* m = nullptr;
+    std::vector<int> row_of;           ///< plane rank -> m row (-1 = none)
+    std::vector<std::uint64_t> marks;  ///< [rank * kNumCounters + c]
+  };
+
+  double window_;
+  int max_windows_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+  std::vector<Watcher> watchers_;
+};
+
+/// Byte-deterministic sparse JSON export: sample series in registration
+/// order (count/sum/min/max per non-empty window), then counter series in
+/// enum order (delta sum per non-empty window), all values %.17g exact.
+void write_timeseries_json(std::ostream& os, const TimeSeries& ts,
+                           const std::string& label = "xhc");
+
+/// Convenience: opens `path` (truncating) and writes the JSON; throws
+/// util::Error when the file cannot be written.
+void write_timeseries_json_file(const std::string& path, const TimeSeries& ts,
+                                const std::string& label = "xhc");
+
+}  // namespace xhc::obs

@@ -7,6 +7,7 @@
 
 #include "obs/coh.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "util/cacheline.h"
 #include "util/check.h"
 #include "util/memops.h"
@@ -208,6 +209,9 @@ class SimMachine::SimCtx final : public mach::Ctx {
     // histogram set is attached.
     if (obs::HistSet* h = m_->wait_hist(); h != nullptr) {
       h->record(rank_, obs::HistKind::kFlagWait, done - now);
+    }
+    if (obs::TimeSeries* s = m_->wait_series(); s != nullptr) {
+      s->record(rank_, m_->wait_series_id(), done, done - now);
     }
   }
 

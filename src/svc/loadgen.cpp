@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 
+#include "svc/telemetry.h"
 #include "util/cacheline.h"
 #include "util/check.h"
 #include "util/prng.h"
@@ -247,6 +248,8 @@ LoadgenResult run_loadgen(CommRegistry& reg,
   const int n_parent = parent.n_ranks();
   const int n_comms = reg.n_comms();
   const Budget& budget = reg.arbiter().budget();
+  Telemetry* const tele = cfg.telemetry;
+  if (tele != nullptr) tele->attach(reg);
 
   // Largest payload per communicator: buffers are allocated once.
   std::vector<std::size_t> comm_max(static_cast<std::size_t>(n_comms), 64);
@@ -385,6 +388,7 @@ LoadgenResult run_loadgen(CommRegistry& reg,
 
       if (l != 0) {
         if (comm.await_verdict(ctx, r.index)) execute(tctx, comm, r, l);
+        if (tele != nullptr) tele->tick(pr, tctx.now());
         continue;
       }
 
@@ -392,17 +396,21 @@ LoadgenResult run_loadgen(CommRegistry& reg,
       // backoff on the service-wide op-token pool.
       CommStats& st = *stats[cc];
       bool admitted = true;
+      ReqOutcome oc = ReqOutcome::kCompleted;
+      std::uint32_t backoffs = 0;
       const auto& arr = arrivals[cc];
       const auto due = static_cast<std::size_t>(
           std::upper_bound(arr.begin(), arr.end(), tctx.now()) - arr.begin());
       if (due > r.index + 1 && due - (r.index + 1) > budget.queue_capacity) {
         admitted = false;  // backlog beyond the queue bound: shed
+        oc = ReqOutcome::kShedBacklog;
       } else {
         double backoff = budget.backoff_base;
         while (!reg.arbiter().try_acquire_op()) {
           const double waited = tctx.now() - r.arrival;
           if (waited >= budget.deadline) {
             admitted = false;  // deadline passed while backing off: shed
+            oc = ReqOutcome::kShedDeadline;
             break;
           }
           // Stall at least one base quantum: the exact remainder
@@ -414,20 +422,33 @@ LoadgenResult run_loadgen(CommRegistry& reg,
                                 budget.backoff_base)));
           backoff = std::min(backoff * 2.0, budget.backoff_max);
           ++st.backoff_stalls;
+          ++backoffs;
         }
       }
+      const double vt = tele != nullptr ? tctx.now() : 0.0;
       comm.publish_verdict(ctx, r.index, admitted);
       auto& cls = st.cls[static_cast<int>(r.op)];
       if (admitted) {
         execute(tctx, comm, r, l);
         reg.arbiter().release_op();
-        cls.latency.record(tctx.now() - r.arrival);
+        const double end_t = tctx.now();
+        cls.latency.record(end_t - r.arrival);
         ++cls.completed;
+        if (tele != nullptr) {
+          tele->on_request(r, ReqOutcome::kCompleted, vt, end_t, backoffs);
+        }
       } else {
         ++cls.shed;
+        if (tele != nullptr) tele->on_request(r, oc, vt, vt, backoffs);
       }
+      if (tele != nullptr) tele->tick(pr, tctx.now());
     }
+    // Loop-exit tick: whatever the last request left behind still lands in
+    // a window, so counter-series totals are lossless.
+    if (tele != nullptr) tele->tick(pr, ctx.now());
   });
+
+  if (tele != nullptr) tele->finalize(reg, schedule);
 
   // Aggregate in communicator-id order: merges are bucket additions, so the
   // result is independent of which leader finished first.

@@ -26,6 +26,8 @@
 
 namespace xhc::svc {
 
+class Telemetry;  // svc/telemetry.h
+
 /// Operation classes of the generated stream.
 enum class OpClass : int { kBcast = 0, kAllreduce, kReduce, kBarrier, kCount_ };
 inline constexpr int kNumOpClasses = static_cast<int>(OpClass::kCount_);
@@ -60,6 +62,12 @@ struct LoadgenConfig {
   /// filters to target one tenant); fault_seed is decorrelated per comm.
   std::string faults;
   std::uint64_t fault_seed = 1;
+  /// Optional service telemetry plane (svc/telemetry.h). Null (the default)
+  /// keeps the loadgen hot path bit-identical to the un-instrumented build;
+  /// non-null, run_loadgen attaches it to the registry, every rank ticks
+  /// windowed counter samples per projected request, and the admission
+  /// leaders record per-request causal chains. Must outlive the run.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Deterministic communicator plan over `n_ranks` parent ranks: communicator

@@ -16,6 +16,7 @@
 #include "mach/real_machine.h"
 #include "obs/export.h"
 #include "obs/observer.h"
+#include "obs/timeseries.h"
 #include "sim/sim_machine.h"
 #include "topo/presets.h"
 #include "util/cacheline.h"
@@ -552,6 +553,142 @@ TEST(ObsObserver, MetricsTablePerRankOrdering) {
   EXPECT_LT(cico_r1, cico_r3);
   EXPECT_LT(cico_r3, waits);
   EXPECT_GT(text.find("[r0]"), waits);  // r0 only contributed flag_waits
+}
+
+// ---------------------------------------------------------------------------
+// Windowed time-series plane (obs/timeseries.h)
+
+TEST(ObsTimeSeries, EmptyPlaneHasNoWindowsAndExportsValidJson) {
+  TimeSeries ts(2, 0.01);
+  ts.add_series("lat");
+  EXPECT_EQ(ts.used_windows(), 0);
+  EXPECT_EQ(ts.merged(0, 0).count, 0u);
+  std::ostringstream os;
+  write_timeseries_json(os, ts, "empty");
+  const std::string text = os.str();
+  JsonParser parser(text);
+  const JValue doc = parser.parse();
+  EXPECT_TRUE(parser.ok());
+  EXPECT_EQ(doc.at("windows").num, 0.0);
+  ASSERT_EQ(doc.at("series").arr.size(), 1u);
+  EXPECT_EQ(doc.at("series").arr[0].at("name").str, "lat");
+  EXPECT_TRUE(doc.at("series").arr[0].at("windows").arr.empty());
+}
+
+TEST(ObsTimeSeries, SingleSampleCellIsExact) {
+  TimeSeries ts(1, 0.01);
+  const int sid = ts.add_series("lat");
+  ts.record(0, sid, 0.0215, 3.5);  // window 2
+  EXPECT_EQ(ts.used_windows(), 3);
+  const TimeSeries::Cell cell = ts.merged(sid, 2);
+  EXPECT_EQ(cell.count, 1u);
+  EXPECT_EQ(cell.sum, 3.5);
+  EXPECT_EQ(cell.min, 3.5);
+  EXPECT_EQ(cell.max, 3.5);
+  EXPECT_EQ(ts.merged(sid, 0).count, 0u);
+  EXPECT_EQ(ts.merged(sid, 1).count, 0u);
+}
+
+TEST(ObsTimeSeries, LateTimestampsClampIntoLastWindow) {
+  TimeSeries ts(1, 0.01, 4);
+  const int sid = ts.add_series("lat");
+  ts.record(0, sid, 1e9, 1.0);  // far beyond the plane
+  ts.record(0, sid, -2.0, 7.0);  // negative clamps to window 0
+  EXPECT_EQ(ts.window_of(1e9), 3);
+  EXPECT_EQ(ts.used_windows(), 4);
+  EXPECT_EQ(ts.merged(sid, 3).count, 1u);
+  EXPECT_EQ(ts.merged(sid, 0).sum, 7.0);
+}
+
+TEST(ObsTimeSeries, CounterDeltasAreWindowedAndSurviveReset) {
+  Metrics m(1);
+  TimeSeries ts(1, 0.01);
+  ts.watch_counters(&m);
+  m.add(0, Counter::kFlagWaits, 5);
+  ts.sample_counters(0, 0.001);  // window 0: delta 5
+  // A --metrics style end-of-run read sees the full value: sampling never
+  // mutates the registry (independent watermarks, publish_delta pattern).
+  EXPECT_EQ(m.total(Counter::kFlagWaits), 5u);
+  m.reset_counters();  // mid-stream reset: value drops below the watermark
+  m.add(0, Counter::kFlagWaits, 3);
+  ts.sample_counters(0, 0.015);  // window 1: delta restarts from cur = 3
+  EXPECT_EQ(ts.counter_sum(Counter::kFlagWaits, 0), 5.0);
+  EXPECT_EQ(ts.counter_sum(Counter::kFlagWaits, 1), 3.0);
+  EXPECT_EQ(ts.counter_total(Counter::kFlagWaits), 8.0);
+}
+
+TEST(ObsTimeSeries, RepeatedSamplesInOneWindowNeverDoubleCount) {
+  Metrics m(1);
+  TimeSeries ts(1, 0.01);
+  ts.watch_counters(&m);
+  m.add(0, Counter::kCicoBytes, 100);
+  ts.sample_counters(0, 0.002);
+  ts.sample_counters(0, 0.004);  // no new increments: zero delta
+  m.add(0, Counter::kCicoBytes, 50);
+  ts.sample_counters(0, 0.006);
+  EXPECT_EQ(ts.counter_sum(Counter::kCicoBytes, 0), 150.0);
+  EXPECT_EQ(ts.counter_total(Counter::kCicoBytes), 150.0);
+}
+
+TEST(ObsTimeSeries, TwoPlanesWatchingOneRegistryKeepIndependentWatermarks) {
+  Metrics m(1);
+  TimeSeries a(1, 0.01);
+  TimeSeries b(1, 0.01);
+  a.watch_counters(&m);
+  b.watch_counters(&m);
+  m.add(0, Counter::kCicoBytes, 10);
+  a.sample_counters(0, 0.001);
+  m.add(0, Counter::kCicoBytes, 7);
+  a.sample_counters(0, 0.002);
+  b.sample_counters(0, 0.002);  // b sees the full 17 in one delta
+  EXPECT_EQ(a.counter_total(Counter::kCicoBytes), 17.0);
+  EXPECT_EQ(b.counter_total(Counter::kCicoBytes), 17.0);
+}
+
+TEST(ObsTimeSeries, RowOfMapsSamplingRanksOntoRegistryRows) {
+  Metrics m(2);
+  TimeSeries ts(4, 0.01);
+  // Plane ranks 1 and 3 own registry rows 0 and 1; ranks 0/2 sample nothing.
+  ts.watch_counters(&m, {-1, 0, -1, 1});
+  m.add(0, Counter::kFlagWaits, 2);
+  m.add(1, Counter::kFlagWaits, 9);
+  for (int r = 0; r < 4; ++r) ts.sample_counters(r, 0.001);
+  EXPECT_EQ(ts.counter_total(Counter::kFlagWaits), 11.0);
+}
+
+TEST(ObsTimeSeries, MergeIsRankOrderedAndJsonIsByteDeterministic) {
+  TimeSeries ts(3, 0.01);
+  const int sid = ts.add_series("lat");
+  ts.record(2, sid, 0.001, 4.0);
+  ts.record(0, sid, 0.002, 1.0);
+  ts.record(1, sid, 0.003, 0.25);
+  const TimeSeries::Cell cell = ts.merged(sid, 0);
+  EXPECT_EQ(cell.count, 3u);
+  EXPECT_EQ(cell.sum, 1.0 + 0.25 + 4.0);
+  EXPECT_EQ(cell.min, 0.25);
+  EXPECT_EQ(cell.max, 4.0);
+  std::ostringstream os1;
+  std::ostringstream os2;
+  write_timeseries_json(os1, ts, "det");
+  write_timeseries_json(os2, ts, "det");
+  EXPECT_EQ(os1.str(), os2.str());
+  EXPECT_NE(os1.str().find("\"kind\":\"sample\""), std::string::npos);
+}
+
+TEST(ObsTimeSeries, ClearForgetsSamplesAndWatermarks) {
+  Metrics m(1);
+  TimeSeries ts(1, 0.01);
+  const int sid = ts.add_series("lat");
+  ts.watch_counters(&m);
+  ts.record(0, sid, 0.001, 1.0);
+  m.add(0, Counter::kFlagWaits, 4);
+  ts.sample_counters(0, 0.001);
+  ts.clear();
+  EXPECT_EQ(ts.used_windows(), 0);
+  EXPECT_EQ(ts.counter_total(Counter::kFlagWaits), 0.0);
+  // Watermarks reset too: the next sample re-publishes the full value.
+  ts.sample_counters(0, 0.001);
+  EXPECT_EQ(ts.counter_total(Counter::kFlagWaits), 4.0);
 }
 
 TEST(ObsObserver, AbsorbTrafficCounter) {

@@ -8,15 +8,18 @@
 
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/explore.h"
 #include "mach/machine.h"
+#include "obs/timeseries.h"
 #include "sim/sim_machine.h"
 #include "svc/arbiter.h"
 #include "svc/loadgen.h"
 #include "svc/registry.h"
+#include "svc/telemetry.h"
 #include "svc/tenant.h"
 #include "topo/presets.h"
 #include "util/check.h"
@@ -277,6 +280,189 @@ TEST(SvcLoadgen, SoakIsByteDeterministicAcrossRunsAndBackends) {
                 r->per_class[kk].latency.percentile(0.99));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Service telemetry plane (svc/telemetry.h)
+
+/// Runs the small soak with a windowed telemetry plane attached and returns
+/// every byte-deterministic export concatenated (plus the result for
+/// sanity checks).
+struct TelemetryRun {
+  std::string exports;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+};
+
+TelemetryRun telemetry_soak(sim::SimBackend backend,
+                            const std::string& slo = "") {
+  sim::SimMachine machine(topo::mini8(), 8);
+  machine.set_backend(backend);
+  svc::LoadgenConfig cfg = small_soak_config();
+  svc::TelemetryConfig tcfg;
+  tcfg.window_seconds = 0.005;
+  tcfg.slo = slo;
+  svc::Telemetry tele(machine, tcfg, cfg.requests);
+  cfg.telemetry = &tele;
+  const svc::LoadgenResult r =
+      svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+  TelemetryRun out;
+  out.completed = r.completed;
+  out.shed = r.shed;
+  std::ostringstream os;
+  tele.write_reqlog(os);
+  tele.write_interference(os);
+  obs::write_timeseries_json(os, *tele.series(), "soak");
+  tele.write_chrome_trace(os, "soak");
+  out.exports = std::move(os).str();
+  return out;
+}
+
+TEST(SvcTelemetry, ExportsAreByteDeterministicAcrossRunsAndBackends) {
+  const TelemetryRun a = telemetry_soak(sim::SimBackend::kFiber);
+  const TelemetryRun b = telemetry_soak(sim::SimBackend::kFiber);
+  const TelemetryRun c = telemetry_soak(sim::SimBackend::kThreads);
+  EXPECT_EQ(a.completed + a.shed, small_soak_config().requests);
+  EXPECT_EQ(a.exports, b.exports);
+  EXPECT_EQ(a.exports, c.exports);
+}
+
+TEST(SvcTelemetry, AttachedPlaneLeavesServiceResultsUntouched) {
+  // The composed regression for the watermark audit: telemetry sampling
+  // must not perturb the service (observational only), and the windowed
+  // counter-series totals must equal the observers' end-of-run totals
+  // (lossless deltas, no double counting between the two consumers).
+  svc::LoadgenConfig cfg = small_soak_config();
+  sim::SimMachine bare_machine(topo::mini8(), 8);
+  const svc::LoadgenResult bare =
+      svc::run_soak(bare_machine, cfg, generous_budget(8, cfg.n_comms, {}));
+
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::TelemetryConfig tcfg;
+  tcfg.window_seconds = 0.005;
+  svc::Telemetry tele(machine, tcfg, cfg.requests);
+  cfg.telemetry = &tele;
+  const svc::LoadgenResult r =
+      svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+  EXPECT_EQ(bare.completed, r.completed);
+  EXPECT_EQ(bare.shed, r.shed);
+  EXPECT_EQ(bare.makespan, r.makespan);  // bit-equal virtual time
+  for (int k = 0; k < svc::kNumOpClasses; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    EXPECT_EQ(bare.per_class[kk].latency.percentile(0.99),
+              r.per_class[kk].latency.percentile(0.99));
+  }
+
+  // Counter-series totals == summed observer totals for every counter: the
+  // loop-exit tick drains the last deltas, so nothing is lost or doubled.
+  for (int ci = 0; ci < obs::kNumCounters; ++ci) {
+    const auto c = static_cast<obs::Counter>(ci);
+    std::uint64_t observed = 0;
+    for (int t = 0; t < tele.n_comms(); ++t) {
+      observed += tele.observer(t)->metrics().total(c);
+    }
+    EXPECT_EQ(tele.series()->counter_total(c),
+              static_cast<double>(observed))
+        << obs::to_string(c);
+  }
+
+  // The request log is complete and consistent with the result counts.
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  for (const svc::ReqRecord& rec : tele.records()) {
+    ASSERT_NE(rec.outcome, svc::ReqOutcome::kNone);
+    if (rec.outcome == svc::ReqOutcome::kCompleted) {
+      ++completed;
+      EXPECT_GE(rec.end_time, rec.verdict_time);
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(completed, r.completed);
+  EXPECT_EQ(shed, r.shed);
+}
+
+TEST(SvcTelemetry, WaitMatrixAttributesAdmissionWaitsToTokenHolders) {
+  // One op token across overlapping tenants: leaders must back off on each
+  // other, so admission waits exist and the matrix attributes them.
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::LoadgenConfig cfg = small_soak_config();
+  cfg.arrival_rate = 1e5;
+  svc::Budget budget = generous_budget(8, cfg.n_comms, {});
+  budget.inflight_ops = 1;
+  budget.queue_capacity = 100000;
+  budget.deadline = 5e-4;
+  svc::TelemetryConfig tcfg;
+  tcfg.window_seconds = 0.005;
+  svc::Telemetry tele(machine, tcfg, cfg.requests);
+  cfg.telemetry = &tele;
+  const svc::LoadgenResult r = svc::run_soak(machine, cfg, budget);
+  EXPECT_GT(r.backoff_stalls, 0u);
+  const auto& m = tele.wait_matrix();
+  ASSERT_EQ(static_cast<int>(m.size()), tele.n_comms());
+  double total = 0.0;
+  double off_diagonal = 0.0;
+  for (std::size_t a = 0; a < m.size(); ++a) {
+    for (std::size_t b = 0; b < m.size(); ++b) {
+      EXPECT_GE(m[a][b], 0.0);
+      total += m[a][b];
+      if (a != b) off_diagonal += m[a][b];
+    }
+  }
+  EXPECT_GT(total, 0.0);
+  // With a single shared token, some of every tenant's wait is spent on
+  // requests other tenants hold.
+  EXPECT_GT(off_diagonal, 0.0);
+  // Occupancy: admitted payload bytes must show up somewhere.
+  double occupied = 0.0;
+  for (const auto& win : tele.occupancy()) {
+    for (const double v : win) occupied += v;
+  }
+  EXPECT_GT(occupied, 0.0);
+}
+
+TEST(SvcTelemetry, SloMonitorCountsViolationsPerWindow) {
+  // An impossible target must trip in every checked window; a generous one
+  // never does. Both runs are the same soak, so checked counts match.
+  const auto run_slo = [](const std::string& spec) {
+    sim::SimMachine machine(topo::mini8(), 8);
+    svc::LoadgenConfig cfg = small_soak_config();
+    svc::TelemetryConfig tcfg;
+    tcfg.window_seconds = 0.005;
+    tcfg.slo = spec;
+    auto tele = std::make_unique<svc::Telemetry>(machine, tcfg, cfg.requests);
+    cfg.telemetry = tele.get();
+    (void)svc::run_soak(machine, cfg, generous_budget(8, cfg.n_comms, {}));
+    return tele;
+  };
+  const auto impossible = run_slo("*:max=1ns");
+  EXPECT_GT(impossible->slo_windows_checked(), 0u);
+  EXPECT_EQ(impossible->slo_violations(), impossible->slo_windows_checked());
+  const auto generous = run_slo("*:max=1s;bcast:p50=1s");
+  EXPECT_GT(generous->slo_windows_checked(), 0u);
+  EXPECT_EQ(generous->slo_violations(), 0u);
+}
+
+TEST(SvcTelemetry, SloSpecParsing) {
+  const auto rules = svc::parse_slo("bcast:p99=250us; *:mean=1.5ms");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].op, static_cast<int>(svc::OpClass::kBcast));
+  EXPECT_EQ(rules[0].metric, svc::SloRule::Metric::kP99);
+  EXPECT_DOUBLE_EQ(rules[0].target, 250e-6);
+  EXPECT_EQ(rules[1].op, -1);
+  EXPECT_EQ(rules[1].metric, svc::SloRule::Metric::kMean);
+  EXPECT_DOUBLE_EQ(rules[1].target, 1.5e-3);
+  EXPECT_THROW(svc::parse_slo(""), util::Error);
+  EXPECT_THROW(svc::parse_slo("p99=1ms"), util::Error);          // no class
+  EXPECT_THROW(svc::parse_slo("bcast:p42=1ms"), util::Error);    // bad metric
+  EXPECT_THROW(svc::parse_slo("bcast:p99=1parsec"), util::Error);  // bad unit
+  EXPECT_THROW(svc::parse_slo("quux:p99=1ms"), util::Error);     // bad class
+  EXPECT_THROW(svc::parse_slo("bcast:p99=-1ms"), util::Error);   // negative
+  // The monitor needs the windowed plane.
+  sim::SimMachine machine(topo::mini8(), 8);
+  svc::TelemetryConfig tcfg;
+  tcfg.slo = "*:p99=1ms";
+  EXPECT_THROW(svc::Telemetry(machine, tcfg, 10), util::Error);
 }
 
 // ---------------------------------------------------------------------------
